@@ -1,0 +1,63 @@
+//! Regenerates the figures of the paper's evaluation as text tables.
+//!
+//! Usage:
+//!   figures                 # all figures, fast quality (idealized device)
+//!   figures --full          # record/replay device, longer loops
+//!   figures --fig fig3      # one figure (or a prefix, e.g. --fig fig10)
+//!   figures --ablations     # the ablation studies as well
+
+use kus_workloads::figures::{self, Figure, Quality};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let ablations = args.iter().any(|a| a == "--ablations");
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--fig")
+        .and_then(|i| args.get(i + 1).cloned());
+    let q = if full { Quality::full() } else { Quality::fast() };
+    eprintln!(
+        "# quality: iters={} replay_device={} (use --full for the paper methodology)",
+        q.iters, q.replay_device
+    );
+
+    type Thunk = fn(Quality) -> Vec<Figure>;
+    let single = |f: fn(Quality) -> Figure| move |q: Quality| vec![f(q)];
+    let mut registry: Vec<(&str, Box<dyn Fn(Quality) -> Vec<Figure>>)> = vec![
+        ("fig2", Box::new(single(figures::fig2))),
+        ("fig3", Box::new(single(figures::fig3))),
+        ("fig4", Box::new(single(figures::fig4))),
+        ("fig5", Box::new(single(figures::fig5))),
+        ("fig6", Box::new(single(figures::fig6))),
+        ("fig7", Box::new(single(figures::fig7))),
+        ("fig8", Box::new(single(figures::fig8))),
+        ("fig9", Box::new(single(figures::fig9))),
+        ("fig10", Box::new(figures::fig10 as Thunk)),
+    ];
+    if ablations
+        || only
+            .as_deref()
+            .map(|o| o.starts_with("ablation") || o.starts_with("ext"))
+            .unwrap_or(false)
+    {
+        registry.push(("ablation_lfb", Box::new(single(figures::ablation_lfb))));
+        registry.push(("ablation_uncore", Box::new(single(figures::ablation_uncore))));
+        registry.push(("ablation_ctx_switch", Box::new(single(figures::ablation_ctx_switch))));
+        registry.push(("ablation_swq_opts", Box::new(single(figures::ablation_swq_opts))));
+        registry.push(("ext_writes", Box::new(single(figures::ext_writes))));
+        registry.push(("ext_smt", Box::new(single(figures::ext_smt))));
+        registry.push(("ext_jitter", Box::new(single(figures::ext_jitter))));
+    }
+    for (id, thunk) in registry {
+        if let Some(only) = &only {
+            if !id.starts_with(only.as_str()) {
+                continue;
+            }
+        }
+        eprintln!("# generating {id}...");
+        for fig in thunk(q) {
+            println!("{}", fig.render_table());
+        }
+    }
+}

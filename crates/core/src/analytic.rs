@@ -1,0 +1,197 @@
+//! The paper's back-of-the-envelope performance model (§V-B implications),
+//! as closed-form predictions.
+//!
+//! The paper reasons about its curves with simple occupancy arithmetic:
+//! *"Each microsecond of latency can be effectively hidden by 10-20
+//! in-flight device accesses per core. Therefore, the per-core queues …
+//! should be provisioned for approximately 20 × expected-device-latency-
+//! in-microseconds parallel accesses. Chip-level shared queues … should
+//! support 20 × expected-device-latency-in-microseconds × cores-per-chip."*
+//!
+//! This module provides those predictions (plus the corresponding
+//! throughput models for each mechanism) so that callers can size queues,
+//! pick thread counts, and sanity-check the simulator: the test suite
+//! asserts the simulation tracks these formulas within tolerance in the
+//! regimes where they apply.
+
+use kus_sim::{Clock, Span};
+use kus_swq::SwqCosts;
+
+use crate::config::PlatformConfig;
+
+/// The paper's provisioning rule: per-core queue entries needed to hide a
+/// given device latency (≈20 per microsecond).
+///
+/// # Examples
+///
+/// ```
+/// use kus_core::analytic::per_core_queue_rule;
+/// use kus_sim::Span;
+///
+/// assert_eq!(per_core_queue_rule(Span::from_us(1)), 20);
+/// assert_eq!(per_core_queue_rule(Span::from_us(4)), 80);
+/// ```
+pub fn per_core_queue_rule(latency: Span) -> u64 {
+    (20.0 * latency.as_us_f64()).ceil() as u64
+}
+
+/// The chip-level companion rule: the per-core rule × cores per chip.
+pub fn chip_queue_rule(latency: Span, cores: usize) -> u64 {
+    per_core_queue_rule(latency) * cores as u64
+}
+
+/// Analytic model of one microbenchmark configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct UbenchModel {
+    /// Core clock.
+    pub clock: Clock,
+    /// Work instructions per iteration.
+    pub work_count: u32,
+    /// Sustained work IPC.
+    pub work_ipc: f64,
+    /// Independent chains per fiber.
+    pub mlp: usize,
+    /// Fibers per core.
+    pub fibers: usize,
+    /// Cores.
+    pub cores: usize,
+    /// Device latency (host-observed).
+    pub device_latency: Span,
+    /// DRAM loaded latency.
+    pub dram_latency: Span,
+    /// Context-switch cost.
+    pub ctx_switch: Span,
+    /// LFBs per core.
+    pub lfbs: usize,
+    /// Chip-level device-path queue entries.
+    pub chip_queue: usize,
+    /// Software-queue costs.
+    pub swq: SwqCosts,
+}
+
+impl UbenchModel {
+    /// Builds the model from a platform configuration and workload shape.
+    pub fn from_config(cfg: &PlatformConfig, work_count: u32, mlp: usize) -> UbenchModel {
+        UbenchModel {
+            clock: cfg.core.clock,
+            work_count,
+            work_ipc: cfg.core.work_ipc,
+            mlp,
+            fibers: cfg.fibers_per_core,
+            cores: cfg.cores,
+            device_latency: cfg.device_latency,
+            dram_latency: cfg.host_dram.latency,
+            ctx_switch: cfg.ctx_switch,
+            lfbs: cfg.core.lfb_count,
+            chip_queue: cfg.device_path_credits,
+            swq: cfg.swq,
+        }
+    }
+
+    fn work_time(&self) -> Span {
+        self.clock.work(self.work_count as u64, self.work_ipc)
+    }
+
+    /// Per-iteration time of the single-core single-thread on-demand DRAM
+    /// baseline: a serial pointer chase pays ~one DRAM latency per batch of
+    /// `mlp` overlapped accesses, with the work largely hidden beneath the
+    /// next access.
+    pub fn baseline_per_iteration(&self) -> Span {
+        self.dram_latency.max(self.work_time())
+    }
+
+    /// Baseline accesses/second (one core, one thread).
+    pub fn baseline_access_rate(&self) -> f64 {
+        self.mlp as f64 / (self.baseline_per_iteration().as_ps() as f64 * 1e-12)
+    }
+
+    /// In-flight accesses the prefetch mechanism can sustain: limited by
+    /// thread-supplied parallelism, the per-core LFBs, and the per-core
+    /// share of the chip-level queue.
+    pub fn prefetch_in_flight(&self) -> usize {
+        (self.fibers * self.mlp)
+            .min(self.lfbs)
+            .min((self.chip_queue + self.cores - 1) / self.cores)
+    }
+
+    /// Per-access time under prefetch+switch: either latency-bound (the
+    /// sustained in-flight window turns over once per device latency) or
+    /// turn-bound (each iteration costs a switch plus its work).
+    pub fn prefetch_per_access(&self) -> Span {
+        let latency_bound = self.device_latency / self.prefetch_in_flight() as u64;
+        let turn = self.ctx_switch + self.work_time();
+        let turn_bound = turn / self.mlp as u64;
+        latency_bound.max(turn_bound)
+    }
+
+    /// Predicted normalized work IPC for the prefetch mechanism (one core).
+    pub fn prefetch_normalized(&self) -> f64 {
+        let base = self.baseline_per_iteration().as_ps() as f64 / self.mlp as f64;
+        base / self.prefetch_per_access().as_ps() as f64
+    }
+
+    /// Per-access time under software queues: the serial software cost per
+    /// access (batch-amortized enqueue, scan, and completion handling) once
+    /// threads cover the effective latency.
+    pub fn swq_per_access_floor(&self) -> Span {
+        self.swq.per_access(self.mlp as u64)
+    }
+
+    /// Predicted software-queue peak (one core), normalized.
+    pub fn swq_peak_normalized(&self) -> f64 {
+        let base = self.baseline_per_iteration().as_ps() as f64 / self.mlp as f64;
+        base / self.swq_per_access_floor().as_ps() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(fibers: usize) -> UbenchModel {
+        let cfg = PlatformConfig::paper_default().fibers_per_core(fibers);
+        UbenchModel::from_config(&cfg, 100, 1)
+    }
+
+    #[test]
+    fn provisioning_rules() {
+        assert_eq!(per_core_queue_rule(Span::from_us(2)), 40);
+        assert_eq!(chip_queue_rule(Span::from_us(1), 8), 160);
+        assert_eq!(per_core_queue_rule(Span::from_ns(500)), 10);
+    }
+
+    #[test]
+    fn prefetch_in_flight_caps() {
+        // Thread-limited below 10, LFB-limited at and beyond.
+        assert_eq!(model(4).prefetch_in_flight(), 4);
+        assert_eq!(model(10).prefetch_in_flight(), 10);
+        assert_eq!(model(32).prefetch_in_flight(), 10);
+        // Chip-queue share limits multicore.
+        let mut m = model(10);
+        m.cores = 8;
+        assert_eq!(m.prefetch_in_flight(), 2, "14/8 rounded up");
+    }
+
+    #[test]
+    fn prefetch_prediction_is_near_parity_at_ten_threads() {
+        let n = model(10).prefetch_normalized();
+        assert!((0.8..1.3).contains(&n), "predicted {n}");
+    }
+
+    #[test]
+    fn swq_peak_prediction_is_near_half() {
+        let n = model(16).swq_peak_normalized();
+        assert!((0.40..0.60).contains(&n), "predicted {n}");
+    }
+
+    #[test]
+    fn mlp_shrinks_effective_threads() {
+        let mut m = model(10);
+        m.mlp = 4;
+        assert_eq!(m.prefetch_in_flight(), 10);
+        let m3 = UbenchModel { fibers: 3, mlp: 4, ..m };
+        assert_eq!(m3.prefetch_in_flight(), 10, "3 threads x 4 reads fill 10 LFBs (12 wanted)");
+        let m2 = UbenchModel { fibers: 2, mlp: 4, ..m };
+        assert_eq!(m2.prefetch_in_flight(), 8);
+    }
+}

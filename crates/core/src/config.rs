@@ -1,0 +1,272 @@
+//! Platform configuration: every knob the paper's evaluation turns.
+
+use kus_cpu::CoreConfig;
+use kus_device::{ReplayConfig, StreamerConfig};
+use kus_mem::station::StationConfig;
+use kus_mem::uncore::CreditQueue;
+use kus_mem::Backing;
+use kus_pcie::link::LinkConfig;
+use kus_sim::Span;
+use kus_swq::SwqCosts;
+
+use crate::mechanism::Mechanism;
+
+/// Full configuration of one experiment run.
+///
+/// Defaults reproduce the paper's testbed: a Xeon E5-2670v3 host, PCIe Gen2
+/// x8, 10 LFBs/core, a 14-entry chip-level device-path queue, ≥48-entry DRAM
+/// path, 35 ns context switches, and a 1 µs device.
+///
+/// # Examples
+///
+/// ```
+/// use kus_core::config::PlatformConfig;
+/// use kus_core::mechanism::Mechanism;
+/// use kus_sim::Span;
+///
+/// let cfg = PlatformConfig::paper_default()
+///     .mechanism(Mechanism::Prefetch)
+///     .device_latency(Span::from_us(2))
+///     .cores(4)
+///     .fibers_per_core(8);
+/// assert_eq!(cfg.cores, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// The access mechanism under test.
+    pub mechanism: Mechanism,
+    /// Where the dataset lives ([`Backing::Dram`] is the baseline).
+    pub backing: Backing,
+    /// Host-observed device latency (inclusive of interconnect round trip,
+    /// as configured on the paper's emulator).
+    pub device_latency: Span,
+    /// Number of host cores running workload fibers.
+    pub cores: usize,
+    /// User-level threads per core.
+    pub fibers_per_core: usize,
+    /// Hardware (SMT) contexts per core. Siblings halve the ROB and
+    /// frontend width and share the LFB pool — the §III observation that
+    /// SMT lets a core progress in one context while another blocks on a
+    /// long access. The paper's measurements disable SMT (default 1).
+    pub smt: usize,
+    /// Core micro-architecture.
+    pub core: CoreConfig,
+    /// User-mode context-switch cost (the paper's optimized library:
+    /// 20–50 ns; the unmodified Pth library: ~2 µs).
+    pub ctx_switch: Span,
+    /// Chip-level shared queue capacity on the device path.
+    pub device_path_credits: usize,
+    /// Chip-level shared queue capacity on the DRAM path.
+    pub dram_path_credits: usize,
+    /// The PCIe link.
+    pub link: LinkConfig,
+    /// Host DRAM channel.
+    pub host_dram: StationConfig,
+    /// Software-queue host costs.
+    pub swq: SwqCosts,
+    /// Software-queue request-ring capacity per core.
+    pub swq_ring_capacity: usize,
+    /// Ablation: ring the doorbell on every enqueue (no doorbell-request
+    /// flag). The paper found such designs strictly inferior.
+    pub swq_doorbell_every_enqueue: bool,
+    /// Descriptor fetch-burst size (8 in the optimized design; 1 disables
+    /// burst amortization for the ablation).
+    pub swq_fetch_burst: usize,
+    /// Mean-preserving uniform jitter on the device's response time (zero =
+    /// the paper's fixed-delay emulator).
+    pub device_jitter: Span,
+    /// Device replay-window behaviour.
+    pub replay: ReplayConfig,
+    /// Device streamer behaviour.
+    pub streamer: StreamerConfig,
+    /// Device on-board DRAM channels.
+    pub onboard: StationConfig,
+    /// Run the full two-phase record/replay discipline (true, the paper's
+    /// methodology) or a single phase against an idealized device (false;
+    /// faster, for smoke tests).
+    pub use_replay_device: bool,
+    /// Dataset address-space capacity in bytes.
+    pub dataset_bytes: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl PlatformConfig {
+    /// The paper's testbed defaults (1 µs device, prefetch mechanism,
+    /// single core, one fiber).
+    pub fn paper_default() -> PlatformConfig {
+        PlatformConfig {
+            mechanism: Mechanism::Prefetch,
+            backing: Backing::Device,
+            device_latency: Span::from_us(1),
+            cores: 1,
+            fibers_per_core: 1,
+            smt: 1,
+            core: CoreConfig::xeon_e5_2670v3(),
+            ctx_switch: Span::from_ns(35),
+            device_path_credits: CreditQueue::XEON_DEVICE_PATH,
+            dram_path_credits: CreditQueue::XEON_DRAM_PATH,
+            link: LinkConfig::gen2_x8(),
+            host_dram: StationConfig::host_dram(),
+            swq: SwqCosts::optimized(),
+            swq_ring_capacity: 256,
+            swq_doorbell_every_enqueue: false,
+            swq_fetch_burst: kus_swq::FETCH_BURST,
+            device_jitter: Span::ZERO,
+            replay: ReplayConfig::default(),
+            streamer: StreamerConfig::default(),
+            onboard: StationConfig::onboard_ddr3(),
+            use_replay_device: true,
+            dataset_bytes: 256 << 20,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Sets the access mechanism.
+    pub fn mechanism(mut self, m: Mechanism) -> Self {
+        self.mechanism = m;
+        self
+    }
+
+    /// Sets the dataset backing.
+    pub fn backing(mut self, b: Backing) -> Self {
+        self.backing = b;
+        self
+    }
+
+    /// Sets the host-observed device latency.
+    pub fn device_latency(mut self, l: Span) -> Self {
+        self.device_latency = l;
+        self
+    }
+
+    /// Sets the core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn cores(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one core");
+        self.cores = n;
+        self
+    }
+
+    /// Sets the user-level thread count per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn fibers_per_core(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one fiber per core");
+        self.fibers_per_core = n;
+        self
+    }
+
+    /// Sets the SMT context count per core (1 or 2 on the reproduced host).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn smt(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one hardware context");
+        self.smt = n;
+        self
+    }
+
+    /// Sets the per-core LFB count (the paper's 10-LFB wall; raise it for
+    /// the "fix the hardware" ablation).
+    pub fn lfbs(mut self, n: usize) -> Self {
+        self.core.lfb_count = n;
+        self
+    }
+
+    /// Sets the chip-level device-path queue capacity (the paper's 14-entry
+    /// wall; raise it for the multicore ablation).
+    pub fn device_path_credits(mut self, n: usize) -> Self {
+        self.device_path_credits = n;
+        self
+    }
+
+    /// Sets the context-switch cost.
+    pub fn ctx_switch(mut self, s: Span) -> Self {
+        self.ctx_switch = s;
+        self
+    }
+
+    /// Sets the device's response-time jitter spread.
+    pub fn device_jitter(mut self, j: Span) -> Self {
+        self.device_jitter = j;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Single-phase idealized-device mode (skips record/replay).
+    pub fn without_replay_device(mut self) -> Self {
+        self.use_replay_device = false;
+        self
+    }
+
+    /// The DRAM-baseline twin of this configuration: same workload shape,
+    /// dataset in DRAM, on-demand accesses, single fiber per core (the
+    /// paper's baselines are single-threaded per core).
+    pub fn baseline_twin(&self) -> PlatformConfig {
+        let mut b = self.clone();
+        b.backing = Backing::Dram;
+        b.mechanism = Mechanism::OnDemand;
+        b.fibers_per_core = 1;
+        b.smt = 1;
+        b
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> PlatformConfig {
+        PlatformConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = PlatformConfig::paper_default();
+        assert_eq!(c.core.lfb_count, 10);
+        assert_eq!(c.device_path_credits, 14);
+        assert_eq!(c.dram_path_credits, 48);
+        assert_eq!(c.device_latency, Span::from_us(1));
+        assert_eq!(c.ctx_switch, Span::from_ns(35));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = PlatformConfig::paper_default()
+            .mechanism(Mechanism::SoftwareQueue)
+            .cores(8)
+            .fibers_per_core(24)
+            .lfbs(64)
+            .device_path_credits(256)
+            .seed(1);
+        assert_eq!(c.mechanism, Mechanism::SoftwareQueue);
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.fibers_per_core, 24);
+        assert_eq!(c.core.lfb_count, 64);
+        assert_eq!(c.device_path_credits, 256);
+    }
+
+    #[test]
+    fn baseline_twin_is_dram_on_demand_single_fiber() {
+        let c = PlatformConfig::paper_default().cores(4).fibers_per_core(16);
+        let b = c.baseline_twin();
+        assert_eq!(b.backing, Backing::Dram);
+        assert_eq!(b.mechanism, Mechanism::OnDemand);
+        assert_eq!(b.fibers_per_core, 1);
+        assert_eq!(b.cores, 4, "baseline keeps the core count");
+    }
+}

@@ -1,0 +1,47 @@
+//! The three device-access mechanisms under study (§III of the paper).
+
+use std::fmt;
+
+/// How software reaches the microsecond-latency device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Plain memory-mapped loads: the device as drop-in "memory". The load
+    /// blocks the ROB head; overlap is limited to what out-of-order
+    /// execution finds in its window (§V-A).
+    OnDemand,
+    /// `prefetcht0` + user-mode context switch + load (Listing 1): hardware
+    /// queues manage the request while other fibers run (§V-B).
+    Prefetch,
+    /// Application-managed software queues with a doorbell-request flag and
+    /// burst descriptor reads (§V-C).
+    SoftwareQueue,
+}
+
+impl Mechanism {
+    /// All mechanisms, in paper order.
+    pub const ALL: [Mechanism; 3] =
+        [Mechanism::OnDemand, Mechanism::Prefetch, Mechanism::SoftwareQueue];
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mechanism::OnDemand => write!(f, "on-demand"),
+            Mechanism::Prefetch => write!(f, "prefetch"),
+            Mechanism::SoftwareQueue => write!(f, "swq"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mechanism::OnDemand.to_string(), "on-demand");
+        assert_eq!(Mechanism::Prefetch.to_string(), "prefetch");
+        assert_eq!(Mechanism::SoftwareQueue.to_string(), "swq");
+        assert_eq!(Mechanism::ALL.len(), 3);
+    }
+}

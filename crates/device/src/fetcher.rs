@@ -1,0 +1,376 @@
+//! The request fetcher: the device side of the software-managed queues.
+//!
+//! One fetcher per host core. A doorbell MMIO write starts it; it then
+//! DMA-reads descriptors in bursts of eight "starting from the most-recently
+//! observed non-empty location" and keeps fetching "so long as at least one
+//! new descriptor is retrieved during the last burst". When a burst comes
+//! back empty it parks, DMA-writing the in-memory doorbell-request flag so
+//! the host knows the next enqueue must ring the doorbell.
+//!
+//! Each served descriptor produces **two ordered DMA writes**: the response
+//! data (64 B) and then the completion entry (8 B) — the extra transaction
+//! load that, together with descriptor reads, wastes half the PCIe bandwidth
+//! at eight cores (Fig. 8).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use kus_pcie::dma::DmaEngine;
+use kus_sim::stats::Counter;
+use kus_sim::Sim;
+use kus_swq::descriptor::{Completion, Descriptor, COMPLETION_BYTES, DESCRIPTOR_BYTES};
+use kus_swq::ring::QueuePair;
+
+use crate::core::{DeviceCore, LineData};
+
+/// Host-side hook invoked when a completion (and its data) has landed in
+/// host memory.
+pub type CompletionHook = Rc<dyn Fn(&mut Sim, Completion, LineData)>;
+
+/// Consecutive empty bursts before the fetcher parks — the paper's
+/// "pre-defined limit": the fetcher keeps polling the request queue through
+/// short gaps in the request stream instead of bouncing between parked and
+/// doorbell-restarted every round.
+pub const PARK_AFTER_EMPTY: usize = 4;
+
+/// Interval between burst-read launches while the fetcher runs. The real
+/// engine pipelines its DMA reads ("continuously performs DMA reads of the
+/// request queue"); modelling launches as periodic with a bounded number in
+/// flight avoids quantizing descriptor pickup to one full PCIe round trip.
+pub const BURST_INTERVAL: kus_sim::Span = kus_sim::Span::from_ns(250);
+
+/// Maximum burst reads in flight per fetcher.
+pub const MAX_BURSTS_IN_FLIGHT: usize = 4;
+
+/// The per-core request fetcher.
+pub struct RequestFetcher {
+    host_core: usize,
+    qp: Rc<RefCell<QueuePair>>,
+    device: Rc<RefCell<DeviceCore>>,
+    dma: Rc<RefCell<DmaEngine>>,
+    on_completion: CompletionHook,
+    running: bool,
+    doorbell_while_running: bool,
+    consecutive_empty: usize,
+    bursts_in_flight: usize,
+    launcher_armed: bool,
+    /// Burst DMA reads performed.
+    pub burst_reads: Counter,
+    /// Doorbell arrivals observed.
+    pub doorbells: Counter,
+    /// Descriptors served.
+    pub served: Counter,
+}
+
+impl std::fmt::Debug for RequestFetcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestFetcher")
+            .field("host_core", &self.host_core)
+            .field("running", &self.running)
+            .field("served", &self.served.get())
+            .finish()
+    }
+}
+
+impl RequestFetcher {
+    /// Creates a fetcher for `host_core`, wrapped for shared use.
+    pub fn new(
+        host_core: usize,
+        qp: Rc<RefCell<QueuePair>>,
+        device: Rc<RefCell<DeviceCore>>,
+        dma: Rc<RefCell<DmaEngine>>,
+        on_completion: CompletionHook,
+    ) -> Rc<RefCell<RequestFetcher>> {
+        Rc::new(RefCell::new(RequestFetcher {
+            host_core,
+            qp,
+            device,
+            dma,
+            on_completion,
+            running: false,
+            doorbell_while_running: false,
+            consecutive_empty: 0,
+            bursts_in_flight: 0,
+            launcher_armed: false,
+            burst_reads: Counter::default(),
+            doorbells: Counter::default(),
+            served: Counter::default(),
+        }))
+    }
+
+    /// Whether the fetch loop is active.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// Called when the host's doorbell MMIO write arrives at the device.
+    pub fn on_doorbell(this: &Rc<RefCell<RequestFetcher>>, sim: &mut Sim) {
+        {
+            let mut f = this.borrow_mut();
+            f.doorbells.incr();
+            if f.running {
+                // The host raced our parking flag write; remember to re-run.
+                f.doorbell_while_running = true;
+                return;
+            }
+            f.running = true;
+            f.consecutive_empty = 0;
+        }
+        RequestFetcher::fetch_round(this, sim);
+    }
+
+    /// Launches burst reads periodically while running (a pipelined DMA
+    /// engine), with at most [`MAX_BURSTS_IN_FLIGHT`] outstanding.
+    fn fetch_round(this: &Rc<RefCell<RequestFetcher>>, sim: &mut Sim) {
+        {
+            let mut f = this.borrow_mut();
+            if !f.running || f.launcher_armed {
+                return;
+            }
+            if f.bursts_in_flight >= MAX_BURSTS_IN_FLIGHT {
+                return; // a returning burst will re-launch
+            }
+            if f.consecutive_empty >= PARK_AFTER_EMPTY {
+                return; // parking: drain in-flight bursts, launch nothing new
+            }
+            f.launcher_armed = true;
+        }
+        RequestFetcher::launch_burst(this, sim);
+        let this2 = this.clone();
+        sim.schedule_in(BURST_INTERVAL, move |sim| {
+            this2.borrow_mut().launcher_armed = false;
+            RequestFetcher::fetch_round(&this2, sim);
+        });
+    }
+
+    fn launch_burst(this: &Rc<RefCell<RequestFetcher>>, sim: &mut Sim) {
+        let dma = {
+            let mut f = this.borrow_mut();
+            f.burst_reads.incr();
+            f.bursts_in_flight += 1;
+            f.dma.clone()
+        };
+        dma.borrow_mut().count_read();
+        let burst_bytes = {
+            let f = this.borrow();
+            let b = f.qp.borrow().burst() as u64;
+            DESCRIPTOR_BYTES * b
+        };
+        let this2 = this.clone();
+        // One burst read: `burst` descriptors * 16 B from host memory.
+        dma.borrow().read(
+            sim,
+            burst_bytes,
+            Box::new(move |sim| {
+                this2.borrow_mut().bursts_in_flight -= 1;
+                let burst = {
+                    let qp = this2.borrow().qp.clone();
+                    let mut qp = qp.borrow_mut();
+                    // Only the final empty burst of a parking sequence
+                    // re-arms the host's doorbell flag.
+                    if qp.pending_requests() == 0
+                        && this2.borrow().consecutive_empty + 1 < PARK_AFTER_EMPTY
+                    {
+                        Vec::new()
+                    } else {
+                        qp.fetch_burst()
+                    }
+                };
+                if burst.is_empty() {
+                    let mut f = this2.borrow_mut();
+                    f.consecutive_empty += 1;
+                    if f.consecutive_empty < PARK_AFTER_EMPTY {
+                        // Persistence limit not reached: keep polling.
+                        drop(f);
+                        RequestFetcher::fetch_round(&this2, sim);
+                        return;
+                    }
+                    if f.bursts_in_flight > 0 {
+                        // Parking initiated: no new launches (fetch_round
+                        // checks the limit); the last in-flight burst takes
+                        // the parking decision.
+                        return;
+                    }
+                    // Park: write the doorbell-request flag back to host
+                    // memory (8 B posted write); the QueuePair flag itself
+                    // was set synchronously by `fetch_burst`.
+                    f.running = false;
+                    f.consecutive_empty = 0;
+                    let rerun = std::mem::take(&mut f.doorbell_while_running);
+                    let dma = f.dma.clone();
+                    drop(f);
+                    dma.borrow_mut().count_write();
+                    dma.borrow().write(sim, 8, Box::new(|_| {}));
+                    if rerun {
+                        RequestFetcher::on_doorbell(&this2, sim);
+                    }
+                    return;
+                }
+                this2.borrow_mut().consecutive_empty = 0;
+                for desc in burst {
+                    RequestFetcher::serve_one(&this2, sim, desc);
+                }
+                // At least one new descriptor: keep fetching.
+                RequestFetcher::fetch_round(&this2, sim);
+            }),
+        );
+    }
+
+    fn serve_one(this: &Rc<RefCell<RequestFetcher>>, sim: &mut Sim, desc: Descriptor) {
+        let (device, dma, qp, hook, host_core) = {
+            let mut f = this.borrow_mut();
+            f.served.incr();
+            (f.device.clone(), f.dma.clone(), f.qp.clone(), f.on_completion.clone(), f.host_core)
+        };
+        DeviceCore::serve(
+            &device,
+            sim,
+            host_core,
+            desc.read_addr.line(),
+            Box::new(move |sim, data| {
+                // Response data first, completion entry second; both posted
+                // writes on the same link direction, so order is preserved
+                // ("the device ensures that writes to the Completion Queue
+                // are performed after writes to the response address").
+                dma.borrow_mut().count_write();
+                dma.borrow().write(sim, kus_mem::LINE_BYTES, Box::new(|_| {}));
+                dma.borrow_mut().count_write();
+                dma.borrow().write(
+                    sim,
+                    COMPLETION_BYTES,
+                    Box::new(move |sim| {
+                        qp.borrow_mut().post_completion(Completion { tag: desc.tag });
+                        hook(sim, Completion { tag: desc.tag }, data);
+                    }),
+                );
+            }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::DeviceConfig;
+    use crate::trace::CoreTrace;
+    use kus_mem::station::{Station, StationConfig};
+    use kus_mem::{Addr, ByteStore, LineAddr};
+    use kus_pcie::link::{LinkConfig, PcieLink};
+    use kus_sim::Span;
+
+    fn l(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    struct Rig {
+        sim: Sim,
+        qp: Rc<RefCell<QueuePair>>,
+        fetcher: Rc<RefCell<RequestFetcher>>,
+        completions: Rc<RefCell<Vec<(u64, u64, u64)>>>, // (tag, value, t_ns)
+    }
+
+    fn rig(hold_ns: u64) -> Rig {
+        let sim = Sim::new();
+        let link = PcieLink::new(LinkConfig::gen2_x8());
+        let dram = Station::new("host-dram", StationConfig::host_dram());
+        let dma = DmaEngine::new(link, dram);
+        let mut store = ByteStore::new(64 * 1024);
+        for i in 0..1000u64 {
+            store.write_u64(Addr::new(i * 64), i * 10);
+        }
+        let device = DeviceCore::new(
+            Rc::new(RefCell::new(store)),
+            vec![CoreTrace::from_lines((0..1000).map(l).collect())],
+            DeviceConfig::with_hold(Span::from_ns(hold_ns)),
+        );
+        let qp = Rc::new(RefCell::new(QueuePair::new(256)));
+        let completions = Rc::new(RefCell::new(Vec::new()));
+        let c = completions.clone();
+        let hook: CompletionHook = Rc::new(move |sim: &mut Sim, cpl: Completion, data: LineData| {
+            let v = u64::from_le_bytes(data[0..8].try_into().unwrap());
+            c.borrow_mut().push((cpl.tag, v, sim.now().as_ns()));
+        });
+        let fetcher = RequestFetcher::new(0, qp.clone(), device, dma, hook);
+        Rig { sim, qp, fetcher, completions }
+    }
+
+    fn enqueue_and_ring(r: &mut Rig, tags: std::ops::Range<u64>) {
+        for tag in tags {
+            let ring = r
+                .qp
+                .borrow_mut()
+                .enqueue(Descriptor { read_addr: Addr::new(tag * 64), tag })
+                .unwrap();
+            if ring {
+                RequestFetcher::on_doorbell(&r.fetcher, &mut r.sim);
+            }
+        }
+    }
+
+    #[test]
+    fn single_request_completes_with_correct_data() {
+        let mut r = rig(200);
+        enqueue_and_ring(&mut r, 0..1);
+        r.sim.run();
+        let got = r.completions.borrow().clone();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 0);
+        assert_eq!(got[0].1, 0);
+        assert_eq!(r.fetcher.borrow().served.get(), 1);
+        assert!(!r.fetcher.borrow().is_running(), "fetcher parked after drain");
+    }
+
+    #[test]
+    fn burst_fetch_serves_all_without_extra_doorbells() {
+        let mut r = rig(200);
+        enqueue_and_ring(&mut r, 0..20);
+        r.sim.run();
+        assert_eq!(r.completions.borrow().len(), 20);
+        // Only the first enqueue rang the doorbell.
+        assert_eq!(r.qp.borrow().doorbells_rung.get(), 1);
+        assert_eq!(r.fetcher.borrow().doorbells.get(), 1);
+        // Pipelined fetching: at least ceil(20/8) data bursts, plus the
+        // empty polls of the parking sequence; bounded well below
+        // one-burst-per-descriptor.
+        let bursts = r.fetcher.borrow().burst_reads.get();
+        assert!((3..=3 + 20 + PARK_AFTER_EMPTY as u64).contains(&bursts), "bursts {bursts}");
+        assert!(!r.fetcher.borrow().is_running(), "parked after the drain");
+    }
+
+    #[test]
+    fn park_then_new_work_requires_new_doorbell() {
+        let mut r = rig(100);
+        enqueue_and_ring(&mut r, 0..1);
+        r.sim.run();
+        assert_eq!(r.completions.borrow().len(), 1);
+        enqueue_and_ring(&mut r, 1..2);
+        r.sim.run();
+        assert_eq!(r.completions.borrow().len(), 2);
+        assert_eq!(r.qp.borrow().doorbells_rung.get(), 2);
+    }
+
+    #[test]
+    fn completion_tags_match_descriptors() {
+        let mut r = rig(100);
+        enqueue_and_ring(&mut r, 0..50);
+        r.sim.run();
+        let got = r.completions.borrow().clone();
+        assert_eq!(got.len(), 50);
+        for (tag, value, _) in got {
+            assert_eq!(value, tag * 10, "tag {tag} got wrong data");
+        }
+    }
+
+    #[test]
+    fn data_write_precedes_completion_visibility() {
+        // Structural: completions arrive strictly after their 64B data write
+        // was serialized first on the same direction; check monotone times.
+        let mut r = rig(100);
+        enqueue_and_ring(&mut r, 0..8);
+        r.sim.run();
+        let times: Vec<u64> = r.completions.borrow().iter().map(|c| c.2).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "completions in FIFO order");
+    }
+}

@@ -1,0 +1,250 @@
+//! The replay module: sliding-window, age-ordered associative matching of
+//! host requests against the pre-recorded access sequence.
+//!
+//! A naive replay implementation "quickly locks up" (paper, §IV-A) because
+//! the host's request stream deviates from the recording in three ways:
+//!
+//! 1. **Missing accesses** — CPU cache hits mean a recorded line is never
+//!    requested; its window entry must eventually be skipped.
+//! 2. **Reordering** — out-of-order issue reorders nearby requests; skipped
+//!    entries are therefore *kept* in the window for a while rather than
+//!    aged out immediately.
+//! 3. **Spurious requests** — wrong-path speculative loads request lines
+//!    that are not next in (or at all in) the window; these must be answered
+//!    with correct data by the on-demand module.
+//!
+//! [`ReplayModule`] implements exactly that: a bounded window over the trace,
+//! oldest-first associative lookup, retained skipped entries with an age
+//! limit, and a miss outcome that routes to the on-demand path.
+
+use std::collections::VecDeque;
+
+use kus_mem::LineAddr;
+use kus_sim::stats::Counter;
+
+use crate::trace::CoreTrace;
+
+/// The result of matching one host request against the replay window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// Matched trace entry `index` (in recording order).
+    Replayed {
+        /// Position of the matched access in this core's trace.
+        index: usize,
+    },
+    /// Not found in the window — serve from the on-demand module.
+    OnDemand,
+}
+
+/// Configuration for a [`ReplayModule`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Maximum window entries (fresh + retained-skipped).
+    pub window_depth: usize,
+    /// A skipped entry is dropped once the newest window entry is this many
+    /// trace positions ahead of it.
+    pub skip_age_limit: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> ReplayConfig {
+        ReplayConfig { window_depth: 64, skip_age_limit: 256 }
+    }
+}
+
+/// One core's replay module.
+///
+/// # Examples
+///
+/// ```
+/// use kus_device::replay::{MatchOutcome, ReplayConfig, ReplayModule};
+/// use kus_device::trace::CoreTrace;
+/// use kus_mem::LineAddr;
+///
+/// let l = |i| LineAddr::from_index(i);
+/// let trace = CoreTrace::from_lines(vec![l(1), l(2), l(3)]);
+/// let mut rm = ReplayModule::new(trace, ReplayConfig::default());
+/// // Reordered requests still match their recorded entries.
+/// assert_eq!(rm.lookup(l(2)), MatchOutcome::Replayed { index: 1 });
+/// assert_eq!(rm.lookup(l(1)), MatchOutcome::Replayed { index: 0 });
+/// // A line never recorded is spurious.
+/// assert_eq!(rm.lookup(l(9)), MatchOutcome::OnDemand);
+/// ```
+#[derive(Debug)]
+pub struct ReplayModule {
+    trace: CoreTrace,
+    /// Next trace index not yet pulled into the window.
+    next: usize,
+    /// Window entries in trace order: `(trace index, line)`.
+    window: VecDeque<(usize, LineAddr)>,
+    config: ReplayConfig,
+    /// Requests matched in the window.
+    pub matched: Counter,
+    /// Matches that were not the oldest window entry (reordered or
+    /// overtaking a cache-hit entry).
+    pub out_of_order_matches: Counter,
+    /// Window entries dropped by the age limit (recorded accesses the host
+    /// never requested — cache hits).
+    pub aged_out: Counter,
+    /// Requests not found in the window (spurious / wrong-path).
+    pub misses: Counter,
+}
+
+impl ReplayModule {
+    /// Creates a module over `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.window_depth` is zero.
+    pub fn new(trace: CoreTrace, config: ReplayConfig) -> ReplayModule {
+        assert!(config.window_depth > 0, "window depth must be non-zero");
+        let mut rm = ReplayModule {
+            trace,
+            next: 0,
+            window: VecDeque::new(),
+            config,
+            matched: Counter::default(),
+            out_of_order_matches: Counter::default(),
+            aged_out: Counter::default(),
+            misses: Counter::default(),
+        };
+        rm.refill();
+        rm
+    }
+
+    fn refill(&mut self) {
+        // Age out stale skipped entries first so they do not pin the window.
+        let horizon = self.next.saturating_sub(self.config.skip_age_limit);
+        while let Some(&(idx, _)) = self.window.front() {
+            if idx < horizon {
+                self.window.pop_front();
+                self.aged_out.incr();
+            } else {
+                break;
+            }
+        }
+        while self.window.len() < self.config.window_depth && self.next < self.trace.len() {
+            self.window.push_back((self.next, self.trace.lines()[self.next]));
+            self.next += 1;
+        }
+    }
+
+    /// Matches one host request. Entries older than a match are retained
+    /// (they may still arrive reordered); entries are dropped only by age.
+    pub fn lookup(&mut self, line: LineAddr) -> MatchOutcome {
+        // Oldest-first associative search (the paper's age-based lookup).
+        if let Some(pos) = self.window.iter().position(|&(_, l)| l == line) {
+            let (index, _) = self.window.remove(pos).expect("position just found");
+            self.matched.incr();
+            if pos != 0 {
+                self.out_of_order_matches.incr();
+            }
+            self.refill();
+            return MatchOutcome::Replayed { index };
+        }
+        self.misses.incr();
+        MatchOutcome::OnDemand
+    }
+
+    /// Entries currently in the window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Trace entries not yet pulled into the window.
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    fn module(lines: Vec<u64>, depth: usize, age: usize) -> ReplayModule {
+        ReplayModule::new(
+            CoreTrace::from_lines(lines.into_iter().map(l).collect()),
+            ReplayConfig { window_depth: depth, skip_age_limit: age },
+        )
+    }
+
+    #[test]
+    fn in_order_stream_matches_everything() {
+        let mut rm = module((0..100).collect(), 8, 32);
+        for i in 0..100 {
+            assert_eq!(rm.lookup(l(i)), MatchOutcome::Replayed { index: i as usize });
+        }
+        assert_eq!(rm.matched.get(), 100);
+        assert_eq!(rm.out_of_order_matches.get(), 0);
+        assert_eq!(rm.misses.get(), 0);
+    }
+
+    #[test]
+    fn reordering_within_window_matches() {
+        let mut rm = module(vec![10, 11, 12, 13], 8, 32);
+        assert_eq!(rm.lookup(l(12)), MatchOutcome::Replayed { index: 2 });
+        assert_eq!(rm.lookup(l(10)), MatchOutcome::Replayed { index: 0 });
+        assert_eq!(rm.lookup(l(13)), MatchOutcome::Replayed { index: 3 });
+        assert_eq!(rm.lookup(l(11)), MatchOutcome::Replayed { index: 1 });
+        assert_eq!(rm.out_of_order_matches.get(), 2); // 12 then (10 is oldest) 13 jumped 11
+    }
+
+    #[test]
+    fn skipped_entries_are_retained_then_aged_out() {
+        // Trace has a line (99) the host will never request (cache hit).
+        let mut lines = vec![99u64];
+        lines.extend(0..50);
+        let mut rm = module(lines, 4, 8);
+        for i in 0..50 {
+            assert_eq!(rm.lookup(l(i)), MatchOutcome::Replayed { index: i as usize + 1 });
+        }
+        assert_eq!(rm.aged_out.get(), 1, "the never-requested entry ages out");
+    }
+
+    #[test]
+    fn duplicate_lines_match_in_trace_order() {
+        let mut rm = module(vec![5, 5, 5], 8, 32);
+        assert_eq!(rm.lookup(l(5)), MatchOutcome::Replayed { index: 0 });
+        assert_eq!(rm.lookup(l(5)), MatchOutcome::Replayed { index: 1 });
+        assert_eq!(rm.lookup(l(5)), MatchOutcome::Replayed { index: 2 });
+        assert_eq!(rm.lookup(l(5)), MatchOutcome::OnDemand);
+    }
+
+    #[test]
+    fn spurious_requests_go_on_demand() {
+        let mut rm = module(vec![1, 2, 3], 8, 32);
+        assert_eq!(rm.lookup(l(77)), MatchOutcome::OnDemand);
+        assert_eq!(rm.misses.get(), 1);
+        // The window is unperturbed: normal stream still matches.
+        assert_eq!(rm.lookup(l(1)), MatchOutcome::Replayed { index: 0 });
+    }
+
+    #[test]
+    fn reordering_beyond_window_is_on_demand() {
+        let mut rm = module((0..100).collect(), 4, 1000);
+        // Entry 50 is far beyond a window of 4.
+        assert_eq!(rm.lookup(l(50)), MatchOutcome::OnDemand);
+    }
+
+    #[test]
+    fn window_refills_as_matches_consume() {
+        let mut rm = module((0..10).collect(), 4, 32);
+        assert_eq!(rm.window_len(), 4);
+        assert_eq!(rm.remaining(), 6);
+        let _ = rm.lookup(l(0));
+        assert_eq!(rm.window_len(), 4);
+        assert_eq!(rm.remaining(), 5);
+    }
+
+    #[test]
+    fn exhausted_trace_serves_on_demand() {
+        let mut rm = module(vec![1], 4, 32);
+        assert_eq!(rm.lookup(l(1)), MatchOutcome::Replayed { index: 0 });
+        assert_eq!(rm.window_len(), 0);
+        assert_eq!(rm.lookup(l(1)), MatchOutcome::OnDemand);
+    }
+}

@@ -1,0 +1,151 @@
+//! Access-trace recording for the replay mechanism.
+//!
+//! The paper's emulator runs every experiment twice: a first run records the
+//! application's device-access sequence, which is then loaded into the
+//! FPGA's on-board DRAM so the second (measured) run can stream it ahead of
+//! the host's requests. We reproduce the same two-run discipline: traces are
+//! recorded per core (the paper assigns each core its own address range and
+//! replay module) and are required to be deterministic across runs.
+
+use kus_mem::LineAddr;
+
+/// A per-core recorded sequence of device line accesses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreTrace {
+    lines: Vec<LineAddr>,
+}
+
+impl CoreTrace {
+    /// Creates an empty trace.
+    pub fn new() -> CoreTrace {
+        CoreTrace::default()
+    }
+
+    /// Creates a trace from a pre-built sequence.
+    pub fn from_lines(lines: Vec<LineAddr>) -> CoreTrace {
+        CoreTrace { lines }
+    }
+
+    /// Appends one access.
+    pub fn record(&mut self, line: LineAddr) {
+        self.lines.push(line);
+    }
+
+    /// The recorded sequence.
+    pub fn lines(&self) -> &[LineAddr] {
+        &self.lines
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// The full recording of one run: one trace per core.
+///
+/// # Examples
+///
+/// ```
+/// use kus_device::trace::AccessTrace;
+/// use kus_mem::LineAddr;
+///
+/// let mut t = AccessTrace::new(2);
+/// t.record(0, LineAddr::from_index(10));
+/// t.record(1, LineAddr::from_index(20));
+/// assert_eq!(t.core(0).len(), 1);
+/// assert_eq!(t.total_accesses(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessTrace {
+    cores: Vec<CoreTrace>,
+}
+
+impl AccessTrace {
+    /// Creates an empty trace for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> AccessTrace {
+        assert!(cores > 0, "trace needs at least one core");
+        AccessTrace { cores: vec![CoreTrace::new(); cores] }
+    }
+
+    /// Number of cores recorded.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Records an access by core `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn record(&mut self, core: usize, line: LineAddr) {
+        self.cores[core].record(line);
+    }
+
+    /// The trace of core `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core(&self, core: usize) -> &CoreTrace {
+        &self.cores[core]
+    }
+
+    /// Total accesses across all cores.
+    pub fn total_accesses(&self) -> usize {
+        self.cores.iter().map(|c| c.len()).sum()
+    }
+
+    /// Consumes the recording into per-core traces.
+    pub fn into_cores(self) -> Vec<CoreTrace> {
+        self.cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    #[test]
+    fn records_per_core_independently() {
+        let mut t = AccessTrace::new(3);
+        t.record(0, line(1));
+        t.record(2, line(2));
+        t.record(0, line(3));
+        assert_eq!(t.core(0).lines(), &[line(1), line(3)]);
+        assert!(t.core(1).is_empty());
+        assert_eq!(t.core(2).len(), 1);
+        assert_eq!(t.total_accesses(), 3);
+    }
+
+    #[test]
+    fn determinism_is_just_equality() {
+        let mut a = AccessTrace::new(1);
+        let mut b = AccessTrace::new(1);
+        for i in 0..100 {
+            a.record(0, line(i));
+            b.record(0, line(i));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_core_panics() {
+        let mut t = AccessTrace::new(1);
+        t.record(1, line(0));
+    }
+}

@@ -1,0 +1,148 @@
+//! Async primitives fibers block on: one-shot value cells and cooperative
+//! yields.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::fiber::YieldFlag;
+
+/// The write side of a one-shot value.
+#[derive(Debug)]
+pub struct OneShot<T>(Rc<RefCell<Option<T>>>);
+
+/// The future side of a one-shot value.
+#[derive(Debug)]
+pub struct OneShotFuture<T>(Rc<RefCell<Option<T>>>);
+
+impl<T> OneShot<T> {
+    /// Creates a linked setter/future pair.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kus_fiber::primitives::OneShot;
+    ///
+    /// let (slot, fut) = OneShot::new();
+    /// slot.set(7u32);
+    /// # let _ = fut;
+    /// ```
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> (OneShot<T>, OneShotFuture<T>) {
+        let cell = Rc::new(RefCell::new(None));
+        (OneShot(cell.clone()), OneShotFuture(cell))
+    }
+
+    /// Fills the slot. Awaiting fibers observe the value on their next poll.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was already set.
+    pub fn set(&self, v: T) {
+        let prev = self.0.borrow_mut().replace(v);
+        assert!(prev.is_none(), "one-shot value set twice");
+    }
+
+    /// Whether the value has been set (and not yet consumed).
+    pub fn is_set(&self) -> bool {
+        self.0.borrow().is_some()
+    }
+}
+
+impl<T> Future for OneShotFuture<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
+        match self.0.borrow_mut().take() {
+            Some(v) => Poll::Ready(v),
+            None => Poll::Pending,
+        }
+    }
+}
+
+/// Cooperatively yields once: the fiber reports
+/// [`Yielded`](crate::fiber::PollOutcome::Yielded) and remains runnable.
+///
+/// # Examples
+///
+/// ```
+/// use kus_fiber::fiber::{Fiber, PollOutcome, YieldFlag};
+/// use kus_fiber::primitives::yield_now;
+///
+/// let flag = YieldFlag::new();
+/// let mut f = Fiber::new(0, flag.clone(), {
+///     let flag = flag.clone();
+///     async move { yield_now(&flag).await; }
+/// });
+/// assert_eq!(f.poll(), PollOutcome::Yielded);
+/// assert_eq!(f.poll(), PollOutcome::Done);
+/// ```
+pub fn yield_now(flag: &YieldFlag) -> YieldNow {
+    YieldNow { flag: flag.clone(), polled: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    flag: YieldFlag,
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            self.flag.set();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fiber::{Fiber, PollOutcome};
+
+    #[test]
+    fn oneshot_delivers_once() {
+        let (slot, fut) = OneShot::<u64>::new();
+        assert!(!slot.is_set());
+        slot.set(5);
+        assert!(slot.is_set());
+        let mut f = Fiber::new(0, YieldFlag::new(), async move {
+            assert_eq!(fut.await, 5);
+        });
+        assert_eq!(f.poll(), PollOutcome::Done);
+    }
+
+    #[test]
+    #[should_panic(expected = "set twice")]
+    fn double_set_panics() {
+        let (slot, _fut) = OneShot::<u64>::new();
+        slot.set(1);
+        slot.set(2);
+    }
+
+    #[test]
+    fn interleaved_oneshots() {
+        let (a_slot, a_fut) = OneShot::<u32>::new();
+        let (b_slot, b_fut) = OneShot::<u32>::new();
+        let sum = Rc::new(std::cell::Cell::new(0));
+        let s = sum.clone();
+        let mut f = Fiber::new(0, YieldFlag::new(), async move {
+            let a = a_fut.await;
+            let b = b_fut.await;
+            s.set(a + b);
+        });
+        assert_eq!(f.poll(), PollOutcome::Blocked);
+        a_slot.set(1);
+        assert_eq!(f.poll(), PollOutcome::Blocked);
+        b_slot.set(2);
+        assert_eq!(f.poll(), PollOutcome::Done);
+        assert_eq!(sum.get(), 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! Scheduling policies for the user-level thread library.
+//!
+//! Two policies, matching the paper's two mechanisms:
+//!
+//! - [`RoundRobin`] — the prefetch path: "the scheduler simply switches
+//!   between threads in a round-robin fashion".
+//! - [`Fifo`] — the software-queue path: "the threads are managed in FIFO
+//!   order, ensuring a deterministic access sequence for replay".
+
+use std::collections::VecDeque;
+
+use crate::fiber::FiberId;
+
+/// A scheduler policy: tracks which fibers are ready and picks the next one.
+pub trait SchedPolicy: std::fmt::Debug {
+    /// Adds a fiber (initially ready).
+    fn register(&mut self, id: FiberId);
+    /// Removes a finished fiber.
+    fn deregister(&mut self, id: FiberId);
+    /// Marks a blocked fiber runnable again.
+    fn make_ready(&mut self, id: FiberId);
+    /// Marks a fiber blocked.
+    fn make_blocked(&mut self, id: FiberId);
+    /// Picks the fiber to run after `current` (which may have blocked,
+    /// yielded, or finished). Returns `None` if nothing is ready.
+    fn pick_next(&mut self, current: Option<FiberId>) -> Option<FiberId>;
+    /// Whether any fiber is ready.
+    fn has_ready(&self) -> bool;
+    /// Live (registered, unfinished) fibers.
+    fn live(&self) -> usize;
+}
+
+/// Strict round-robin over registration order — the next fiber in the ring
+/// gets the processor *whether or not it is ready*, exactly like a
+/// cooperative Pth-style scheduler: if the chosen thread's load has not
+/// returned yet, the core simply stalls on it (the hardware MSHR wait) until
+/// the fill arrives.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    ring: Vec<FiberId>,
+    ready: Vec<bool>, // indexed by FiberId
+    live: usize,
+}
+
+impl RoundRobin {
+    /// Creates an empty scheduler.
+    pub fn new() -> RoundRobin {
+        RoundRobin::default()
+    }
+
+    fn slot(&mut self, id: FiberId) -> &mut bool {
+        if self.ready.len() <= id {
+            self.ready.resize(id + 1, false);
+        }
+        &mut self.ready[id]
+    }
+}
+
+impl SchedPolicy for RoundRobin {
+    fn register(&mut self, id: FiberId) {
+        assert!(!self.ring.contains(&id), "fiber {id} registered twice");
+        self.ring.push(id);
+        *self.slot(id) = true;
+        self.live += 1;
+    }
+
+    fn deregister(&mut self, id: FiberId) {
+        if let Some(pos) = self.ring.iter().position(|&f| f == id) {
+            self.ring.remove(pos);
+            self.ready[id] = false;
+            self.live -= 1;
+        }
+    }
+
+    fn make_ready(&mut self, id: FiberId) {
+        *self.slot(id) = true;
+    }
+
+    fn make_blocked(&mut self, id: FiberId) {
+        *self.slot(id) = false;
+    }
+
+    fn pick_next(&mut self, current: Option<FiberId>) -> Option<FiberId> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let start = match current {
+            Some(c) => match self.ring.iter().position(|&f| f == c) {
+                Some(p) => p + 1,
+                None => 0, // current already deregistered
+            },
+            None => 0,
+        };
+        // Strict rotation: hand the core to the successor unconditionally.
+        Some(self.ring[start % self.ring.len()])
+    }
+
+    fn has_ready(&self) -> bool {
+        self.ring.iter().any(|&f| self.ready.get(f).copied().unwrap_or(false))
+    }
+
+    fn live(&self) -> usize {
+        self.live
+    }
+}
+
+/// FIFO ready queue: fibers run in the order they became ready.
+#[derive(Debug, Default)]
+pub struct Fifo {
+    queue: VecDeque<FiberId>,
+    live: usize,
+}
+
+impl Fifo {
+    /// Creates an empty scheduler.
+    pub fn new() -> Fifo {
+        Fifo::default()
+    }
+}
+
+impl SchedPolicy for Fifo {
+    fn register(&mut self, id: FiberId) {
+        self.queue.push_back(id);
+        self.live += 1;
+    }
+
+    fn deregister(&mut self, _id: FiberId) {
+        self.live -= 1;
+    }
+
+    fn make_ready(&mut self, id: FiberId) {
+        debug_assert!(!self.queue.contains(&id), "fiber {id} made ready twice");
+        self.queue.push_back(id);
+    }
+
+    fn make_blocked(&mut self, _id: FiberId) {
+        // Blocking removes a fiber from circulation implicitly: it simply is
+        // not re-queued until make_ready.
+    }
+
+    fn pick_next(&mut self, _current: Option<FiberId>) -> Option<FiberId> {
+        self.queue.pop_front()
+    }
+
+    fn has_ready(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn live(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_in_order() {
+        let mut rr = RoundRobin::new();
+        for i in 0..3 {
+            rr.register(i);
+        }
+        assert_eq!(rr.pick_next(Some(0)), Some(1));
+        assert_eq!(rr.pick_next(Some(1)), Some(2));
+        assert_eq!(rr.pick_next(Some(2)), Some(0));
+    }
+
+    #[test]
+    fn round_robin_is_strict_rotation_even_when_blocked() {
+        let mut rr = RoundRobin::new();
+        for i in 0..3 {
+            rr.register(i);
+        }
+        // Blocking does not change who comes next — the executor stalls on
+        // the successor like the hardware would.
+        rr.make_blocked(1);
+        assert_eq!(rr.pick_next(Some(0)), Some(1));
+        rr.make_blocked(2);
+        rr.make_blocked(0);
+        assert_eq!(rr.pick_next(Some(2)), Some(0));
+        assert!(!rr.has_ready());
+        rr.make_ready(1);
+        assert!(rr.has_ready());
+    }
+
+    #[test]
+    fn round_robin_prefers_successor_of_current() {
+        let mut rr = RoundRobin::new();
+        for i in 0..4 {
+            rr.register(i);
+        }
+        // After fiber 1, fiber 2 runs even though 0 is also ready.
+        assert_eq!(rr.pick_next(Some(1)), Some(2));
+    }
+
+    #[test]
+    fn round_robin_deregister() {
+        let mut rr = RoundRobin::new();
+        for i in 0..3 {
+            rr.register(i);
+        }
+        rr.deregister(1);
+        assert_eq!(rr.live(), 2);
+        assert_eq!(rr.pick_next(Some(0)), Some(2));
+        assert_eq!(rr.pick_next(Some(2)), Some(0));
+    }
+
+    #[test]
+    fn fifo_runs_in_ready_order() {
+        let mut f = Fifo::new();
+        f.register(0);
+        f.register(1);
+        assert_eq!(f.pick_next(None), Some(0));
+        assert_eq!(f.pick_next(None), Some(1));
+        assert!(!f.has_ready());
+        f.make_ready(1);
+        f.make_ready(0);
+        assert_eq!(f.pick_next(None), Some(1));
+        assert_eq!(f.pick_next(None), Some(0));
+    }
+
+    #[test]
+    fn fifo_live_count() {
+        let mut f = Fifo::new();
+        f.register(0);
+        f.register(1);
+        f.deregister(0);
+        assert_eq!(f.live(), 1);
+    }
+}

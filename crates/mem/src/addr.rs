@@ -1,0 +1,173 @@
+//! Dataset addresses and cache-line geometry.
+//!
+//! Applications in this workspace place their *core data structures* in a
+//! single flat **dataset address space**. Whether that space is backed by the
+//! microsecond-latency device or by host DRAM is a platform decision (exactly
+//! the device-vs-DRAM-baseline comparison the paper makes); the application
+//! code is identical either way.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Bytes per cache line on the reproduced host (and per device access).
+pub const LINE_BYTES: u64 = 64;
+
+/// A byte address in the dataset address space.
+///
+/// # Examples
+///
+/// ```
+/// use kus_mem::addr::{Addr, LINE_BYTES};
+///
+/// let a = Addr::new(130);
+/// assert_eq!(a.line().index(), 2);
+/// assert_eq!(a.offset_in_line(), 2);
+/// assert_eq!((a + 62).line().index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Address zero.
+    pub const ZERO: Addr = Addr(0);
+
+    /// Creates an address from a raw byte offset.
+    pub const fn new(raw: u64) -> Addr {
+        Addr(raw)
+    }
+
+    /// The raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this address.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// The byte offset of this address within its cache line.
+    pub const fn offset_in_line(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+
+    /// Whether this address is `align`-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero.
+    pub fn is_aligned(self, align: u64) -> bool {
+        assert!(align > 0, "alignment must be non-zero");
+        self.0 % align == 0
+    }
+
+    /// Rounds this address up to the next multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn align_up(self, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Addr((self.0 + align - 1) & !(align - 1))
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0 - rhs)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A cache-line index (byte address divided by [`LINE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line index.
+    pub const fn from_index(index: u64) -> LineAddr {
+        LineAddr(index)
+    }
+
+    /// The raw line index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of this line.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line#{}", self.0)
+    }
+}
+
+/// Where the dataset physically lives for a given run.
+///
+/// This is the single switch that turns an experiment into its DRAM baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backing {
+    /// The dataset is on the emulated microsecond-latency device.
+    #[default]
+    Device,
+    /// The dataset is in host DRAM (the paper's baseline configuration).
+    Dram,
+}
+
+impl fmt::Display for Backing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backing::Device => write!(f, "device"),
+            Backing::Dram => write!(f, "dram"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_geometry() {
+        assert_eq!(Addr::new(0).line(), LineAddr::from_index(0));
+        assert_eq!(Addr::new(63).line(), LineAddr::from_index(0));
+        assert_eq!(Addr::new(64).line(), LineAddr::from_index(1));
+        assert_eq!(LineAddr::from_index(5).base(), Addr::new(320));
+        assert_eq!(Addr::new(70).offset_in_line(), 6);
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(Addr::new(128).is_aligned(64));
+        assert!(!Addr::new(130).is_aligned(64));
+        assert_eq!(Addr::new(1).align_up(64), Addr::new(64));
+        assert_eq!(Addr::new(64).align_up(64), Addr::new(64));
+    }
+
+    #[test]
+    fn arithmetic_and_display() {
+        let a = Addr::new(0x100);
+        assert_eq!((a + 8).raw(), 0x108);
+        assert_eq!((a - 8).raw(), 0xf8);
+        assert_eq!(a.to_string(), "0x100");
+        assert_eq!(a.line().to_string(), "line#4");
+        assert_eq!(Backing::Device.to_string(), "device");
+    }
+}

@@ -1,0 +1,194 @@
+//! The dataset contents: a flat little-endian byte store.
+//!
+//! Timing and contents are deliberately separated in this workspace. The
+//! timing models (caches, LFBs, PCIe, the device emulator) decide *when* a
+//! value arrives; [`ByteStore`] holds *what* the value is. The FPGA emulator
+//! in the paper needed on-board DRAM for the same reason: pointer-chasing
+//! applications must receive real data or they diverge.
+
+use crate::addr::{Addr, LINE_BYTES};
+
+/// A fixed-capacity, byte-addressable memory holding the dataset contents.
+///
+/// All multi-byte accessors are little-endian (matching the reproduced x86
+/// host).
+///
+/// # Examples
+///
+/// ```
+/// use kus_mem::{addr::Addr, store::ByteStore};
+///
+/// let mut m = ByteStore::new(1024);
+/// m.write_u64(Addr::new(8), 0xdead_beef);
+/// assert_eq!(m.read_u64(Addr::new(8)), 0xdead_beef);
+/// assert_eq!(m.read_u32(Addr::new(8)), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ByteStore {
+    bytes: Vec<u8>,
+}
+
+impl ByteStore {
+    /// Creates a zero-filled store of `capacity` bytes.
+    pub fn new(capacity: usize) -> ByteStore {
+        ByteStore { bytes: vec![0; capacity] }
+    }
+
+    /// Capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the store has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    #[track_caller]
+    fn range(&self, addr: Addr, len: usize) -> std::ops::Range<usize> {
+        let start = addr.raw() as usize;
+        let end = start.checked_add(len).expect("address overflow");
+        assert!(
+            end <= self.bytes.len(),
+            "out-of-bounds access: {addr}+{len} exceeds capacity {}",
+            self.bytes.len()
+        );
+        start..end
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// All accessors panic on out-of-bounds addresses: an OOB dataset access
+    /// is a bug in the workload, not a recoverable condition.
+    #[track_caller]
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        self.bytes[self.range(addr, 1)][0]
+    }
+
+    /// Reads a little-endian `u16`.
+    #[track_caller]
+    pub fn read_u16(&self, addr: Addr) -> u16 {
+        u16::from_le_bytes(self.bytes[self.range(addr, 2)].try_into().expect("sized"))
+    }
+
+    /// Reads a little-endian `u32`.
+    #[track_caller]
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        u32::from_le_bytes(self.bytes[self.range(addr, 4)].try_into().expect("sized"))
+    }
+
+    /// Reads a little-endian `u64`.
+    #[track_caller]
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        u64::from_le_bytes(self.bytes[self.range(addr, 8)].try_into().expect("sized"))
+    }
+
+    /// Writes one byte.
+    #[track_caller]
+    pub fn write_u8(&mut self, addr: Addr, v: u8) {
+        let r = self.range(addr, 1);
+        self.bytes[r][0] = v;
+    }
+
+    /// Writes a little-endian `u16`.
+    #[track_caller]
+    pub fn write_u16(&mut self, addr: Addr, v: u16) {
+        let r = self.range(addr, 2);
+        self.bytes[r].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    #[track_caller]
+    pub fn write_u32(&mut self, addr: Addr, v: u32) {
+        let r = self.range(addr, 4);
+        self.bytes[r].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    #[track_caller]
+    pub fn write_u64(&mut self, addr: Addr, v: u64) {
+        let r = self.range(addr, 8);
+        self.bytes[r].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Copies bytes out of the store.
+    #[track_caller]
+    pub fn read_bytes(&self, addr: Addr, out: &mut [u8]) {
+        let r = self.range(addr, out.len());
+        out.copy_from_slice(&self.bytes[r]);
+    }
+
+    /// Copies bytes into the store.
+    #[track_caller]
+    pub fn write_bytes(&mut self, addr: Addr, data: &[u8]) {
+        let r = self.range(addr, data.len());
+        self.bytes[r].copy_from_slice(data);
+    }
+
+    /// Reads the full 64-byte cache line containing `addr`.
+    #[track_caller]
+    pub fn read_line(&self, addr: Addr) -> [u8; LINE_BYTES as usize] {
+        let mut out = [0u8; LINE_BYTES as usize];
+        self.read_bytes(addr.line().base(), &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut m = ByteStore::new(256);
+        m.write_u8(Addr::new(0), 0xab);
+        m.write_u16(Addr::new(2), 0x1234);
+        m.write_u32(Addr::new(4), 0xdeadbeef);
+        m.write_u64(Addr::new(8), u64::MAX - 1);
+        assert_eq!(m.read_u8(Addr::new(0)), 0xab);
+        assert_eq!(m.read_u16(Addr::new(2)), 0x1234);
+        assert_eq!(m.read_u32(Addr::new(4)), 0xdeadbeef);
+        assert_eq!(m.read_u64(Addr::new(8)), u64::MAX - 1);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = ByteStore::new(64);
+        m.write_u32(Addr::new(0), 0x0a0b0c0d);
+        assert_eq!(m.read_u8(Addr::new(0)), 0x0d);
+        assert_eq!(m.read_u8(Addr::new(3)), 0x0a);
+    }
+
+    #[test]
+    fn byte_slices() {
+        let mut m = ByteStore::new(128);
+        m.write_bytes(Addr::new(10), b"hello");
+        let mut buf = [0u8; 5];
+        m.read_bytes(Addr::new(10), &mut buf);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn whole_line_read() {
+        let mut m = ByteStore::new(256);
+        m.write_u64(Addr::new(64), 7);
+        let line = m.read_line(Addr::new(100)); // same line as 64..128
+        assert_eq!(u64::from_le_bytes(line[0..8].try_into().unwrap()), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds")]
+    fn oob_read_panics() {
+        let m = ByteStore::new(8);
+        m.read_u64(Addr::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds")]
+    fn oob_write_panics() {
+        let mut m = ByteStore::new(8);
+        m.write_u32(Addr::new(6), 1);
+    }
+}

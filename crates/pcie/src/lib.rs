@@ -1,0 +1,22 @@
+//! # kus-pcie — the PCIe Gen2 x8 interconnect model
+//!
+//! The reproduced platform attaches its microsecond-latency device emulator
+//! over PCIe Gen2 x8 (≈4 GB/s per direction, ≈800 ns unloaded round trip).
+//! This crate models the link at transaction-layer-packet granularity:
+//!
+//! - [`tlp`]: packet kinds and wire-size accounting (24 B header per TLP).
+//! - [`link`]: two independently serialized directions with propagation
+//!   delay and byte/packet statistics.
+//! - [`dma`]: the device-side DMA engine (descriptor reads, data writes,
+//!   completion writes) used by the software-managed-queue interface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dma;
+pub mod link;
+pub mod tlp;
+
+pub use dma::DmaEngine;
+pub use link::{LinkConfig, LinkDir, PcieLink};
+pub use tlp::{Tlp, TlpKind, TLP_HEADER_BYTES};

@@ -1,0 +1,377 @@
+//! The event queue and simulation driver.
+//!
+//! [`Sim`] owns a priority queue of scheduled events. An event is an arbitrary
+//! `FnOnce(&mut Sim)` closure; components are shared as `Rc<RefCell<_>>`
+//! handles that the closures capture. Events scheduled for the same instant
+//! fire in scheduling order (a monotone sequence number breaks ties), which
+//! makes every run bit-deterministic.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::{Span, Time};
+
+/// A boxed event callback.
+pub type EventFn = Box<dyn FnOnce(&mut Sim)>;
+
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    f: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Outcome of [`Sim::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The configured event budget was exhausted before the queue drained.
+    BudgetExhausted,
+    /// The time horizon was reached before the queue drained.
+    HorizonReached,
+}
+
+/// The discrete-event simulation driver.
+///
+/// # Examples
+///
+/// ```
+/// use kus_sim::{Sim, time::Span};
+///
+/// let mut sim = Sim::new();
+/// let hits = std::rc::Rc::new(std::cell::Cell::new(0u32));
+/// let h = hits.clone();
+/// sim.schedule_in(Span::from_ns(10), move |sim| {
+///     h.set(h.get() + 1);
+///     let h2 = h.clone();
+///     sim.schedule_in(Span::from_ns(5), move |_| h2.set(h2.get() + 1));
+/// });
+/// sim.run();
+/// assert_eq!(hits.get(), 2);
+/// assert_eq!(sim.now().as_ns(), 15);
+/// ```
+pub struct Sim {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    executed: u64,
+    horizon: Time,
+    budget: u64,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl Default for Sim {
+    fn default() -> Sim {
+        Sim::new()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation at time zero with no horizon and a very
+    /// large default event budget (a runaway-loop backstop).
+    pub fn new() -> Sim {
+        Sim {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+            horizon: Time::MAX,
+            budget: u64::MAX,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops [`run`](Sim::run) once virtual time would pass `t`.
+    pub fn set_horizon(&mut self, t: Time) {
+        self.horizon = t;
+    }
+
+    /// Stops [`run`](Sim::run) after `n` further events.
+    pub fn set_event_budget(&mut self, n: u64) {
+        self.budget = n;
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: Time, f: impl FnOnce(&mut Sim) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, f: Box::new(f) });
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Span, f: impl FnOnce(&mut Sim) + 'static) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedules `f` to run at the current instant, after all events already
+    /// scheduled for this instant.
+    pub fn schedule_now(&mut self, f: impl FnOnce(&mut Sim) + 'static) {
+        self.schedule_at(self.now, f);
+    }
+
+    /// Executes exactly one event if one is pending within the horizon.
+    /// Returns whether an event ran.
+    pub fn step(&mut self) -> bool {
+        match self.queue.peek() {
+            Some(ev) if ev.at <= self.horizon => {}
+            _ => return false,
+        }
+        let ev = self.queue.pop().expect("peeked event vanished");
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        self.executed += 1;
+        (ev.f)(self);
+        true
+    }
+
+    /// Runs events until the queue drains, the horizon is reached, or the
+    /// event budget is exhausted.
+    pub fn run(&mut self) -> RunOutcome {
+        let mut remaining = self.budget;
+        loop {
+            if remaining == 0 {
+                return RunOutcome::BudgetExhausted;
+            }
+            if !self.step() {
+                return if self.queue.is_empty() {
+                    RunOutcome::Drained
+                } else {
+                    RunOutcome::HorizonReached
+                };
+            }
+            remaining -= 1;
+        }
+    }
+
+    /// Runs until `pred` returns true (checked after each event), the queue
+    /// drains, or limits hit. Returns true if the predicate was satisfied.
+    pub fn run_until(&mut self, mut pred: impl FnMut() -> bool) -> bool {
+        loop {
+            if pred() {
+                return true;
+            }
+            if !self.step() {
+                return pred();
+            }
+        }
+    }
+}
+
+/// A cancellable handle for a scheduled event.
+///
+/// The DES kernel keeps no direct reference from handle to queue entry;
+/// instead the token is shared with the closure, which checks it on firing.
+/// This is the standard "lazy deletion" technique: O(1) cancel, no heap
+/// surgery.
+///
+/// # Examples
+///
+/// ```
+/// use kus_sim::{Sim, event::Cancel, time::Span};
+///
+/// let mut sim = Sim::new();
+/// let fired = std::rc::Rc::new(std::cell::Cell::new(false));
+/// let f = fired.clone();
+/// let cancel = Cancel::new();
+/// let c = cancel.clone();
+/// sim.schedule_in(Span::from_ns(1), move |_| {
+///     if !c.is_cancelled() {
+///         f.set(true);
+///     }
+/// });
+/// cancel.cancel();
+/// sim.run();
+/// assert!(!fired.get());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cancel(Rc<Cell<bool>>);
+
+impl Cancel {
+    /// Creates a live (non-cancelled) token.
+    pub fn new() -> Cancel {
+        Cancel::default()
+    }
+
+    /// Marks the token cancelled.
+    pub fn cancel(&self) {
+        self.0.set(true);
+    }
+
+    /// Whether [`cancel`](Cancel::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    fn record(log: &Rc<RefCell<Vec<u32>>>, v: u32) -> impl FnOnce(&mut Sim) {
+        let log = log.clone();
+        move |_| log.borrow_mut().push(v)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.schedule_in(Span::from_ns(30), record(&log, 3));
+        sim.schedule_in(Span::from_ns(10), record(&log, 1));
+        sim.schedule_in(Span::from_ns(20), record(&log, 2));
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(sim.now(), Time::ZERO + Span::from_ns(30));
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for v in 0..16 {
+            sim.schedule_in(Span::from_ns(5), record(&log, v));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_now_runs_after_existing_same_instant_events() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l2 = log.clone();
+        sim.schedule_in(Span::ZERO, {
+            let log = log.clone();
+            move |sim| {
+                log.borrow_mut().push(1);
+                sim.schedule_now(record(&l2, 3));
+            }
+        });
+        sim.schedule_in(Span::ZERO, record(&log, 2));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn events_can_chain() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        sim.schedule_in(Span::from_ns(1), move |sim| {
+            l.borrow_mut().push(1);
+            let l2 = l.clone();
+            sim.schedule_in(Span::from_ns(1), move |_| l2.borrow_mut().push(2));
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2]);
+        assert_eq!(sim.now().as_ns(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Sim::new();
+        sim.schedule_in(Span::from_ns(10), |sim| {
+            sim.schedule_at(Time::from_ps(1), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn horizon_stops_run() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.schedule_in(Span::from_ns(1), record(&log, 1));
+        sim.schedule_in(Span::from_ns(100), record(&log, 2));
+        sim.set_horizon(Time::ZERO + Span::from_ns(50));
+        assert_eq!(sim.run(), RunOutcome::HorizonReached);
+        assert_eq!(*log.borrow(), vec![1]);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn budget_stops_run() {
+        let mut sim = Sim::new();
+        fn reschedule(sim: &mut Sim) {
+            sim.schedule_in(Span::from_ns(1), reschedule);
+        }
+        sim.schedule_in(Span::from_ns(1), reschedule);
+        sim.set_event_budget(100);
+        assert_eq!(sim.run(), RunOutcome::BudgetExhausted);
+        assert_eq!(sim.executed(), 100);
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mut sim = Sim::new();
+        let count = Rc::new(Cell::new(0u32));
+        for _ in 0..10 {
+            let c = count.clone();
+            sim.schedule_in(Span::from_ns(1), move |_| c.set(c.get() + 1));
+        }
+        let c = count.clone();
+        assert!(sim.run_until(move || c.get() >= 4));
+        assert_eq!(count.get(), 4);
+    }
+
+    #[test]
+    fn cancel_token() {
+        let c = Cancel::new();
+        assert!(!c.is_cancelled());
+        let c2 = c.clone();
+        c2.cancel();
+        assert!(c.is_cancelled());
+    }
+}

@@ -1,0 +1,39 @@
+//! # kus-sim — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the *killer-usec* workspace (a reproduction of
+//! *Taming the Killer Microsecond*, MICRO 2018). Every other crate models its
+//! hardware or software component on top of this kernel.
+//!
+//! - [`time`]: integer-picosecond [`Time`]/[`Span`] newtypes and a cycle
+//!   [`Clock`](time::Clock).
+//! - [`event`]: the [`Sim`] driver — a priority queue of `FnOnce(&mut Sim)`
+//!   closures with deterministic same-instant ordering.
+//! - [`rng`]: seeded, label-splittable random streams.
+//! - [`stats`]: counters, occupancy gauges, span histograms, rate helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use kus_sim::{Sim, time::Span};
+//! use std::{cell::Cell, rc::Rc};
+//!
+//! let mut sim = Sim::new();
+//! let done = Rc::new(Cell::new(false));
+//! let d = done.clone();
+//! sim.schedule_in(Span::from_us(1), move |_| d.set(true));
+//! sim.run();
+//! assert!(done.get());
+//! assert_eq!(sim.now().as_ns(), 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{RunOutcome, Sim};
+pub use rng::SimRng;
+pub use time::{Clock, Span, Time};

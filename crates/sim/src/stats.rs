@@ -1,0 +1,382 @@
+//! Measurement primitives: counters, gauges with time-weighted averages,
+//! histograms, and span accumulators.
+//!
+//! These are deliberately simple value types; components embed them directly
+//! and experiments read them out after a run.
+
+use std::fmt;
+
+use crate::time::{Span, Time};
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use kus_sim::stats::Counter;
+///
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An occupancy gauge that tracks the time-weighted average and maximum of an
+/// integer level (e.g., queue occupancy).
+///
+/// Call [`set`](Gauge::set) whenever the level changes; the gauge integrates
+/// level × time between updates.
+///
+/// # Examples
+///
+/// ```
+/// use kus_sim::stats::Gauge;
+/// use kus_sim::time::{Span, Time};
+///
+/// let mut g = Gauge::new();
+/// g.set(Time::ZERO, 2);
+/// g.set(Time::ZERO + Span::from_ns(10), 4);
+/// assert_eq!(g.max(), 4);
+/// assert!((g.time_weighted_avg(Time::ZERO + Span::from_ns(20)) - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauge {
+    level: u64,
+    max: u64,
+    last_change: Time,
+    weighted_ps: u128,
+}
+
+impl Gauge {
+    /// Creates a gauge at level zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Records that the level changed to `level` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update.
+    pub fn set(&mut self, now: Time, level: u64) {
+        assert!(now >= self.last_change, "gauge updated out of order");
+        let dt = (now - self.last_change).as_ps();
+        self.weighted_ps += self.level as u128 * dt as u128;
+        self.last_change = now;
+        self.level = level;
+        self.max = self.max.max(level);
+    }
+
+    /// Adjusts the level by a signed delta at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level would underflow.
+    pub fn adjust(&mut self, now: Time, delta: i64) {
+        let next = if delta >= 0 {
+            self.level + delta as u64
+        } else {
+            self.level.checked_sub((-delta) as u64).expect("gauge underflow")
+        };
+        self.set(now, next);
+    }
+
+    /// Current level.
+    pub fn level(&self) -> u64 {
+        self.level
+    }
+
+    /// Maximum level ever observed.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Time-weighted average level over `[0, now]`.
+    pub fn time_weighted_avg(&self, now: Time) -> f64 {
+        let total = now.as_ps();
+        if total == 0 {
+            return self.level as f64;
+        }
+        let tail = self.level as u128 * now.saturating_since(self.last_change).as_ps() as u128;
+        (self.weighted_ps + tail) as f64 / total as f64
+    }
+}
+
+/// A fixed-bucket histogram of [`Span`] samples (log2 nanosecond buckets),
+/// also tracking exact count, sum, min, and max.
+///
+/// # Examples
+///
+/// ```
+/// use kus_sim::stats::SpanHistogram;
+/// use kus_sim::time::Span;
+///
+/// let mut h = SpanHistogram::new();
+/// h.record(Span::from_ns(100));
+/// h.record(Span::from_ns(300));
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.mean(), Span::from_ns(200));
+/// assert!(h.quantile(0.99) >= Span::from_ns(256));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpanHistogram {
+    /// bucket i counts samples with ns in [2^(i-1), 2^i), bucket 0 is [0,1).
+    buckets: Vec<u64>,
+    count: u64,
+    sum: Span,
+    min: Span,
+    max: Span,
+}
+
+const SPAN_BUCKETS: usize = 48;
+
+impl Default for SpanHistogram {
+    fn default() -> Self {
+        SpanHistogram::new()
+    }
+}
+
+impl SpanHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> SpanHistogram {
+        SpanHistogram {
+            buckets: vec![0; SPAN_BUCKETS],
+            count: 0,
+            sum: Span::ZERO,
+            min: Span::from_ps(u64::MAX),
+            max: Span::ZERO,
+        }
+    }
+
+    fn bucket_of(span: Span) -> usize {
+        let ns = span.as_ns();
+        if ns == 0 {
+            0
+        } else {
+            ((64 - ns.leading_zeros()) as usize).min(SPAN_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, span: Span) {
+        self.buckets[Self::bucket_of(span)] += 1;
+        self.count += 1;
+        self.sum += span;
+        self.min = self.min.min(span);
+        self.max = self.max.max(span);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> Span {
+        self.sum
+    }
+
+    /// Exact arithmetic mean (zero if empty).
+    pub fn mean(&self) -> Span {
+        if self.count == 0 {
+            Span::ZERO
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Smallest sample (zero if empty).
+    pub fn min(&self) -> Span {
+        if self.count == 0 {
+            Span::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Span {
+        self.max
+    }
+
+    /// Merges another histogram into this one (bucket-wise).
+    pub fn merge(&mut self, other: &SpanHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// An upper bound for the `q`-quantile, at bucket resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Span {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return Span::ZERO;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper_ns = if i == 0 { 1 } else { 1u64 << i };
+                return Span::from_ns(upper_ns).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Throughput helper: events per second over a window of virtual time.
+///
+/// # Examples
+///
+/// ```
+/// use kus_sim::stats::rate_per_sec;
+/// use kus_sim::time::Span;
+///
+/// assert_eq!(rate_per_sec(1000, Span::from_us(1)), 1e9);
+/// ```
+pub fn rate_per_sec(events: u64, elapsed: Span) -> f64 {
+    if elapsed.is_zero() {
+        return 0.0;
+    }
+    events as f64 / (elapsed.as_ps() as f64 * 1e-12)
+}
+
+/// Bytes-per-second helper over virtual time.
+pub fn bytes_per_sec(bytes: u64, elapsed: Span) -> f64 {
+    rate_per_sec(bytes, elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+        assert_eq!(c.to_string(), "11");
+    }
+
+    #[test]
+    fn gauge_time_weighted_average() {
+        let mut g = Gauge::new();
+        let t = |ns| Time::ZERO + Span::from_ns(ns);
+        g.set(t(0), 10);
+        g.set(t(10), 0);
+        // 10 for 10ns then 0 for 10ns => avg 5 at t=20.
+        assert!((g.time_weighted_avg(t(20)) - 5.0).abs() < 1e-9);
+        assert_eq!(g.max(), 10);
+        assert_eq!(g.level(), 0);
+    }
+
+    #[test]
+    fn gauge_adjust() {
+        let mut g = Gauge::new();
+        g.adjust(Time::ZERO, 3);
+        g.adjust(Time::ZERO + Span::from_ns(1), -2);
+        assert_eq!(g.level(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gauge underflow")]
+    fn gauge_underflow_panics() {
+        let mut g = Gauge::new();
+        g.adjust(Time::ZERO, -1);
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = SpanHistogram::new();
+        for ns in [1u64, 2, 3, 4, 100] {
+            h.record(Span::from_ns(ns));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Span::from_ns(1));
+        assert_eq!(h.max(), Span::from_ns(100));
+        assert_eq!(h.mean(), Span::from_ns(22));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = SpanHistogram::new();
+        for ns in 1..=1000u64 {
+            h.record(Span::from_ns(ns));
+        }
+        let q50 = h.quantile(0.5);
+        let q90 = h.quantile(0.9);
+        let q100 = h.quantile(1.0);
+        assert!(q50 <= q90 && q90 <= q100);
+        assert_eq!(q100, Span::from_ns(1000));
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = SpanHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Span::ZERO);
+        assert_eq!(h.min(), Span::ZERO);
+        assert_eq!(h.quantile(0.5), Span::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = SpanHistogram::new();
+        let mut b = SpanHistogram::new();
+        a.record(Span::from_ns(10));
+        b.record(Span::from_ns(1000));
+        b.record(Span::from_ns(20));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Span::from_ns(10));
+        assert_eq!(a.max(), Span::from_ns(1000));
+        assert_eq!(a.sum(), Span::from_ns(1030));
+        let empty = SpanHistogram::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Span::from_ns(10));
+    }
+
+    #[test]
+    fn rates() {
+        assert_eq!(rate_per_sec(0, Span::ZERO), 0.0);
+        assert!((bytes_per_sec(4_000_000_000, Span::from_us(1_000_000)) - 4e9).abs() < 1.0);
+    }
+}

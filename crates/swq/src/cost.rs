@@ -1,0 +1,115 @@
+//! Host-side software costs of operating the queues.
+//!
+//! The paper's key finding about application-managed queues is that the
+//! *software* pays for what the hardware no longer does: building
+//! descriptors, checking the doorbell-request flag (and occasionally paying
+//! a real MMIO doorbell), scanning the completion queue, and dispatching
+//! completions back to fibers. Those costs — not any hardware queue — cap
+//! the mechanism at ≈50 % of the DRAM baseline (Fig. 7).
+//!
+//! Batching matters: Fig. 9 shows the 2-read and 4-read variants peaking at
+//! ≈45 % and ≈35 % — the overhead "increases with the number of device
+//! accesses, even when the accesses are batched", but clearly sub-linearly.
+//! The cost model therefore separates **per-batch** work (the first
+//! descriptor's ring setup, the completion-queue scan) from **per-
+//! descriptor** increments.
+//!
+//! Each cost is charged as serialized core-busy time by the execution model.
+
+use kus_sim::Span;
+
+/// Per-operation host software costs for the software-managed queue path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwqCosts {
+    /// Building and storing the first descriptor of a batch: ring-tail
+    /// bookkeeping, doorbell-flag check, memory ordering.
+    pub enqueue_first: Span,
+    /// Each additional descriptor of the same batch (the ring is hot).
+    pub enqueue_next: Span,
+    /// One scan of the completion queue (paid once per completion burst,
+    /// and by idle polls that find nothing).
+    pub poll_scan: Span,
+    /// Handling one found completion: reading the entry, locating the
+    /// requesting fiber, marking its value ready.
+    pub completion_each: Span,
+    /// An uncached MMIO doorbell write (rarely paid thanks to the
+    /// doorbell-request flag, but expensive when it is).
+    pub doorbell: Span,
+}
+
+impl SwqCosts {
+    /// Costs calibrated to the paper's single-core peaks: ≈50 % of the DRAM
+    /// baseline at MLP 1, ≈45 % at MLP 2, ≈35 % at MLP 4 (Figs. 7 and 9);
+    /// this parameterization measures 0.51 / 0.50 / 0.34 on the committed
+    /// microbenchmark sweep.
+    pub fn optimized() -> SwqCosts {
+        SwqCosts {
+            enqueue_first: Span::from_ns(150),
+            enqueue_next: Span::from_ns(52),
+            poll_scan: Span::from_ns(55),
+            completion_each: Span::from_ns(26),
+            doorbell: Span::from_ns(300),
+        }
+    }
+
+    /// The serial software time of one batch of `mlp` accesses
+    /// (enqueues + one scan + completion handling), excluding doorbells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mlp` is zero.
+    pub fn per_batch(&self, mlp: u64) -> Span {
+        assert!(mlp > 0, "a batch has at least one access");
+        self.enqueue_first
+            + self.enqueue_next * (mlp - 1)
+            + self.poll_scan
+            + self.completion_each * mlp
+    }
+
+    /// The steady-state software cost per access at a given batch size.
+    pub fn per_access(&self, mlp: u64) -> Span {
+        self.per_batch(mlp) / mlp
+    }
+}
+
+impl Default for SwqCosts {
+    fn default() -> SwqCosts {
+        SwqCosts::optimized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batching_amortizes_sublinearly() {
+        let c = SwqCosts::optimized();
+        let t1 = c.per_batch(1);
+        let t2 = c.per_batch(2);
+        let t4 = c.per_batch(4);
+        assert!(t2 < t1 * 2, "batch of 2 must beat two batches of 1");
+        assert!(t4 < t2 * 2);
+        // The increments match the paper's 50/45/35 peak structure:
+        // per-iteration time grows clearly sub-linearly with MLP.
+        assert!(t2.as_ns_f64() / t1.as_ns_f64() < 1.5);
+    }
+
+    #[test]
+    fn per_access_decreases_with_batching() {
+        let c = SwqCosts::optimized();
+        assert!(c.per_access(4) < c.per_access(2));
+        assert!(c.per_access(2) < c.per_access(1));
+    }
+
+    #[test]
+    fn default_is_optimized() {
+        assert_eq!(SwqCosts::default(), SwqCosts::optimized());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access")]
+    fn zero_batch_rejected() {
+        let _ = SwqCosts::optimized().per_batch(0);
+    }
+}

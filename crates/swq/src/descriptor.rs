@@ -1,0 +1,58 @@
+//! Request and completion descriptors for the application-managed
+//! software-queue interface.
+//!
+//! Each request descriptor names the dataset address to read and a host
+//! response-buffer slot; the device answers by DMA-writing the data to the
+//! response buffer and then a completion entry naming the same tag (the
+//! device guarantees that ordering). Sizes match the reproduced protocol:
+//! 16-byte descriptors fetched in bursts of eight, 8-byte completion entries.
+
+use kus_mem::Addr;
+
+/// Bytes of one request descriptor in host memory.
+pub const DESCRIPTOR_BYTES: u64 = 16;
+
+/// Bytes of one completion-queue entry in host memory.
+pub const COMPLETION_BYTES: u64 = 8;
+
+/// Descriptors the device fetches per burst read ("the request fetcher
+/// retrieves descriptors in bursts of eight").
+pub const FETCH_BURST: usize = 8;
+
+/// A request descriptor: "each descriptor contains the address to read, and
+/// the target address where the response data is to be stored".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Descriptor {
+    /// Dataset address to read (the device returns the containing line).
+    pub read_addr: Addr,
+    /// Caller-chosen tag identifying the requester (echoed in the completion;
+    /// stands in for the response-buffer slot index).
+    pub tag: u64,
+}
+
+/// A completion-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Completion {
+    /// The tag of the completed descriptor.
+    pub tag: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_and_sizes_match_paper() {
+        assert_eq!(FETCH_BURST, 8);
+        assert_eq!(DESCRIPTOR_BYTES * FETCH_BURST as u64, 128);
+        assert_eq!(COMPLETION_BYTES, 8);
+    }
+
+    #[test]
+    fn descriptor_is_plain_data() {
+        let d = Descriptor { read_addr: Addr::new(64), tag: 7 };
+        let e = d;
+        assert_eq!(d, e);
+        assert_eq!(Completion { tag: d.tag }.tag, 7);
+    }
+}

@@ -1,0 +1,45 @@
+//! Developer tool: sweeps the software-queue cost parameters against the
+//! paper's target peaks (50 / 45 / 35 % at MLP 1/2/4) — how the committed
+//! `SwqCosts::optimized()` values were calibrated.
+//!
+//! ```text
+//! cargo run --release -p kus-workloads --example swq_calibration -- 150 52 55 26
+//! ```
+
+use kus_core::prelude::*;
+use kus_sim::Span;
+use kus_swq::SwqCosts;
+use kus_workloads::{Microbench, MicrobenchConfig};
+
+fn peak(costs: SwqCosts, mlp: usize) -> f64 {
+    let mk = || Microbench::new(MicrobenchConfig {
+        work_count: 100, mlp, iters_per_fiber: 400 / mlp as u64, writes_per_iter: 0,
+    });
+    let mut base_w = mk();
+    let base = Platform::new(PlatformConfig::paper_default().without_replay_device())
+        .run_baseline(&mut base_w);
+    let mut best: f64 = 0.0;
+    for t in [8usize, 16, 24] {
+        let mut cfg = PlatformConfig::paper_default()
+            .without_replay_device()
+            .mechanism(Mechanism::SoftwareQueue)
+            .fibers_per_core(t);
+        cfg.swq = costs;
+        let r = Platform::new(cfg).run(&mut mk());
+        best = best.max(r.normalized_to(&base));
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<u64> = std::env::args().skip(1).map(|a| a.parse().unwrap()).collect();
+    let c = SwqCosts {
+        enqueue_first: Span::from_ns(args[0]),
+        enqueue_next: Span::from_ns(args[1]),
+        poll_scan: Span::from_ns(args[2]),
+        completion_each: Span::from_ns(args[3]),
+        doorbell: Span::from_ns(300),
+    };
+    println!("peaks: m1={:.3} m2={:.3} m4={:.3} (targets 0.50 0.45 0.35)",
+        peak(c, 1), peak(c, 2), peak(c, 4));
+}

@@ -1,0 +1,222 @@
+//! The BFS benchmark: Graph500 breadth-first traversal with the graph's CSR
+//! arrays on the microsecond-latency device.
+//!
+//! As in the paper, the traversal's *core data structure accesses* are kept
+//! and the surrounding frontier bookkeeping is replaced by the benign work
+//! loop. The visitation schedule is the level-order BFS computed during the
+//! build (Graph500 validates traversals separately for the same reason);
+//! threads process scheduled vertices round-robin, preserving the access
+//! pattern — offset reads, then data-dependent edge reads — while keeping
+//! the access sequence deterministic, which the record/replay methodology
+//! requires ("the threads are managed in FIFO order, ensuring a
+//! deterministic access sequence for replay").
+//!
+//! Data dependences limit batching to **two reads** (the paper's BFS batch):
+//! a vertex's two offsets are read together, and its edge lines are read in
+//! pairs; the edge addresses depend on the offsets just read.
+
+use kus_core::prelude::*;
+use kus_mem::layout::U64Array;
+use kus_mem::{Addr, LINE_BYTES};
+
+use crate::graph::{kronecker_edges, CsrGraph, KroneckerConfig};
+
+/// Configuration of the BFS benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BfsConfig {
+    /// Graph scale (2^scale vertices).
+    pub scale: u32,
+    /// Edges per vertex.
+    pub edge_factor: u32,
+    /// BFS root.
+    pub root: u64,
+    /// Cap on scheduled vertex visits (0 = the whole traversal); sweeps use
+    /// this to bound run time.
+    pub max_visits: u64,
+    /// Work instructions per visited vertex.
+    pub work_per_vertex: u32,
+    /// Work instructions per scanned edge.
+    pub work_per_edge: u32,
+}
+
+impl Default for BfsConfig {
+    fn default() -> BfsConfig {
+        BfsConfig {
+            scale: 12,
+            edge_factor: 16,
+            root: 0,
+            max_visits: 0,
+            work_per_vertex: 60,
+            work_per_edge: 4,
+        }
+    }
+}
+
+/// The BFS workload.
+#[derive(Debug)]
+pub struct BfsWorkload {
+    config: BfsConfig,
+    offsets: Option<U64Array>,
+    edges: Option<U64Array>,
+    schedule: Vec<u64>,
+    /// Expected sum of neighbour ids per scheduled vertex (verification).
+    expected_sums: Vec<u64>,
+    total_stripes: usize,
+}
+
+impl BfsWorkload {
+    /// Creates the workload.
+    pub fn new(config: BfsConfig) -> BfsWorkload {
+        BfsWorkload {
+            config,
+            offsets: None,
+            edges: None,
+            schedule: Vec::new(),
+            expected_sums: Vec::new(),
+            total_stripes: 1,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> BfsConfig {
+        self.config
+    }
+
+    /// Vertices the measured traversal visits.
+    pub fn scheduled_visits(&self) -> usize {
+        self.schedule.len()
+    }
+}
+
+impl Workload for BfsWorkload {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn prepare(&mut self, cores: usize, fibers_per_core: usize) {
+        self.total_stripes = cores * fibers_per_core;
+    }
+
+    fn build(&mut self, data: &mut Dataset) {
+        let cfg = self.config;
+        let mut rng = data.rng("bfs-graph");
+        let edge_list = kronecker_edges(
+            KroneckerConfig {
+                scale: cfg.scale,
+                edge_factor: cfg.edge_factor,
+                ..KroneckerConfig::graph500(cfg.scale)
+            },
+            &mut rng,
+        );
+        let n = 1u64 << cfg.scale;
+        let g = CsrGraph::from_edges(n, &edge_list);
+
+        // CSR arrays onto the device.
+        let offsets = U64Array::alloc(data.alloc(), n + 1).expect("dataset too small (offsets)");
+        let edges =
+            U64Array::alloc(data.alloc(), g.edge_count().max(1)).expect("dataset too small (edges)");
+        {
+            let store = data.store();
+            let mut s = store.borrow_mut();
+            for (i, &o) in g.offsets().iter().enumerate() {
+                s.write_u64(offsets.addr_of(i as u64), o);
+            }
+            for (i, &e) in g.edges().iter().enumerate() {
+                s.write_u64(edges.addr_of(i as u64), e);
+            }
+        }
+
+        let mut schedule = g.bfs_order(cfg.root);
+        if cfg.max_visits > 0 {
+            schedule.truncate(cfg.max_visits as usize);
+        }
+        self.expected_sums = schedule
+            .iter()
+            .map(|&v| g.neighbours(v).iter().sum::<u64>())
+            .collect();
+        self.schedule = schedule;
+        self.offsets = Some(offsets);
+        self.edges = Some(edges);
+    }
+
+    fn spawn(&self, core: usize, fiber: usize, fibers_total: usize, ctx: MemCtx) -> FiberFuture {
+        let cfg = self.config;
+        let offsets = self.offsets.expect("build before spawn");
+        let edges = self.edges.expect("build before spawn");
+        let stripe = core * fibers_total + fiber;
+        // Round-robin partition of the visitation schedule: each scheduled
+        // vertex is processed by exactly one (core, fiber) stripe.
+        let mine: Vec<(u64, u64)> = self
+            .schedule
+            .iter()
+            .copied()
+            .zip(self.expected_sums.iter().copied())
+            .skip(stripe)
+            .step_by(self.total_stripes)
+            .collect();
+        Box::pin(async move {
+            for (v, expected_sum) in mine {
+                // The two offset reads (the paper's BFS batch of two).
+                let offs = ctx
+                    .dev_read_batch(&[offsets.addr_of(v), offsets.addr_of(v + 1)])
+                    .await;
+                let (start, end) = (offs[0], offs[1]);
+                assert!(start <= end, "corrupt offsets for vertex {v}");
+                ctx.work(cfg.work_per_vertex);
+                if start == end {
+                    continue;
+                }
+                // Edge lines, in data-dependent pairs.
+                let first_line = edges.addr_of(start).line();
+                let last_line = edges.addr_of(end - 1).line();
+                let mut sum = 0u64;
+                let mut line = first_line.index();
+                while line <= last_line.index() {
+                    let mut batch = vec![Addr::new(line * LINE_BYTES)];
+                    if line + 1 <= last_line.index() {
+                        batch.push(Addr::new((line + 1) * LINE_BYTES));
+                    }
+                    let _ = ctx.dev_read_batch(&batch).await;
+                    line += batch.len() as u64;
+                }
+                // Neighbour words within the fetched lines are L1 hits.
+                let mut edges_scanned = 0u32;
+                for e in start..end {
+                    sum = sum.wrapping_add(ctx.l1_read_u64(edges.addr_of(e)));
+                    edges_scanned += 1;
+                }
+                ctx.work(cfg.work_per_edge.saturating_mul(edges_scanned));
+                assert_eq!(sum, expected_sum, "corrupt adjacency for vertex {v}");
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kus_core::{Platform, PlatformConfig};
+
+    fn small() -> BfsWorkload {
+        BfsWorkload::new(BfsConfig { scale: 9, max_visits: 200, ..BfsConfig::default() })
+    }
+
+    #[test]
+    fn traversal_verifies_adjacency_sums() {
+        let p = Platform::new(
+            PlatformConfig::paper_default().without_replay_device().fibers_per_core(4),
+        );
+        let mut w = small();
+        let r = p.run(&mut w);
+        assert!(r.accesses > 400, "offset + edge reads expected, got {}", r.accesses);
+        assert_eq!(w.scheduled_visits(), 200);
+    }
+
+    #[test]
+    fn baseline_runs() {
+        let p = Platform::new(PlatformConfig::paper_default().without_replay_device());
+        let mut w = small();
+        let r = p.run_baseline(&mut w);
+        assert!(r.accesses > 400);
+    }
+}

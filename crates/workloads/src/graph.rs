@@ -1,0 +1,260 @@
+//! Graph substrate for the BFS benchmark: a Graph500-style Kronecker
+//! (R-MAT) generator, a CSR representation, and a reference BFS.
+//!
+//! The paper's BFS benchmark comes from Graph500; its input is a Kronecker
+//! graph of a given *scale* (2^scale vertices) and *edge factor* (average
+//! degree). We generate the same family with the reference initiator
+//! probabilities A=0.57, B=0.19, C=0.19.
+
+use kus_sim::SimRng;
+
+/// Kronecker generator parameters (Graph500 reference values).
+#[derive(Debug, Clone, Copy)]
+pub struct KroneckerConfig {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Edges per vertex (the Graph500 reference uses 16).
+    pub edge_factor: u32,
+    /// Initiator probability A.
+    pub a: f64,
+    /// Initiator probability B.
+    pub b: f64,
+    /// Initiator probability C.
+    pub c: f64,
+}
+
+impl KroneckerConfig {
+    /// Graph500 reference parameters at the given scale.
+    pub fn graph500(scale: u32) -> KroneckerConfig {
+        KroneckerConfig { scale, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19 }
+    }
+}
+
+/// Generates the edge list of a Kronecker graph.
+///
+/// # Panics
+///
+/// Panics if the initiator probabilities are malformed.
+pub fn kronecker_edges(cfg: KroneckerConfig, rng: &mut SimRng) -> Vec<(u64, u64)> {
+    let d = 1.0 - cfg.a - cfg.b - cfg.c;
+    assert!(cfg.a > 0.0 && cfg.b >= 0.0 && cfg.c >= 0.0 && d >= 0.0, "bad initiator");
+    let n_edges = (1u64 << cfg.scale) * cfg.edge_factor as u64;
+    let mut edges = Vec::with_capacity(n_edges as usize);
+    for _ in 0..n_edges {
+        let (mut u, mut v) = (0u64, 0u64);
+        for _ in 0..cfg.scale {
+            u <<= 1;
+            v <<= 1;
+            let r = rng.unit_f64();
+            if r < cfg.a {
+                // top-left: no bits set
+            } else if r < cfg.a + cfg.b {
+                v |= 1;
+            } else if r < cfg.a + cfg.b + cfg.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((u, v));
+    }
+    edges
+}
+
+/// A compressed-sparse-row undirected graph.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    edges: Vec<u64>,
+}
+
+impl CsrGraph {
+    /// Builds an undirected CSR from an edge list (both directions inserted;
+    /// self-loops dropped; multi-edges kept, as Graph500 allows).
+    pub fn from_edges(n: u64, edge_list: &[(u64, u64)]) -> CsrGraph {
+        let mut degree = vec![0u64; n as usize];
+        for &(u, v) in edge_list {
+            assert!(u < n && v < n, "edge endpoint out of range");
+            if u == v {
+                continue;
+            }
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut edges = vec![0u64; acc as usize];
+        for &(u, v) in edge_list {
+            if u == v {
+                continue;
+            }
+            edges[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            edges[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        CsrGraph { offsets, edges }
+    }
+
+    /// Vertex count.
+    pub fn vertex_count(&self) -> u64 {
+        self.offsets.len() as u64 - 1
+    }
+
+    /// Directed edge count (twice the undirected count).
+    pub fn edge_count(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// The CSR offset array (length `n + 1`).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The CSR adjacency array.
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
+    /// The neighbours of `v`.
+    pub fn neighbours(&self, v: u64) -> &[u64] {
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        &self.edges[s..e]
+    }
+
+    /// Reference BFS: distance from `root` per vertex (`None` if
+    /// unreachable).
+    pub fn bfs_distances(&self, root: u64) -> Vec<Option<u32>> {
+        let n = self.vertex_count() as usize;
+        let mut dist = vec![None; n];
+        dist[root as usize] = Some(0);
+        let mut frontier = vec![root];
+        let mut next = Vec::new();
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            level += 1;
+            for &v in &frontier {
+                for &w in self.neighbours(v) {
+                    if dist[w as usize].is_none() {
+                        dist[w as usize] = Some(level);
+                        next.push(w);
+                    }
+                }
+            }
+            frontier.clear();
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        dist
+    }
+
+    /// The vertices visited by a BFS from `root`, in level order (the
+    /// traversal schedule the timed benchmark replays across its threads).
+    pub fn bfs_order(&self, root: u64) -> Vec<u64> {
+        let n = self.vertex_count() as usize;
+        let mut seen = vec![false; n];
+        seen[root as usize] = true;
+        let mut order = vec![root];
+        let mut head = 0;
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
+            for &w in self.neighbours(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    order.push(w);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> CsrGraph {
+        // 0-1, 1-2, 2-3, 0-4; 5 isolated
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (0, 4)])
+    }
+
+    #[test]
+    fn csr_structure() {
+        let g = small_graph();
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 8);
+        let mut n1: Vec<u64> = g.neighbours(1).to_vec();
+        n1.sort_unstable();
+        assert_eq!(n1, vec![0, 2]);
+        assert!(g.neighbours(5).is_empty());
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = CsrGraph::from_edges(3, &[(0, 0), (0, 1)]);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn bfs_distances_match_hand_computation() {
+        let g = small_graph();
+        let d = g.bfs_distances(0);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[4], Some(1));
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[5], None);
+    }
+
+    #[test]
+    fn bfs_order_is_level_monotone() {
+        let g = small_graph();
+        let dist = g.bfs_distances(0);
+        let order = g.bfs_order(0);
+        assert_eq!(order.len(), 5, "all reachable vertices visited once");
+        let levels: Vec<u32> = order.iter().map(|&v| dist[v as usize].unwrap()).collect();
+        assert!(levels.windows(2).all(|w| w[0] <= w[1]), "{levels:?}");
+    }
+
+    #[test]
+    fn kronecker_shape() {
+        let mut rng = SimRng::from_seed(42);
+        let cfg = KroneckerConfig::graph500(8);
+        let edges = kronecker_edges(cfg, &mut rng);
+        assert_eq!(edges.len(), 256 * 16);
+        assert!(edges.iter().all(|&(u, v)| u < 256 && v < 256));
+        // Kronecker graphs are skewed: vertex 0 should be among the hottest.
+        let g = CsrGraph::from_edges(256, &edges);
+        let d0 = g.neighbours(0).len();
+        let dmid = g.neighbours(128).len();
+        assert!(d0 > dmid, "degree skew expected: {d0} vs {dmid}");
+    }
+
+    #[test]
+    fn kronecker_deterministic_per_seed() {
+        let cfg = KroneckerConfig::graph500(6);
+        let a = kronecker_edges(cfg, &mut SimRng::from_seed(7));
+        let b = kronecker_edges(cfg, &mut SimRng::from_seed(7));
+        let c = kronecker_edges(cfg, &mut SimRng::from_seed(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bfs_reaches_most_of_a_kronecker_graph() {
+        let mut rng = SimRng::from_seed(1);
+        let edges = kronecker_edges(KroneckerConfig::graph500(10), &mut rng);
+        let g = CsrGraph::from_edges(1 << 10, &edges);
+        let order = g.bfs_order(0);
+        assert!(order.len() > 500, "giant component expected, got {}", order.len());
+    }
+}

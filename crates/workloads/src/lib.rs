@@ -1,0 +1,32 @@
+//! # kus-workloads — the microbenchmark and the three applications
+//!
+//! The paper's benchmark suite:
+//!
+//! - [`microbench`]: pointer-chase loops with configurable work-count and
+//!   MLP (the 1-/2-/4-read variants).
+//! - [`graph`] / [`bfs`]: Graph500 Kronecker generation, CSR, and the BFS
+//!   traversal benchmark (batch of two reads).
+//! - [`bloom`]: Bloom-filter lookups (k = 4 probes, batch of four).
+//! - [`memcached`]: KV-store lookups (bucket probe + four value-line reads).
+//! - [`figures`]: runners that regenerate every figure of the paper's
+//!   evaluation (and the ablations DESIGN.md calls out).
+//!
+//! All workloads return real data from the dataset and verify it at the
+//! end of the measured run (chains close, adjacency sums match, values
+//! recompute, no false negatives).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod figures;
+pub mod bloom;
+pub mod graph;
+pub mod memcached;
+pub mod microbench;
+
+pub use bfs::{BfsConfig, BfsWorkload};
+pub use bloom::{BloomConfig, BloomWorkload};
+pub use graph::{kronecker_edges, CsrGraph, KroneckerConfig};
+pub use memcached::{MemcachedConfig, MemcachedWorkload};
+pub use microbench::{Microbench, MicrobenchConfig};

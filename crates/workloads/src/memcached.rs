@@ -1,0 +1,221 @@
+//! The Memcached benchmark: the lookup path of an in-memory key–value
+//! cache.
+//!
+//! The hash table and the values are the core data structures on the
+//! microsecond-latency device. A lookup hashes the key to a bucket, reads
+//! the bucket line (key tags + value pointers), matches the tag in
+//! software, and then retrieves the value — which "can span multiple cache
+//! lines, resulting in independent memory accesses that can overlap with
+//! each other": the paper's batch of four reads. Post-lookup processing is
+//! the benign work loop.
+//!
+//! Every value's contents are a pure function of its key, so each retrieval
+//! is verified word-by-word against recomputation.
+
+use kus_core::prelude::*;
+use kus_mem::layout::ArrayLayout;
+use kus_mem::{Addr, LINE_BYTES};
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Slots per bucket line: 4 pairs of (key tag, value address).
+const SLOTS_PER_BUCKET: u64 = 4;
+
+/// Configuration of the KV-lookup benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct MemcachedConfig {
+    /// Items inserted during the build.
+    pub n_items: u64,
+    /// Value size in cache lines (4 = the paper's batched value retrieval).
+    pub value_lines: u64,
+    /// Lookups per fiber.
+    pub lookups_per_fiber: u64,
+    /// Work instructions after each lookup.
+    pub work_count: u32,
+}
+
+impl Default for MemcachedConfig {
+    fn default() -> MemcachedConfig {
+        MemcachedConfig { n_items: 50_000, value_lines: 4, lookups_per_fiber: 400, work_count: 100 }
+    }
+}
+
+/// The KV store's dataset layout.
+#[derive(Debug, Clone, Copy)]
+struct KvLayout {
+    buckets: ArrayLayout,
+    bucket_count: u64,
+}
+
+/// The Memcached-style lookup workload.
+#[derive(Debug)]
+pub struct MemcachedWorkload {
+    config: MemcachedConfig,
+    layout: Option<KvLayout>,
+    seed_hint: u64,
+}
+
+impl MemcachedWorkload {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration.
+    pub fn new(config: MemcachedConfig) -> MemcachedWorkload {
+        assert!(config.n_items > 0 && config.value_lines > 0 && config.lookups_per_fiber > 0);
+        MemcachedWorkload { config, layout: None, seed_hint: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> MemcachedConfig {
+        self.config
+    }
+
+    fn item_key(seed_hint: u64, j: u64) -> u64 {
+        // Tags must be non-zero (zero marks an empty slot).
+        splitmix(seed_hint ^ j.wrapping_mul(0x09e6_6765_93d2_c2c9)) | 1
+    }
+
+    fn value_word(key: u64, w: u64) -> u64 {
+        splitmix(key.wrapping_add(w.wrapping_mul(0xabcd_ef01_2345_6789)))
+    }
+}
+
+impl Workload for MemcachedWorkload {
+    fn name(&self) -> &'static str {
+        "memcached"
+    }
+
+    fn build(&mut self, data: &mut Dataset) {
+        let cfg = self.config;
+        // 2x slot headroom keeps insertion failures negligible; linear
+        // probing over buckets handles collisions.
+        let bucket_count =
+            (cfg.n_items * 2 / SLOTS_PER_BUCKET).next_power_of_two();
+        self.seed_hint = data.rng("memcached-keys").next_u64();
+        let buckets_addr = data
+            .alloc_lines(bucket_count)
+            .expect("dataset too small for the hash table");
+        let buckets = ArrayLayout::new(buckets_addr, LINE_BYTES, bucket_count);
+        let store = data.store();
+        for j in 0..cfg.n_items {
+            let key = Self::item_key(self.seed_hint, j);
+            // Value body.
+            let value_addr = {
+                let a = data
+                    .alloc_lines(cfg.value_lines)
+                    .expect("dataset too small for values");
+                let mut s = store.borrow_mut();
+                for w in 0..cfg.value_lines * (LINE_BYTES / 8) {
+                    s.write_u64(a + w * 8, Self::value_word(key, w));
+                }
+                a
+            };
+            // Insert: linear probing over bucket lines.
+            let mut s = store.borrow_mut();
+            let mut b = key % bucket_count;
+            'insert: for _probe in 0..bucket_count {
+                let line = buckets.addr_of(b);
+                for slot in 0..SLOTS_PER_BUCKET {
+                    let tag_addr = line + slot * 16;
+                    if s.read_u64(tag_addr) == 0 {
+                        s.write_u64(tag_addr, key);
+                        s.write_u64(tag_addr + 8, value_addr.raw());
+                        break 'insert;
+                    }
+                }
+                b = (b + 1) % bucket_count;
+            }
+        }
+        self.layout = Some(KvLayout { buckets, bucket_count });
+    }
+
+    fn spawn(&self, core: usize, fiber: usize, fibers_total: usize, ctx: MemCtx) -> FiberFuture {
+        let cfg = self.config;
+        let kv = self.layout.expect("build before spawn");
+        let seed_hint = self.seed_hint;
+        let stripe = (core * fibers_total + fiber) as u64;
+        Box::pin(async move {
+            let mut found = 0u64;
+            for q in 0..cfg.lookups_per_fiber {
+                let nonce = stripe * cfg.lookups_per_fiber + q;
+                let key = MemcachedWorkload::item_key(seed_hint, nonce % cfg.n_items);
+                // Bucket walk: read the bucket line, match the tag in
+                // software, follow linear probing on (rare) collisions.
+                let mut b = key % kv.bucket_count;
+                let mut value_addr = None;
+                'search: for _probe in 0..8 {
+                    let line = kv.buckets.addr_of(b);
+                    // One timed read fetches the line; the remaining slot
+                    // words are L1 hits.
+                    let first = ctx.dev_read_u64(line).await;
+                    let mut slot_words = vec![first];
+                    for slot in 1..SLOTS_PER_BUCKET * 2 {
+                        slot_words.push(ctx.l1_read_u64(line + slot * 8));
+                    }
+                    for slot in 0..SLOTS_PER_BUCKET as usize {
+                        if slot_words[slot * 2] == key {
+                            value_addr = Some(Addr::new(slot_words[slot * 2 + 1]));
+                            break 'search;
+                        }
+                        if slot_words[slot * 2] == 0 {
+                            break 'search; // empty slot: key absent
+                        }
+                    }
+                    b = (b + 1) % kv.bucket_count;
+                }
+                let value_addr = value_addr.expect("inserted key must be found");
+                // Value retrieval: the batched independent reads.
+                let addrs: Vec<Addr> =
+                    (0..cfg.value_lines).map(|l| value_addr + l * LINE_BYTES).collect();
+                let words = ctx.dev_read_batch(&addrs).await;
+                for (l, w) in words.iter().enumerate() {
+                    let expect = MemcachedWorkload::value_word(key, l as u64 * (LINE_BYTES / 8));
+                    assert_eq!(*w, expect, "corrupt value for key {key:#x} line {l}");
+                }
+                found += 1;
+                ctx.work(cfg.work_count);
+            }
+            assert_eq!(found, cfg.lookups_per_fiber);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kus_core::{Platform, PlatformConfig};
+
+    fn small() -> MemcachedWorkload {
+        MemcachedWorkload::new(MemcachedConfig {
+            n_items: 2_000,
+            value_lines: 4,
+            lookups_per_fiber: 100,
+            work_count: 100,
+        })
+    }
+
+    #[test]
+    fn lookups_verify_values_end_to_end() {
+        let p = Platform::new(
+            PlatformConfig::paper_default().without_replay_device().fibers_per_core(4),
+        );
+        let mut w = small();
+        let r = p.run(&mut w);
+        // Each lookup: >=1 bucket read + 4 value reads.
+        assert!(r.accesses >= 4 * 100 * 5, "accesses {}", r.accesses);
+    }
+
+    #[test]
+    fn baseline_runs() {
+        let p = Platform::new(PlatformConfig::paper_default().without_replay_device());
+        let mut w = small();
+        let r = p.run_baseline(&mut w);
+        assert!(r.accesses >= 500);
+    }
+}

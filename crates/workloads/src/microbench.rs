@@ -1,0 +1,230 @@
+//! The paper's carefully-crafted microbenchmark (§IV-C).
+//!
+//! Each fiber follows private **pointer chains** through the dataset: every
+//! loaded value is the address of the next line to read ("replete with
+//! pointers and data-dependent accesses"), so consecutive accesses of one
+//! chain can never overlap — exactly why on-demand accesses are hopeless
+//! (Fig. 2) and the DRAM baseline exposes its access latency rather than
+//! hiding it. The *work-count* arithmetic instructions per iteration depend
+//! on the loaded value, and every access targets a distinct cache line.
+//!
+//! Memory-level parallelism is expressed as in the paper's 2-read/4-read
+//! variants: a fiber follows `mlp` independent chains, issuing the batch of
+//! reads before a single context switch. In the DRAM baseline the
+//! out-of-order core overlaps the batch in its instruction window.
+//!
+//! At the end of a run every chain must have come back around to its start
+//! (the chains are cycles), which verifies that the device returned correct
+//! data for every single access of the measured run.
+
+use kus_core::prelude::*;
+use kus_mem::{Addr, LINE_BYTES};
+
+/// Configuration of the microbenchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct MicrobenchConfig {
+    /// Work instructions per loop iteration.
+    pub work_count: u32,
+    /// Independent pointer chains per fiber (1, 2, or 4 in the paper).
+    pub mlp: usize,
+    /// Loop iterations per fiber (= length of each chain cycle).
+    pub iters_per_fiber: u64,
+    /// Posted dataset writes per iteration (the §VII write-direction
+    /// extension; 0 reproduces the paper's read-only loops).
+    pub writes_per_iter: u32,
+}
+
+impl Default for MicrobenchConfig {
+    fn default() -> MicrobenchConfig {
+        MicrobenchConfig { work_count: 200, mlp: 1, iters_per_fiber: 2000, writes_per_iter: 0 }
+    }
+}
+
+/// The microbenchmark workload.
+#[derive(Debug)]
+pub struct Microbench {
+    config: MicrobenchConfig,
+    /// Start address of chain `c` of fiber stripe `s`:
+    /// `starts[s * mlp + c]`.
+    starts: Vec<Addr>,
+    /// Per-stripe scratch line for the write-mix extension.
+    scratch: Vec<Addr>,
+    cores: usize,
+    fibers_per_core: usize,
+}
+
+impl Microbench {
+    /// Creates the microbenchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mlp` or `iters_per_fiber` is zero.
+    pub fn new(config: MicrobenchConfig) -> Microbench {
+        assert!(config.mlp > 0, "mlp must be at least 1");
+        assert!(config.iters_per_fiber > 0, "need at least one iteration");
+        Microbench { config, starts: Vec::new(), scratch: Vec::new(), cores: 1, fibers_per_core: 1 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> MicrobenchConfig {
+        self.config
+    }
+
+    /// Total accesses one full run performs.
+    pub fn total_accesses(&self) -> u64 {
+        self.config.iters_per_fiber
+            * self.config.mlp as u64
+            * (self.cores * self.fibers_per_core) as u64
+    }
+}
+
+impl Workload for Microbench {
+    fn name(&self) -> &'static str {
+        "microbench"
+    }
+
+    fn prepare(&mut self, cores: usize, fibers_per_core: usize) {
+        self.cores = cores;
+        self.fibers_per_core = fibers_per_core;
+    }
+
+    fn build(&mut self, data: &mut Dataset) {
+        // A private region per chain, arranged as one random cycle: line k
+        // stores the address of its successor. Randomized order defeats any
+        // spatial pattern (and the hardware prefetcher is off anyway).
+        let n = self.config.iters_per_fiber;
+        let chains = (self.cores * self.fibers_per_core * self.config.mlp) as u64;
+        let mut rng = data.rng("microbench-chains");
+        self.starts.clear();
+        for _ in 0..chains {
+            let base = data
+                .alloc_lines(n)
+                .expect("dataset too small for microbench; raise dataset_bytes or lower iterations");
+            let mut order: Vec<u64> = (0..n).collect();
+            rng.shuffle(&mut order);
+            for w in 0..n {
+                let from = base + order[w as usize] * LINE_BYTES;
+                let to = base + order[((w + 1) % n) as usize] * LINE_BYTES;
+                data.write_u64(from, to.raw());
+            }
+            self.starts.push(base + order[0] * LINE_BYTES);
+        }
+        self.scratch.clear();
+        if self.config.writes_per_iter > 0 {
+            let stripes = (self.cores * self.fibers_per_core) as u64;
+            let lines = self.config.writes_per_iter as u64;
+            for _ in 0..stripes {
+                let a = data.alloc_lines(lines).expect("dataset too small for write scratch");
+                self.scratch.push(a);
+            }
+        }
+    }
+
+    fn spawn(&self, core: usize, fiber: usize, fibers_total: usize, ctx: MemCtx) -> FiberFuture {
+        let cfg = self.config;
+        let stripe = core * fibers_total + fiber;
+        let starts: Vec<Addr> =
+            self.starts[stripe * cfg.mlp..(stripe + 1) * cfg.mlp].to_vec();
+        let scratch = self.scratch.get(stripe).copied();
+        Box::pin(async move {
+            let mut addrs = starts.clone();
+            for i in 0..cfg.iters_per_fiber {
+                let values = ctx.dev_read_batch(&addrs).await;
+                if let Some(scratch) = scratch {
+                    // The write-direction extension: posted stores of the
+                    // just-read values; nothing waits on them.
+                    for w in 0..cfg.writes_per_iter {
+                        let slot = (w as u64 % cfg.writes_per_iter as u64) * LINE_BYTES;
+                        ctx.dev_write_u64(scratch + slot, values[0] ^ i);
+                    }
+                }
+                for (a, v) in addrs.iter_mut().zip(values) {
+                    *a = Addr::new(v);
+                }
+                ctx.work(cfg.work_count);
+            }
+            // Each chain is a cycle of exactly `iters_per_fiber` lines: a
+            // full traversal lands back on the start. Any wrong data from
+            // the device would derail the chase and fail here.
+            assert_eq!(addrs, starts, "pointer chain corrupted");
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kus_core::{Platform, PlatformConfig};
+
+    fn small(work: u32, mlp: usize, iters: u64) -> Microbench {
+        Microbench::new(MicrobenchConfig {
+            work_count: work,
+            mlp,
+            iters_per_fiber: iters,
+            writes_per_iter: 0,
+        })
+    }
+
+    fn cfg() -> PlatformConfig {
+        PlatformConfig::paper_default().without_replay_device()
+    }
+
+    #[test]
+    fn baseline_is_latency_bound() {
+        // A serial pointer chase to ~100 ns DRAM with small work: the
+        // baseline per-access time is dominated by the access latency.
+        let mut w = small(50, 1, 500);
+        let p = Platform::new(cfg());
+        let r = p.run_baseline(&mut w);
+        let per_access = r.elapsed.as_ns_f64() / r.accesses as f64;
+        assert!((100.0..130.0).contains(&per_access), "per-access {per_access}ns");
+        assert_eq!(r.accesses, 500);
+    }
+
+    #[test]
+    fn baseline_mlp_overlaps_in_the_window() {
+        // Four independent chains overlap their DRAM accesses.
+        let p = Platform::new(cfg());
+        let mut w1 = small(50, 1, 400);
+        let mut w4 = small(50, 4, 100);
+        let r1 = p.run_baseline(&mut w1);
+        let r4 = p.run_baseline(&mut w4);
+        // Same total accesses; the 4-read variant takes much less time.
+        assert_eq!(r1.accesses, r4.accesses);
+        let ratio = r1.elapsed.as_ns_f64() / r4.elapsed.as_ns_f64();
+        assert!(ratio > 2.5, "4-chain overlap ratio {ratio}");
+    }
+
+    #[test]
+    fn prefetch_ten_fibers_approach_dram_at_1us() {
+        let p = Platform::new(cfg().mechanism(Mechanism::Prefetch).fibers_per_core(10));
+        let mut w = small(50, 1, 300);
+        let dev = p.run(&mut w);
+        let base = p.run_baseline(&mut w);
+        let norm = dev.normalized_to(&base);
+        assert!(norm > 0.85, "10 fibers at 1us should near DRAM parity, got {norm}");
+    }
+
+    #[test]
+    fn on_demand_is_abysmal_at_small_work_counts() {
+        let p = Platform::new(cfg().mechanism(Mechanism::OnDemand));
+        let mut w = small(200, 1, 200);
+        let dev = p.run(&mut w);
+        let base = p.run_baseline(&mut w);
+        let norm = dev.normalized_to(&base);
+        assert!(norm < 0.25, "on-demand at W=200 should be abysmal, got {norm}");
+    }
+
+    #[test]
+    fn total_accesses_accounting() {
+        let mut w = small(100, 2, 50);
+        w.prepare(4, 8);
+        assert_eq!(w.total_accesses(), 2 * 50 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "mlp must be at least 1")]
+    fn zero_mlp_rejected() {
+        let _ = small(100, 0, 10);
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: measure how well each access mechanism hides a 1 µs device.
+//!
+//! Runs the paper's pointer-chase microbenchmark under all three mechanisms
+//! and prints their performance normalized to the DRAM baseline — the
+//! paper's headline comparison, in one binary.
+//!
+//! ```text
+//! cargo run --release -p kus-workloads --example quickstart
+//! ```
+
+use kus_core::prelude::*;
+use kus_workloads::{Microbench, MicrobenchConfig};
+
+fn microbench() -> Microbench {
+    Microbench::new(MicrobenchConfig { work_count: 100, mlp: 1, iters_per_fiber: 600, writes_per_iter: 0 })
+}
+
+fn main() {
+    // The DRAM baseline: single thread, on-demand loads, data in DRAM.
+    let base_cfg = PlatformConfig::paper_default().without_replay_device();
+    let baseline = Platform::new(base_cfg.clone()).run_baseline(&mut microbench());
+    println!("baseline: {}", baseline.summary());
+    println!();
+
+    println!(
+        "{:<14} {:>8} {:>14} {:>12} {:>10}",
+        "mechanism", "threads", "per-access", "normalized", "switches"
+    );
+    for (mech, threads) in [
+        (Mechanism::OnDemand, 1usize),
+        (Mechanism::Prefetch, 10),
+        (Mechanism::SoftwareQueue, 16),
+    ] {
+        let cfg = base_cfg.clone().mechanism(mech).fibers_per_core(threads);
+        let mut w = microbench();
+        let r = Platform::new(cfg).run(&mut w);
+        println!(
+            "{:<14} {:>8} {:>11.1}ns {:>12.3} {:>10}",
+            mech.to_string(),
+            threads,
+            r.elapsed.as_ns_f64() / r.accesses as f64,
+            r.normalized_to(&baseline),
+            r.switches,
+        );
+    }
+    println!();
+    println!("The paper's story in three rows: on-demand loads are hopeless,");
+    println!("prefetch + fast user-mode switching reaches DRAM parity until the");
+    println!("10-LFB wall, and software queues scale but pay ~2x in software.");
+}

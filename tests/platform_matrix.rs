@@ -1,0 +1,232 @@
+//! Smoke matrix: every mechanism × workload × shape combination must run to
+//! completion with its internal verification passing (chains close,
+//! adjacency sums match, values recompute) and basic conservation laws
+//! holding.
+
+use kus_core::prelude::*;
+use kus_core::RunReport;
+use kus_workloads::{
+    BfsConfig, BfsWorkload, BloomConfig, BloomWorkload, MemcachedConfig, MemcachedWorkload,
+    Microbench, MicrobenchConfig,
+};
+
+fn run(cfg: PlatformConfig, w: &mut dyn kus_core::Workload) -> RunReport {
+    Platform::new(cfg).run(w)
+}
+
+fn shapes() -> Vec<(usize, usize)> {
+    vec![(1, 1), (1, 6), (2, 4)]
+}
+
+fn cfgs(mech: Mechanism) -> Vec<PlatformConfig> {
+    shapes()
+        .into_iter()
+        .map(|(cores, fibers)| {
+            PlatformConfig::paper_default()
+                .without_replay_device()
+                .mechanism(mech)
+                .cores(cores)
+                .fibers_per_core(fibers)
+        })
+        .collect()
+}
+
+#[test]
+fn microbench_matrix() {
+    for mech in [Mechanism::OnDemand, Mechanism::Prefetch, Mechanism::SoftwareQueue] {
+        for cfg in cfgs(mech) {
+            for mlp in [1usize, 2, 4] {
+                let shape = (cfg.cores, cfg.fibers_per_core);
+                let mut w = Microbench::new(MicrobenchConfig {
+                    work_count: 60,
+                    mlp,
+                    iters_per_fiber: 40, writes_per_iter: 0 });
+                let r = run(cfg.clone(), &mut w);
+                let expected =
+                    40 * mlp as u64 * (shape.0 * shape.1) as u64;
+                assert_eq!(r.accesses, expected, "{mech} {shape:?} mlp={mlp}");
+                assert!(r.work_insts >= 60 * 40, "work retired");
+                assert!(r.elapsed > Span::ZERO);
+            }
+        }
+    }
+}
+
+#[test]
+fn bfs_matrix() {
+    for mech in [Mechanism::Prefetch, Mechanism::SoftwareQueue] {
+        for cfg in cfgs(mech) {
+            let mut w = BfsWorkload::new(BfsConfig {
+                scale: 9,
+                max_visits: 120,
+                ..BfsConfig::default()
+            });
+            let r = run(cfg, &mut w);
+            assert!(r.accesses > 240, "offset + edge reads");
+        }
+    }
+}
+
+#[test]
+fn bloom_matrix() {
+    for mech in [Mechanism::Prefetch, Mechanism::SoftwareQueue] {
+        for cfg in cfgs(mech) {
+            let shape = (cfg.cores, cfg.fibers_per_core);
+            let mut w = BloomWorkload::new(BloomConfig {
+                n_keys: 2_000,
+                bits_per_key: 10,
+                k: 4,
+                lookups_per_fiber: 60,
+                work_count: 50,
+            });
+            let r = run(cfg, &mut w);
+            assert_eq!(r.accesses, 4 * 60 * (shape.0 * shape.1) as u64);
+        }
+    }
+}
+
+#[test]
+fn memcached_matrix() {
+    for mech in [Mechanism::Prefetch, Mechanism::SoftwareQueue] {
+        for cfg in cfgs(mech) {
+            let shape = (cfg.cores, cfg.fibers_per_core);
+            let mut w = MemcachedWorkload::new(MemcachedConfig {
+                n_items: 1_500,
+                value_lines: 4,
+                lookups_per_fiber: 50,
+                work_count: 50,
+            });
+            let r = run(cfg, &mut w);
+            // >= bucket read + 4 value lines per lookup.
+            assert!(r.accesses >= 5 * 50 * (shape.0 * shape.1) as u64);
+        }
+    }
+}
+
+#[test]
+fn dram_baselines_run_for_all_workloads() {
+    let cfg = PlatformConfig::paper_default().without_replay_device();
+    let p = Platform::new(cfg);
+    let mut ub = Microbench::new(MicrobenchConfig { work_count: 60, mlp: 1, iters_per_fiber: 50, writes_per_iter: 0 });
+    assert!(p.run_baseline(&mut ub).accesses == 50);
+    let mut bfs = BfsWorkload::new(BfsConfig { scale: 9, max_visits: 60, ..BfsConfig::default() });
+    assert!(p.run_baseline(&mut bfs).accesses > 120);
+    let mut bl = BloomWorkload::new(BloomConfig {
+        n_keys: 1_000,
+        bits_per_key: 10,
+        k: 4,
+        lookups_per_fiber: 40,
+        work_count: 50,
+    });
+    assert_eq!(p.run_baseline(&mut bl).accesses, 160);
+    let mut mc = MemcachedWorkload::new(MemcachedConfig {
+        n_items: 800,
+        value_lines: 4,
+        lookups_per_fiber: 30,
+        work_count: 50,
+    });
+    assert!(p.run_baseline(&mut mc).accesses >= 150);
+}
+
+#[test]
+fn context_switch_cost_matters() {
+    // The 2 us stock-Pth switch wrecks the prefetch mechanism (why the
+    // paper had to optimize the library).
+    let mut mk = || Microbench::new(MicrobenchConfig { work_count: 60, mlp: 1, iters_per_fiber: 80, writes_per_iter: 0 });
+    let fast_cfg = PlatformConfig::paper_default().without_replay_device().fibers_per_core(10);
+    let slow_cfg = fast_cfg.clone().ctx_switch(Span::from_us(2));
+    let fast = Platform::new(fast_cfg).run(&mut mk());
+    let slow = Platform::new(slow_cfg).run(&mut mk());
+    assert!(
+        slow.elapsed > fast.elapsed * 5,
+        "2us switches should dominate: {} vs {}",
+        slow.elapsed,
+        fast.elapsed
+    );
+}
+
+#[test]
+fn swq_ablations_are_strictly_inferior() {
+    // The paper: designs lacking the doorbell-request flag or burst reads
+    // are "strictly inferior in terms of maximum achievable performance".
+    let mk = || Microbench::new(MicrobenchConfig { work_count: 60, mlp: 1, iters_per_fiber: 100, writes_per_iter: 0 });
+    let base_cfg = PlatformConfig::paper_default()
+        .without_replay_device()
+        .mechanism(Mechanism::SoftwareQueue)
+        .fibers_per_core(16);
+    let optimized = Platform::new(base_cfg.clone()).run(&mut mk());
+
+    let mut no_flag = base_cfg.clone();
+    no_flag.swq_doorbell_every_enqueue = true;
+    let no_flag = Platform::new(no_flag).run(&mut mk());
+    assert!(
+        no_flag.elapsed > optimized.elapsed,
+        "doorbell-per-enqueue should be slower: {} vs {}",
+        no_flag.elapsed,
+        optimized.elapsed
+    );
+    assert!(no_flag.doorbells > optimized.doorbells * 10);
+
+    let mut no_burst = base_cfg.clone();
+    no_burst.swq_fetch_burst = 1;
+    let no_burst = Platform::new(no_burst).run(&mut mk());
+    assert!(
+        no_burst.elapsed >= optimized.elapsed,
+        "single-descriptor fetches should not beat bursts: {} vs {}",
+        no_burst.elapsed,
+        optimized.elapsed
+    );
+}
+
+#[test]
+fn posted_writes_are_nearly_free() {
+    // §VII: writes don't block the ROB head or prevent context switching.
+    let mk = |writes: u32| {
+        Microbench::new(MicrobenchConfig {
+            work_count: 100,
+            mlp: 1,
+            iters_per_fiber: 150,
+            writes_per_iter: writes,
+        })
+    };
+    let cfg = PlatformConfig::paper_default().without_replay_device().fibers_per_core(10);
+    let r0 = Platform::new(cfg.clone()).run(&mut mk(0));
+    let r1 = Platform::new(cfg).run(&mut mk(1));
+    assert_eq!(r1.writes, 150 * 10);
+    assert_eq!(r0.writes, 0);
+    let slowdown = r1.elapsed.as_ns_f64() / r0.elapsed.as_ns_f64();
+    assert!(slowdown < 1.10, "one posted write/iter should be ~free: {slowdown}");
+}
+
+#[test]
+#[should_panic(expected = "software-queue writes are not modelled")]
+fn swq_writes_are_rejected() {
+    let cfg = PlatformConfig::paper_default()
+        .without_replay_device()
+        .mechanism(Mechanism::SoftwareQueue);
+    let mut w = Microbench::new(MicrobenchConfig {
+        work_count: 50,
+        mlp: 1,
+        iters_per_fiber: 10,
+        writes_per_iter: 1,
+    });
+    let _ = Platform::new(cfg).run(&mut w);
+}
+
+#[test]
+fn smt_doubles_on_demand_throughput() {
+    // §III: a second hardware context overlaps a second outstanding access.
+    let mk = || Microbench::new(MicrobenchConfig {
+        work_count: 100,
+        mlp: 1,
+        iters_per_fiber: 150,
+        writes_per_iter: 0,
+    });
+    let cfg = PlatformConfig::paper_default()
+        .without_replay_device()
+        .mechanism(Mechanism::OnDemand);
+    let smt1 = Platform::new(cfg.clone()).run(&mut mk());
+    let smt2 = Platform::new(cfg.smt(2)).run(&mut mk());
+    let speedup = smt2.work_ipc() / smt1.work_ipc();
+    assert!((1.7..2.2).contains(&speedup), "SMT-2 speedup {speedup}");
+}

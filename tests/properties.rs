@@ -1,0 +1,218 @@
+//! Property-based tests (proptest) of the core data structures and
+//! invariants the simulation rests on.
+
+use proptest::prelude::*;
+
+use kus_device::replay::{MatchOutcome, ReplayConfig, ReplayModule};
+use kus_device::trace::CoreTrace;
+use kus_mem::alloc::BumpAllocator;
+use kus_mem::layout::BitArray;
+use kus_mem::lfb::LfbPool;
+use kus_mem::{Addr, ByteStore, LineAddr};
+use kus_sim::{Sim, Span, Time};
+use kus_swq::descriptor::Descriptor;
+use kus_swq::ring::QueuePair;
+use kus_workloads::graph::{kronecker_edges, CsrGraph, KroneckerConfig};
+use kus_workloads::bloom::probe_bit;
+use kus_sim::SimRng;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// Events fire in non-decreasing time order, with ties in scheduling
+    /// order, regardless of insertion order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(delays in prop::collection::vec(0u64..500, 1..60)) {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let log = log.clone();
+            sim.schedule_in(Span::from_ns(d), move |sim| {
+                log.borrow_mut().push((sim.now(), i));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), delays.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "stable tie-break");
+            }
+        }
+    }
+
+    /// Bump allocations never overlap and respect alignment.
+    #[test]
+    fn allocations_never_overlap(
+        reqs in prop::collection::vec((1u64..512, 0u32..4), 1..40)
+    ) {
+        let mut a = BumpAllocator::new(Addr::ZERO, 1 << 20);
+        let mut taken: Vec<(u64, u64)> = Vec::new();
+        for (size, align_pow) in reqs {
+            let align = 1u64 << align_pow;
+            let addr = a.alloc(size, align).unwrap();
+            prop_assert!(addr.is_aligned(align));
+            for &(s, e) in &taken {
+                prop_assert!(addr.raw() >= e || addr.raw() + size <= s, "overlap");
+            }
+            taken.push((addr.raw(), addr.raw() + size));
+        }
+    }
+
+    /// The byte store round-trips arbitrary little-endian words.
+    #[test]
+    fn byte_store_round_trips(words in prop::collection::vec(any::<u64>(), 1..64)) {
+        let mut m = ByteStore::new(words.len() * 8);
+        for (i, &w) in words.iter().enumerate() {
+            m.write_u64(Addr::new(i as u64 * 8), w);
+        }
+        for (i, &w) in words.iter().enumerate() {
+            prop_assert_eq!(m.read_u64(Addr::new(i as u64 * 8)), w);
+        }
+    }
+
+    /// The replay window matches any permutation of its trace whose
+    /// displacement stays within the window depth.
+    #[test]
+    fn replay_matches_bounded_reordering(
+        n in 20usize..200,
+        seed in any::<u64>(),
+    ) {
+        let lines: Vec<LineAddr> = (0..n as u64).map(LineAddr::from_index).collect();
+        let mut rm = ReplayModule::new(
+            CoreTrace::from_lines(lines.clone()),
+            ReplayConfig { window_depth: 16, skip_age_limit: 64 },
+        );
+        // Bounded shuffle: swap adjacent pairs pseudo-randomly (max
+        // displacement 1, well within the window).
+        let mut order = lines;
+        let mut rng = SimRng::from_seed(seed);
+        let mut i = 0;
+        while i + 1 < order.len() {
+            if rng.chance(0.5) {
+                order.swap(i, i + 1);
+            }
+            i += 2;
+        }
+        for line in order {
+            let matched = matches!(rm.lookup(line), MatchOutcome::Replayed { .. });
+            prop_assert!(matched);
+        }
+        prop_assert_eq!(rm.misses.get(), 0);
+    }
+
+    /// The descriptor ring neither loses nor duplicates nor reorders
+    /// requests under arbitrary interleavings of enqueues and burst fetches.
+    #[test]
+    fn ring_conserves_descriptors(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut q = QueuePair::new(256);
+        let mut sent = Vec::new();
+        let mut got = Vec::new();
+        let mut tag = 0u64;
+        for enqueue in ops {
+            if enqueue {
+                let d = Descriptor { read_addr: Addr::new(tag * 64), tag };
+                if q.enqueue(d).is_ok() {
+                    sent.push(tag);
+                }
+                tag += 1;
+            } else {
+                got.extend(q.fetch_burst().iter().map(|d| d.tag));
+            }
+        }
+        loop {
+            let b = q.fetch_burst();
+            if b.is_empty() { break; }
+            got.extend(b.iter().map(|d| d.tag));
+        }
+        prop_assert_eq!(sent, got);
+    }
+
+    /// LFB conservation: every allocation is eventually completed, occupancy
+    /// never exceeds capacity, and tokens come back exactly once.
+    #[test]
+    fn lfb_conserves_tokens(batches in prop::collection::vec(1usize..10, 1..20)) {
+        let mut sim = Sim::new();
+        let mut lfb = LfbPool::new(10);
+        let mut next_line = 0u64;
+        let mut returned = Vec::new();
+        for b in batches {
+            let mut lines = Vec::new();
+            for _ in 0..b {
+                let line = LineAddr::from_index(next_line);
+                next_line += 1;
+                if lfb.try_allocate(sim.now(), line, Some(line.index())).is_ok() {
+                    lines.push(line);
+                }
+                prop_assert!(lfb.in_use() <= 10);
+            }
+            for line in lines {
+                returned.extend(lfb.complete(&mut sim, line));
+            }
+        }
+        prop_assert_eq!(lfb.in_use(), 0);
+        let mut sorted = returned.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), returned.len(), "no token twice");
+    }
+
+    /// The Bloom filter never produces false negatives, whatever the keys.
+    #[test]
+    fn bloom_has_no_false_negatives(keys in prop::collection::vec(any::<u64>(), 1..200)) {
+        let m = 1u64 << 16;
+        let mut alloc = BumpAllocator::new(Addr::ZERO, 1 << 20);
+        let mut store = ByteStore::new(1 << 20);
+        let bits = BitArray::alloc(&mut alloc, m).unwrap();
+        for &k in &keys {
+            for i in 0..4 {
+                bits.set(&mut store, probe_bit(k, i, m));
+            }
+        }
+        for &k in &keys {
+            for i in 0..4 {
+                prop_assert!(bits.get(&store, probe_bit(k, i, m)));
+            }
+        }
+    }
+
+    /// Reference BFS distances satisfy the BFS invariants on random
+    /// Kronecker graphs: root at 0; every reached vertex has a neighbour
+    /// one level closer; edges never span more than one level.
+    #[test]
+    fn bfs_distances_are_consistent(scale in 5u32..9, seed in any::<u64>()) {
+        let mut rng = SimRng::from_seed(seed);
+        let edges = kronecker_edges(KroneckerConfig::graph500(scale), &mut rng);
+        let n = 1u64 << scale;
+        let g = CsrGraph::from_edges(n, &edges);
+        let dist = g.bfs_distances(0);
+        prop_assert_eq!(dist[0], Some(0));
+        for v in 0..n {
+            if let Some(dv) = dist[v as usize] {
+                if dv > 0 {
+                    let has_parent = g
+                        .neighbours(v)
+                        .iter()
+                        .any(|&w| dist[w as usize] == Some(dv - 1));
+                    prop_assert!(has_parent, "vertex {} at level {} has no parent", v, dv);
+                }
+                for &w in g.neighbours(v) {
+                    let dw = dist[w as usize].expect("neighbour of reached vertex is reached");
+                    prop_assert!(dw + 1 >= dv && dv + 1 >= dw, "edge spans >1 level");
+                }
+            }
+        }
+    }
+
+    /// Time arithmetic: (t + a) + b == t + (a + b) and subtraction inverts.
+    #[test]
+    fn span_arithmetic_is_consistent(t in 0u64..1_000_000, a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let t0 = Time::from_ps(t);
+        let (sa, sb) = (Span::from_ps(a), Span::from_ps(b));
+        prop_assert_eq!((t0 + sa) + sb, t0 + (sa + sb));
+        prop_assert_eq!((t0 + sa) - sa, t0);
+        prop_assert_eq!((t0 + sa) - t0, sa);
+    }
+}
