@@ -1,10 +1,10 @@
-//! Criterion microbenchmarks of the simulation substrate itself: event
-//! queue throughput, fiber poll/switch cost, LFB bookkeeping, replay-window
+//! Microbenchmarks of the simulation substrate itself: event queue
+//! throughput, fiber poll/switch cost, LFB bookkeeping, replay-window
 //! matching, and the end-to-end platform event rate. These guard the
 //! simulator's own performance (regressions here make every figure slower
 //! to regenerate).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kus_bench::harness::bench;
 use kus_core::prelude::*;
 use kus_device::replay::{ReplayConfig, ReplayModule};
 use kus_device::trace::CoreTrace;
@@ -14,106 +14,82 @@ use kus_mem::LineAddr;
 use kus_sim::{Sim, Span};
 use kus_workloads::{Microbench, MicrobenchConfig};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("sim/event_queue_10k", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new();
-            for i in 0..10_000u64 {
-                sim.schedule_in(Span::from_ns(i % 97), |_| {});
+fn bench_event_queue() {
+    bench("sim/event_queue_10k", 10, || {
+        let mut sim = Sim::new();
+        for i in 0..10_000u64 {
+            sim.schedule_in(Span::from_ns(i % 97), |_| {});
+        }
+        sim.run();
+        sim.executed()
+    });
+}
+
+fn bench_fiber_poll() {
+    bench("fiber/yield_poll_1k", 10, || {
+        let flag = YieldFlag::new();
+        let f2 = flag.clone();
+        let mut fiber = Fiber::new(0, flag, async move {
+            for _ in 0..1000 {
+                kus_fiber::yield_now(&f2).await;
             }
-            sim.run();
-            sim.executed()
-        })
+        });
+        let mut n = 0;
+        while fiber.poll() != PollOutcome::Done {
+            n += 1;
+        }
+        n
     });
 }
 
-fn bench_fiber_poll(c: &mut Criterion) {
-    c.bench_function("fiber/yield_poll_1k", |b| {
-        b.iter_batched(
-            || {
-                let flag = YieldFlag::new();
-                let f2 = flag.clone();
-                Fiber::new(0, flag, async move {
-                    for _ in 0..1000 {
-                        kus_fiber::yield_now(&f2).await;
-                    }
-                })
-            },
-            |mut fiber| {
-                let mut n = 0;
-                while fiber.poll() != PollOutcome::Done {
-                    n += 1;
-                }
-                n
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_lfb(c: &mut Criterion) {
-    c.bench_function("mem/lfb_allocate_complete_1k", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new();
-            let mut lfb = LfbPool::new(10);
-            for round in 0..100u64 {
-                for i in 0..10u64 {
-                    lfb.try_allocate(sim.now(), LineAddr::from_index(round * 10 + i), Some(i))
-                        .unwrap();
-                }
-                for i in 0..10u64 {
-                    lfb.complete(&mut sim, LineAddr::from_index(round * 10 + i));
-                }
+fn bench_lfb() {
+    bench("mem/lfb_allocate_complete_1k", 10, || {
+        let mut sim = Sim::new();
+        let mut lfb = LfbPool::new(10);
+        for round in 0..100u64 {
+            for i in 0..10u64 {
+                lfb.try_allocate(sim.now(), LineAddr::from_index(round * 10 + i), Some(i))
+                    .unwrap();
             }
-            lfb.allocations.get()
-        })
+            for i in 0..10u64 {
+                lfb.complete(&mut sim, LineAddr::from_index(round * 10 + i));
+            }
+        }
+        lfb.allocations.get()
     });
 }
 
-fn bench_replay_window(c: &mut Criterion) {
-    c.bench_function("device/replay_lookup_10k", |b| {
-        b.iter_batched(
-            || {
-                let lines: Vec<LineAddr> = (0..10_000).map(LineAddr::from_index).collect();
-                ReplayModule::new(CoreTrace::from_lines(lines), ReplayConfig::default())
-            },
-            |mut rm| {
-                for i in 0..10_000u64 {
-                    let _ = rm.lookup(LineAddr::from_index(i));
-                }
-                rm.matched.get()
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_replay_window() {
+    bench("device/replay_lookup_10k", 10, || {
+        let lines: Vec<LineAddr> = (0..10_000).map(LineAddr::from_index).collect();
+        let mut rm = ReplayModule::new(CoreTrace::from_lines(lines), ReplayConfig::default());
+        for i in 0..10_000u64 {
+            let _ = rm.lookup(LineAddr::from_index(i));
+        }
+        rm.matched.get()
     });
 }
 
-fn bench_platform_end_to_end(c: &mut Criterion) {
-    c.bench_function("platform/prefetch_8f_500it", |b| {
-        b.iter(|| {
-            let cfg = PlatformConfig::paper_default()
-                .without_replay_device()
-                .fibers_per_core(8);
-            let mut w = Microbench::new(MicrobenchConfig {
-                work_count: 100,
-                mlp: 1,
-                iters_per_fiber: 500,
-                writes_per_iter: 0,
-            });
-            let r = Platform::new(cfg).run(&mut w);
-            r.accesses
-        })
+fn bench_platform_end_to_end() {
+    bench("platform/prefetch_8f_500it", 10, || {
+        let cfg = PlatformConfig::paper_default()
+            .without_replay_device()
+            .fibers_per_core(8);
+        let mut w = Microbench::new(MicrobenchConfig {
+            work_count: 100,
+            mlp: 1,
+            iters_per_fiber: 500,
+            writes_per_iter: 0,
+        });
+        let r = Platform::new(cfg).run(&mut w);
+        r.accesses
     });
 }
 
-criterion_group!(
-    name = substrate;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_event_queue,
-        bench_fiber_poll,
-        bench_lfb,
-        bench_replay_window,
-        bench_platform_end_to_end
-);
-criterion_main!(substrate);
+fn main() {
+    bench_event_queue();
+    bench_fiber_poll();
+    bench_lfb();
+    bench_replay_window();
+    bench_platform_end_to_end();
+}

@@ -5,26 +5,49 @@
 //!   figures --full          # record/replay device, longer loops
 //!   figures --fig fig3      # one figure (or a prefix, e.g. --fig fig10)
 //!   figures --ablations     # the ablation studies as well
+//!   figures --faults plan.toml  # inject the given fault plan into every run
+//!   figures --seed 42       # override the platform RNG seed
 
+use kus_sim::FaultPlan;
 use kus_workloads::figures::{self, Figure, Quality};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let ablations = args.iter().any(|a| a == "--ablations");
-    let only: Option<String> = args
-        .iter()
-        .position(|a| a == "--fig")
-        .and_then(|i| args.get(i + 1).cloned());
-    let q = if full { Quality::full() } else { Quality::fast() };
+    let only: Option<String> = flag_value(&args, "--fig");
+    let mut q = if full { Quality::full() } else { Quality::fast() };
+    if let Some(path) = flag_value(&args, "--faults") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("--faults: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        q.faults = FaultPlan::parse_toml(&text).unwrap_or_else(|e| {
+            eprintln!("--faults: invalid plan in {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+    if let Some(seed) = flag_value(&args, "--seed") {
+        q.seed = Some(seed.parse().unwrap_or_else(|_| {
+            eprintln!("--seed: expected an unsigned integer, got `{seed}`");
+            std::process::exit(2);
+        }));
+    }
     eprintln!(
-        "# quality: iters={} replay_device={} (use --full for the paper methodology)",
-        q.iters, q.replay_device
+        "# quality: iters={} replay_device={} faults={} (use --full for the paper methodology)",
+        q.iters,
+        q.replay_device,
+        if q.faults.is_active() { "active" } else { "off" },
     );
 
     type Thunk = fn(Quality) -> Vec<Figure>;
+    type Entry<'a> = (&'a str, Box<dyn Fn(Quality) -> Vec<Figure>>);
     let single = |f: fn(Quality) -> Figure| move |q: Quality| vec![f(q)];
-    let mut registry: Vec<(&str, Box<dyn Fn(Quality) -> Vec<Figure>>)> = vec![
+    let mut registry: Vec<Entry> = vec![
         ("fig2", Box::new(single(figures::fig2))),
         ("fig3", Box::new(single(figures::fig3))),
         ("fig4", Box::new(single(figures::fig4))),

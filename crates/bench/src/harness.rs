@@ -1,0 +1,40 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The workspace is dependency-free, so the `cargo bench` targets use this
+//! harness instead of Criterion: warm up, take `samples` timed runs, report
+//! the median (robust to scheduler noise) alongside min and max. Output is
+//! one line per benchmark, stable enough to diff across commits.
+
+use std::time::Instant;
+
+/// Times `f` and prints `name: median ns/iter (min .. max)`.
+///
+/// `f` should return something cheap derived from the work (an event count,
+/// a length) so the optimizer cannot delete the benchmark body; the value is
+/// consumed with a volatile-ish black-box pattern below.
+pub fn bench<T>(name: &str, samples: u32, mut f: impl FnMut() -> T) {
+    assert!(samples > 0);
+    // One untimed warm-up run fills caches and lazy-allocated arenas.
+    consume(f());
+    let mut times: Vec<u128> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let start = Instant::now();
+        consume(f());
+        times.push(start.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let (min, max) = (times[0], times[times.len() - 1]);
+    println!("{name}: {median} ns/iter (min {min} .. max {max}, n={samples})");
+}
+
+/// Defeats dead-code elimination of a benchmark's result without `unsafe`.
+fn consume<T>(value: T) {
+    // Moving the value into a drop at a non-inlined boundary is enough for
+    // the benchmarks here, which all do externally visible allocation work.
+    #[inline(never)]
+    fn sink<T>(v: T) {
+        drop(v);
+    }
+    sink(value);
+}

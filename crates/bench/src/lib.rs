@@ -5,11 +5,13 @@
 //! - `cargo run --release -p kus-bench --bin figures [-- --fig figN] [--full]`
 //!   regenerates the data series of every figure in the paper's evaluation
 //!   (and the ablations) and prints them as text tables.
-//! - `cargo bench -p kus-bench` runs the Criterion benchmarks: one scaled-
+//! - `cargo bench -p kus-bench` runs the wall-clock benchmarks: one scaled-
 //!   down configuration per paper figure (so regressions in any modelled
 //!   path show up as timing changes) plus microbenchmarks of the simulator
 //!   substrate itself.
 
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 pub use kus_workloads::figures;

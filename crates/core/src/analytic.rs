@@ -111,7 +111,7 @@ impl UbenchModel {
     pub fn prefetch_in_flight(&self) -> usize {
         (self.fibers * self.mlp)
             .min(self.lfbs)
-            .min((self.chip_queue + self.cores - 1) / self.cores)
+            .min(self.chip_queue.div_ceil(self.cores))
     }
 
     /// Per-access time under prefetch+switch: either latency-bound (the

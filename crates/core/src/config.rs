@@ -6,7 +6,7 @@ use kus_mem::station::StationConfig;
 use kus_mem::uncore::CreditQueue;
 use kus_mem::Backing;
 use kus_pcie::link::LinkConfig;
-use kus_sim::Span;
+use kus_sim::{FaultPlan, Span};
 use kus_swq::SwqCosts;
 
 use crate::mechanism::Mechanism;
@@ -89,6 +89,65 @@ pub struct PlatformConfig {
     pub dataset_bytes: u64,
     /// Workload RNG seed.
     pub seed: u64,
+    /// Deterministic fault injection. The default ([`FaultPlan::none`]) is
+    /// inert: no fault stream is ever consulted, so paper-figure runs are
+    /// bit-for-bit identical to a build without the fault layer.
+    pub faults: FaultPlan,
+    /// Host-side timeout/retry/degradation behaviour for the SWQ access
+    /// path. Disabled by default; [`PlatformConfig::faults`] auto-enables a
+    /// sensible configuration when an active plan is set.
+    pub swq_recovery: SwqRecovery,
+}
+
+/// Timeout, retry, and degradation knobs for the SWQ access path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwqRecovery {
+    /// Master switch. When off, requests wait forever (the seed behaviour).
+    pub enabled: bool,
+    /// Base per-request deadline; retry `k` waits `timeout << k` before the
+    /// next attempt (exponential backoff).
+    pub timeout: Span,
+    /// How often the executor scans outstanding requests for expiry. The
+    /// scan only runs while requests are outstanding, so an idle queue
+    /// schedules nothing.
+    pub check_interval: Span,
+    /// Re-enqueue attempts before a request is reported failed.
+    pub max_retries: u32,
+    /// Stall-free time before the watchdog restores doorbell-request mode.
+    pub quiet_period: Span,
+}
+
+impl SwqRecovery {
+    /// Recovery off: the seed's wait-forever behaviour.
+    pub fn disabled() -> SwqRecovery {
+        SwqRecovery {
+            enabled: false,
+            timeout: Span::ZERO,
+            check_interval: Span::ZERO,
+            max_retries: 0,
+            quiet_period: Span::ZERO,
+        }
+    }
+
+    /// A recovery configuration scaled to the device latency: deadlines far
+    /// beyond any legitimate queueing delay (16×), frequent-enough expiry
+    /// scans (4×), a handful of retries, and a long quiet period (64×)
+    /// before trusting the doorbell-request flag again.
+    pub fn for_device_latency(latency: Span) -> SwqRecovery {
+        SwqRecovery {
+            enabled: true,
+            timeout: latency * 16,
+            check_interval: latency * 4,
+            max_retries: 4,
+            quiet_period: latency * 64,
+        }
+    }
+}
+
+impl Default for SwqRecovery {
+    fn default() -> SwqRecovery {
+        SwqRecovery::disabled()
+    }
 }
 
 impl PlatformConfig {
@@ -119,6 +178,8 @@ impl PlatformConfig {
             use_replay_device: true,
             dataset_bytes: 256 << 20,
             seed: 0xC0FFEE,
+            faults: FaultPlan::none(),
+            swq_recovery: SwqRecovery::disabled(),
         }
     }
 
@@ -211,6 +272,29 @@ impl PlatformConfig {
         self
     }
 
+    /// Sets the fault-injection plan. An *active* plan auto-enables SWQ
+    /// recovery scaled to the current device latency (set the latency
+    /// first, or override with [`PlatformConfig::swq_recovery`] after);
+    /// faults without timeouts would simply wedge the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        plan.validate().expect("invalid fault plan");
+        self.faults = plan;
+        if plan.is_active() && !self.swq_recovery.enabled {
+            self.swq_recovery = SwqRecovery::for_device_latency(self.device_latency);
+        }
+        self
+    }
+
+    /// Overrides the SWQ recovery configuration.
+    pub fn swq_recovery(mut self, r: SwqRecovery) -> Self {
+        self.swq_recovery = r;
+        self
+    }
+
     /// The DRAM-baseline twin of this configuration: same workload shape,
     /// dataset in DRAM, on-demand accesses, single fiber per core (the
     /// paper's baselines are single-threaded per core).
@@ -258,6 +342,29 @@ mod tests {
         assert_eq!(c.fibers_per_core, 24);
         assert_eq!(c.core.lfb_count, 64);
         assert_eq!(c.device_path_credits, 256);
+    }
+
+    #[test]
+    fn active_fault_plan_auto_enables_recovery() {
+        let c = PlatformConfig::paper_default()
+            .device_latency(Span::from_us(2))
+            .faults(FaultPlan::none().with_stalls(0.01));
+        assert!(c.swq_recovery.enabled);
+        assert_eq!(c.swq_recovery.timeout, Span::from_us(32));
+        assert_eq!(c.swq_recovery.quiet_period, Span::from_us(128));
+        // An explicit recovery config is never overridden.
+        let manual = SwqRecovery { max_retries: 9, ..SwqRecovery::for_device_latency(Span::from_us(1)) };
+        let c2 = PlatformConfig::paper_default()
+            .swq_recovery(manual)
+            .faults(FaultPlan::none().with_stalls(0.01));
+        assert_eq!(c2.swq_recovery.max_retries, 9);
+    }
+
+    #[test]
+    fn inert_fault_plan_leaves_recovery_off() {
+        let c = PlatformConfig::paper_default().faults(FaultPlan::none());
+        assert!(!c.swq_recovery.enabled);
+        assert!(!c.faults.is_active());
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::pin::Pin;
 use std::rc::Rc;
 
 use kus_cpu::{Core, Op, OpId, OpKind};
-use kus_fiber::{yield_now, Fiber, FiberId, OneShot, PollOutcome, SchedPolicy, YieldFlag};
+use kus_fiber::{yield_now, Fiber, FiberId, OneShot, PollOutcome, SchedPolicy, Watchdog, YieldFlag};
 use kus_mem::{Addr, ByteStore};
 use kus_sim::event::EventFn;
 use kus_sim::stats::Counter;
@@ -34,6 +34,7 @@ use kus_swq::descriptor::Descriptor;
 use kus_swq::ring::QueuePair;
 use kus_swq::SwqCosts;
 
+use crate::config::SwqRecovery;
 use crate::mechanism::Mechanism;
 
 /// A dependence on either an op buffered this poll or an already-emitted op.
@@ -73,6 +74,35 @@ struct SwqPending {
     slot: OneShot<u64>,
     fiber: FiberId,
     addr: Addr,
+    /// Absolute expiry time of the current attempt ([`Time::MAX`] until the
+    /// enqueue op lands, or when recovery is disabled).
+    deadline: Time,
+    /// Re-enqueue attempts performed so far.
+    retries: u32,
+}
+
+/// Timeout/retry/degradation machinery for one core's SWQ state.
+struct RecoveryState {
+    cfg: SwqRecovery,
+    watchdog: Watchdog,
+    /// An expiry-scan event is in flight.
+    check_armed: bool,
+    /// The configured doorbell mode to restore after degradation.
+    base_doorbell_always: bool,
+}
+
+/// A completion-delivery callback keyed by request tag.
+pub(crate) type TagHook = Rc<dyn Fn(&mut Sim, u64)>;
+
+/// Recovery counters harvested into the run's fault report.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SwqRecoveryStats {
+    pub(crate) timeouts: u64,
+    pub(crate) retries: u64,
+    pub(crate) failed: u64,
+    pub(crate) stale_completions: u64,
+    pub(crate) degradations: u64,
+    pub(crate) restorations: u64,
 }
 
 /// Software-queue state for one core's executor.
@@ -86,6 +116,16 @@ pub(crate) struct SwqState {
     /// When the previous completion landed: completions arriving within a
     /// burst share one completion-queue scan.
     last_completion: Time,
+    recovery: Option<RecoveryState>,
+    /// Requests whose deadline expired at least once.
+    pub(crate) timeouts: Counter,
+    /// Re-enqueue attempts performed.
+    pub(crate) retries_performed: Counter,
+    /// Requests abandoned after exhausting their retry budget.
+    pub(crate) failed: Counter,
+    /// Completions for tags no longer pending (duplicates, or late arrivals
+    /// of attempts the timeout path already resolved) — absorbed by dedup.
+    pub(crate) stale_completions: Counter,
 }
 
 impl SwqState {
@@ -101,7 +141,25 @@ impl SwqState {
             pending: HashMap::new(),
             next_tag: 0,
             last_completion: Time::MAX,
+            recovery: None,
+            timeouts: Counter::default(),
+            retries_performed: Counter::default(),
+            failed: Counter::default(),
+            stale_completions: Counter::default(),
         }
+    }
+
+    /// Enables timeout/retry/degradation handling. `base_doorbell_always`
+    /// is the configured mode the watchdog restores after a degradation
+    /// episode ends.
+    pub(crate) fn enable_recovery(&mut self, cfg: SwqRecovery, base_doorbell_always: bool) {
+        assert!(cfg.enabled && !cfg.timeout.is_zero() && !cfg.check_interval.is_zero());
+        self.recovery = Some(RecoveryState {
+            cfg,
+            watchdog: Watchdog::new(cfg.quiet_period),
+            check_armed: false,
+            base_doorbell_always,
+        });
     }
 }
 
@@ -192,7 +250,7 @@ impl Executor {
     /// The host-side hook the platform wires into the device's request
     /// fetcher: delivers a completion to the waiting fiber, charging the
     /// completion-handling software cost.
-    pub(crate) fn swq_completion_hook(&self) -> Rc<dyn Fn(&mut Sim, u64)> {
+    pub(crate) fn swq_completion_hook(&self) -> TagHook {
         let inner = self.inner.clone();
         Rc::new(move |sim: &mut Sim, tag: u64| {
             ExecInner::on_swq_completion(&inner, sim, tag);
@@ -247,6 +305,32 @@ impl Executor {
     /// Dataset writes issued so far.
     pub fn writes(&self) -> u64 {
         self.inner.borrow().writes.get()
+    }
+
+    /// Recovery counters for this core's SWQ state (None when the executor
+    /// has no SWQ state installed).
+    pub(crate) fn swq_recovery_stats(&self) -> Option<SwqRecoveryStats> {
+        let x = self.inner.borrow();
+        let swq = x.swq.as_ref()?;
+        let (degradations, restorations) = match &swq.recovery {
+            Some(rec) => (rec.watchdog.degradations.get(), rec.watchdog.restorations.get()),
+            None => (0, 0),
+        };
+        Some(SwqRecoveryStats {
+            timeouts: swq.timeouts.get(),
+            retries: swq.retries_performed.get(),
+            failed: swq.failed.get(),
+            stale_completions: swq.stale_completions.get(),
+            degradations,
+            restorations,
+        })
+    }
+
+    /// Enables SWQ timeout/retry/degradation handling on this executor.
+    pub(crate) fn enable_swq_recovery(&self, cfg: SwqRecovery, base_doorbell_always: bool) {
+        let mut x = self.inner.borrow_mut();
+        let swq = x.swq.as_mut().expect("enable_swq_recovery before set_swq");
+        swq.enable_recovery(cfg, base_doorbell_always);
     }
 }
 
@@ -492,14 +576,9 @@ impl ExecInner {
             let dataset = x.dataset.clone();
             let core = x.core.clone();
             let swq = x.swq.as_mut().expect("swq completion without swq state");
-            let p = swq
-                .pending
-                .remove(&tag)
-                .unwrap_or_else(|| panic!("completion for unknown tag {tag}"));
             // Drain the ring entry the device posted (the real polling).
             let polled = swq.qp.borrow_mut().poll_completion();
             debug_assert!(polled.is_some(), "completion ring empty at hook time");
-            let value = dataset.borrow().read_u64(p.addr);
             let now = sim.now();
             let fresh_scan = swq.last_completion == Time::MAX
                 || now.saturating_since(swq.last_completion) > BURST_GAP;
@@ -508,6 +587,24 @@ impl ExecInner {
             if fresh_scan {
                 cost += swq.costs.poll_scan;
             }
+            let Some(p) = swq.pending.remove(&tag) else {
+                // Tags are never reused, so an unknown tag is a duplicate
+                // completion or a late arrival for an attempt the timeout
+                // path already resolved. The host still pays to scan and
+                // discard the entry, but nothing is delivered twice.
+                swq.stale_completions.incr();
+                drop(x);
+                Core::emit(&core, sim, Op::new(OpKind::SoftWork { span: cost }));
+                return;
+            };
+            // Real progress: after a quiet period, restore the optimized
+            // doorbell mode a stall episode may have degraded.
+            if let Some(rec) = swq.recovery.as_mut() {
+                if rec.watchdog.on_progress(now) {
+                    swq.qp.borrow_mut().set_doorbell_always(rec.base_doorbell_always);
+                }
+            }
+            let value = dataset.borrow().read_u64(p.addr);
             (core, cost, p.slot, p.fiber, value)
         };
         // The user-level scheduler's completion handling runs on the core.
@@ -520,6 +617,110 @@ impl ExecInner {
                 ExecInner::wake(&this2, sim, fiber);
             }),
         );
+    }
+
+    /// Periodic expiry scan over outstanding SWQ requests. Timed-out
+    /// attempts are re-enqueued with exponential backoff (and the doorbell
+    /// forced, in case the device's doorbell-request flag was lost); after
+    /// the retry budget is exhausted the request is failed over to the
+    /// host-side copy of the data so the fiber always completes. Every
+    /// timeout feeds the stall watchdog, which degrades the queue pair to
+    /// doorbell-always mode until a quiet period passes.
+    fn swq_check(this: &Rc<RefCell<ExecInner>>, sim: &mut Sim) {
+        struct FailOver {
+            slot: OneShot<u64>,
+            fiber: FiberId,
+            value: u64,
+        }
+        let now = sim.now();
+        let mut fails: Vec<FailOver> = Vec::new();
+        let mut retried: u64 = 0;
+        let (core, ring_doorbell, costs, rearm) = {
+            let mut x = this.borrow_mut();
+            let core = x.core.clone();
+            let dataset = x.dataset.clone();
+            let Some(swq) = x.swq.as_mut() else { return };
+            let costs = swq.costs;
+            let qp = swq.qp.clone();
+            let ring_doorbell = swq.ring_doorbell.clone();
+            let Some(rec) = swq.recovery.as_mut() else { return };
+            rec.check_armed = false;
+            if swq.pending.is_empty() {
+                // Idle: the next issue re-arms the scan, so an otherwise
+                // finished simulation is free to terminate.
+                return;
+            }
+            let cfg = rec.cfg;
+            // Sorted for determinism: HashMap iteration order is not stable
+            // across runs.
+            let mut expired: Vec<u64> = swq
+                .pending
+                .iter()
+                .filter(|(_, p)| p.deadline <= now)
+                .map(|(&t, _)| t)
+                .collect();
+            expired.sort_unstable();
+            for tag in expired {
+                swq.timeouts.incr();
+                let p = swq.pending.get_mut(&tag).expect("expired tag is pending");
+                if p.retries >= cfg.max_retries {
+                    let p = swq.pending.remove(&tag).expect("expired tag is pending");
+                    swq.failed.incr();
+                    // Fail over to the host's coherent copy of the line so
+                    // the fiber completes instead of wedging the run.
+                    let value = dataset.borrow().read_u64(p.addr);
+                    fails.push(FailOver { slot: p.slot, fiber: p.fiber, value });
+                } else {
+                    p.retries += 1;
+                    // Exponential backoff on the next deadline.
+                    p.deadline = now + cfg.timeout * (1u64 << p.retries.min(16));
+                    swq.retries_performed.incr();
+                    retried += 1;
+                    // Re-enqueue; if the ring is full the next scan round
+                    // simply tries again. A duplicate service of the
+                    // original descriptor is absorbed by tag dedup.
+                    let _ = qp.borrow_mut().enqueue(Descriptor { read_addr: p.addr, tag });
+                }
+                if rec.watchdog.on_stall(now) {
+                    qp.borrow_mut().set_doorbell_always(true);
+                }
+            }
+            let rearm = if swq.pending.is_empty() {
+                None
+            } else {
+                rec.check_armed = true;
+                Some(cfg.check_interval)
+            };
+            (core, ring_doorbell, costs, rearm)
+        };
+        for f in fails {
+            let this2 = this.clone();
+            let cost = costs.completion_each + costs.poll_scan;
+            Core::emit(
+                &core,
+                sim,
+                Op::new(OpKind::SoftWork { span: cost }).on_complete(move |sim| {
+                    f.slot.set(f.value);
+                    ExecInner::wake(&this2, sim, f.fiber);
+                }),
+            );
+        }
+        if retried > 0 {
+            // The host pays for the re-enqueues and rings the doorbell
+            // unconditionally once per round: if the fetcher's parked-state
+            // flag write was lost, only an explicit ring restarts it.
+            Core::emit(&core, sim, Op::new(OpKind::SoftWork { span: costs.enqueue_first * retried }));
+            Core::emit(
+                &core,
+                sim,
+                Op::new(OpKind::Mmio { cost: Span::from_ns(300) })
+                    .on_complete(move |sim| ring_doorbell(sim)),
+            );
+        }
+        if let Some(interval) = rearm {
+            let this2 = this.clone();
+            sim.schedule_in(interval, move |sim| ExecInner::swq_check(&this2, sim));
+        }
     }
 }
 
@@ -765,7 +966,10 @@ impl MemCtx {
             let swq = x.swq.as_mut().expect("software-queue mechanism without swq state");
             let tag = swq.next_tag;
             swq.next_tag += 1;
-            swq.pending.insert(tag, SwqPending { slot, fiber, addr });
+            swq.pending.insert(
+                tag,
+                SwqPending { slot, fiber, addr, deadline: Time::MAX, retries: 0 },
+            );
             let cost = if first_of_batch { swq.costs.enqueue_first } else { swq.costs.enqueue_next };
             (tag, cost)
         };
@@ -774,12 +978,28 @@ impl MemCtx {
             OpKind::SoftWork { span: enqueue_cost },
             serial.into_iter().collect(),
             Some(Box::new(move |sim: &mut Sim| {
-                let (qp, ring_doorbell, core, doorbell_needed) = {
-                    let x = exec.borrow();
-                    let swq = x.swq.as_ref().expect("swq state");
-                    (swq.qp.clone(), swq.ring_doorbell.clone(), x.core.clone(), false)
+                let (qp, ring_doorbell, core, arm_check) = {
+                    let mut x = exec.borrow_mut();
+                    let core = x.core.clone();
+                    let swq = x.swq.as_mut().expect("swq state");
+                    let mut arm_check = None;
+                    if let Some(rec) = swq.recovery.as_mut() {
+                        // The attempt starts now that the descriptor is in
+                        // the ring; the expiry scan self-disarms when idle.
+                        if let Some(p) = swq.pending.get_mut(&tag) {
+                            p.deadline = sim.now() + rec.cfg.timeout;
+                        }
+                        if !rec.check_armed {
+                            rec.check_armed = true;
+                            arm_check = Some(rec.cfg.check_interval);
+                        }
+                    }
+                    (swq.qp.clone(), swq.ring_doorbell.clone(), core, arm_check)
                 };
-                let _ = doorbell_needed;
+                if let Some(interval) = arm_check {
+                    let exec2 = exec.clone();
+                    sim.schedule_in(interval, move |sim| ExecInner::swq_check(&exec2, sim));
+                }
                 let rang = qp
                     .borrow_mut()
                     .enqueue(Descriptor { read_addr: addr, tag })
@@ -1023,7 +1243,7 @@ mod tests {
             let hook = hook.clone();
             fn pump(
                 qp: Rc<RefCell<QueuePair>>,
-                hook: Rc<dyn Fn(&mut Sim, u64)>,
+                hook: TagHook,
                 sim: &mut Sim,
             ) {
                 let burst = qp.borrow_mut().fetch_burst();

@@ -52,17 +52,19 @@ pub mod metrics;
 pub mod platform;
 pub mod workload;
 
-pub use config::PlatformConfig;
+pub use config::{PlatformConfig, SwqRecovery};
 pub use dataset::Dataset;
 pub use exec::{Executor, MemCtx};
 pub use mechanism::Mechanism;
-pub use metrics::{DeviceReport, LinkReport, RunReport};
+pub use metrics::{DeviceReport, FaultReport, LinkReport, RunReport};
 pub use platform::Platform;
 pub use workload::{FiberFuture, Workload};
 
 /// Convenient glob-import of the public API.
 pub mod prelude {
-    pub use crate::config::PlatformConfig;
+    pub use crate::config::{PlatformConfig, SwqRecovery};
+    pub use crate::metrics::FaultReport;
+    pub use kus_sim::FaultPlan;
     pub use crate::dataset::Dataset;
     pub use crate::exec::MemCtx;
     pub use crate::mechanism::Mechanism;

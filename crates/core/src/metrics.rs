@@ -52,6 +52,38 @@ impl LinkReport {
     }
 }
 
+/// Fault-injection and recovery statistics for one run. All zeros when the
+/// fault plan is inert and recovery never fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Device latency spikes injected.
+    pub latency_spikes: u64,
+    /// Fetcher stalls injected (parked with the doorbell-request flag lost).
+    pub stalls: u64,
+    /// Completions dropped in flight.
+    pub dropped_completions: u64,
+    /// Completions duplicated in flight.
+    pub dup_completions: u64,
+    /// Doorbell MMIO writes lost in flight.
+    pub dropped_doorbells: u64,
+    /// TLPs that needed a link-level replay.
+    pub tlp_replays: u64,
+    /// Completions the device could not post (completion ring full).
+    pub completion_overflows: u64,
+    /// Request deadlines that expired (per attempt).
+    pub timeouts: u64,
+    /// Re-enqueue attempts performed by the recovery path.
+    pub retries: u64,
+    /// Requests failed over to the host-side copy after the retry budget.
+    pub failed: u64,
+    /// Duplicate/late completions absorbed by tag dedup.
+    pub stale_completions: u64,
+    /// Watchdog transitions into doorbell-always mode.
+    pub degradations: u64,
+    /// Watchdog restorations of the optimized doorbell mode.
+    pub restorations: u64,
+}
+
 /// The result of one platform run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -93,6 +125,9 @@ pub struct RunReport {
     pub device: Option<DeviceReport>,
     /// Link statistics (device-backed runs only).
     pub link: Option<LinkReport>,
+    /// Fault-injection/recovery statistics (present when a fault plan is
+    /// active or SWQ recovery is enabled).
+    pub faults: Option<FaultReport>,
 }
 
 impl RunReport {
@@ -163,6 +198,7 @@ mod tests {
             fill_latency: None,
             device: None,
             link: None,
+            faults: None,
         }
     }
 

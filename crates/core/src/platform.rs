@@ -29,14 +29,14 @@ use kus_mem::{Backing, LINE_BYTES};
 use kus_pcie::dma::DmaEngine;
 use kus_pcie::link::{LinkDir, PcieLink};
 use kus_pcie::tlp::Tlp;
-use kus_sim::Sim;
+use kus_sim::{FaultInjector, Sim, SimRng};
 use kus_swq::ring::QueuePair;
 
 use crate::config::PlatformConfig;
 use crate::dataset::Dataset;
 use crate::exec::{Executor, SwqState};
 use crate::mechanism::Mechanism;
-use crate::metrics::{DeviceReport, LinkReport, RunReport};
+use crate::metrics::{DeviceReport, FaultReport, LinkReport, RunReport};
 use crate::workload::Workload;
 
 /// The assembled experiment platform.
@@ -104,6 +104,17 @@ impl Platform {
         let mut sim = Sim::new();
         let store = dataset.store();
 
+        // One injector per phase, derived from the run seed: record and
+        // replay phases see the same fault schedule, and an inert plan
+        // never draws from the RNG, so fault-free runs are bit-identical
+        // to a build without this subsystem.
+        let injector = cfg.faults.is_active().then(|| {
+            Rc::new(RefCell::new(FaultInjector::new(
+                cfg.faults,
+                &SimRng::from_seed(cfg.seed).split("faults"),
+            )))
+        });
+
         let host_dram = Station::new("host-dram", cfg.host_dram);
         let dram_credits = Rc::new(RefCell::new(CreditQueue::new("dram-path", cfg.dram_path_credits)));
         let dram_fill: FillPath = {
@@ -120,6 +131,9 @@ impl Platform {
         let fill_latency = Rc::new(RefCell::new(kus_sim::stats::SpanHistogram::new()));
         if !matches!(phase, Phase::Dram) {
             let l = PcieLink::new(cfg.link);
+            if let Some(inj) = &injector {
+                l.borrow_mut().set_fault_injector(inj.clone());
+            }
             let hold = cfg.device_latency.saturating_sub(l.borrow().unloaded_read_rtt(LINE_BYTES));
             let dev_cfg = DeviceConfig {
                 hold,
@@ -142,6 +156,9 @@ impl Platform {
                 }
                 Phase::Dram => unreachable!(),
             };
+            if let Some(inj) = &injector {
+                dc.borrow_mut().set_fault_injector(inj.clone());
+            }
             // Pre-load the streaming window before the measured run starts —
             // the paper DMA-loads the recorded sequence before the second run.
             DeviceCore::start_streaming(&dc, &mut sim);
@@ -266,21 +283,36 @@ impl Platform {
                     dma,
                     hook,
                 );
+                if let Some(inj) = &injector {
+                    fetcher.borrow_mut().set_fault_injector(inj.clone());
+                }
                 // The doorbell: an MMIO write TLP to the device's per-core
                 // doorbell register.
                 let ring: Rc<dyn Fn(&mut Sim)> = {
                     let l = l.clone();
+                    let inj = injector.clone();
                     Rc::new(move |sim: &mut Sim| {
                         let f = fetcher.clone();
+                        // A lost doorbell still crosses the wire (the TLP is
+                        // sent and paid for) but the register write never
+                        // takes effect at the device.
+                        let lost = inj.as_ref().is_some_and(|i| i.borrow_mut().drop_doorbell());
                         l.borrow_mut().send(
                             sim,
                             LinkDir::HostToDev,
                             Tlp::mem_write(8),
-                            Box::new(move |sim| RequestFetcher::on_doorbell(&f, sim)),
+                            Box::new(move |sim| {
+                                if !lost {
+                                    RequestFetcher::on_doorbell(&f, sim);
+                                }
+                            }),
                         );
                     })
                 };
                 exec.set_swq(SwqState::new(qp.clone(), cfg.swq, ring));
+                if cfg.swq_recovery.enabled {
+                    exec.enable_swq_recovery(cfg.swq_recovery, cfg.swq_doorbell_every_enqueue);
+                }
                 qps.push(qp);
             }
 
@@ -352,6 +384,30 @@ impl Platform {
                 down_payload_bytes: down.payload_bytes.get(),
             }
         });
+        let faults = (injector.is_some() || cfg.swq_recovery.enabled).then(|| {
+            let mut fr = FaultReport::default();
+            if let Some(inj) = &injector {
+                let s = inj.borrow().stats;
+                fr.latency_spikes = s.latency_spikes.get();
+                fr.stalls = s.stalls.get();
+                fr.dropped_completions = s.dropped_completions.get();
+                fr.dup_completions = s.dup_completions.get();
+                fr.dropped_doorbells = s.dropped_doorbells.get();
+                fr.tlp_replays = s.tlp_replays.get();
+            }
+            fr.completion_overflows = qps.iter().map(|q| q.borrow().completion_overflows.get()).sum();
+            for e in &execs {
+                if let Some(r) = e.swq_recovery_stats() {
+                    fr.timeouts += r.timeouts;
+                    fr.retries += r.retries;
+                    fr.failed += r.failed;
+                    fr.stale_completions += r.stale_completions;
+                    fr.degradations += r.degradations;
+                    fr.restorations += r.restorations;
+                }
+            }
+            fr
+        });
 
         let report = RunReport {
             workload: w.name(),
@@ -373,6 +429,7 @@ impl Platform {
                 .then(|| fill_latency.borrow().clone()),
             device,
             link: link_report,
+            faults,
         };
         report
     }

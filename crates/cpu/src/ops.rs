@@ -131,7 +131,7 @@ pub fn work_chunks(insts: u32, chunk: u32) -> impl Iterator<Item = u32> {
     assert!(chunk > 0, "chunk must be non-zero");
     let full = insts / chunk;
     let rem = insts % chunk;
-    std::iter::repeat(chunk).take(full as usize).chain((rem > 0).then_some(rem))
+    std::iter::repeat_n(chunk, full as usize).chain((rem > 0).then_some(rem))
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use std::rc::Rc;
 use kus_mem::station::{Station, StationConfig};
 use kus_mem::{ByteStore, LineAddr, LINE_BYTES};
 use kus_sim::stats::Counter;
-use kus_sim::{Sim, Span};
+use kus_sim::{FaultInjector, Sim, Span};
 
 use crate::ondemand::OnDemandModule;
 use crate::replay::{MatchOutcome, ReplayConfig, ReplayModule};
@@ -74,6 +74,7 @@ pub struct DeviceCore {
     stream_channel: Rc<RefCell<Station>>,
     ondemand: OnDemandModule,
     recorder: Option<Rc<RefCell<AccessTrace>>>,
+    faults: Option<Rc<RefCell<FaultInjector>>>,
     /// Responses released.
     pub responses: Counter,
     /// Requests matched by a replay module.
@@ -121,6 +122,7 @@ impl DeviceCore {
             stream_channel,
             ondemand: OnDemandModule::new(config.onboard),
             recorder: None,
+            faults: None,
             responses: Counter::default(),
             replayed: Counter::default(),
             ondemand_served: Counter::default(),
@@ -131,6 +133,12 @@ impl DeviceCore {
     /// The configured (mean) hold time.
     pub fn hold(&self) -> Span {
         self.config.hold
+    }
+
+    /// Attaches a fault injector; service times may then spike according to
+    /// its plan.
+    pub fn set_fault_injector(&mut self, injector: Rc<RefCell<FaultInjector>>) {
+        self.faults = Some(injector);
     }
 
     /// The hold time of request `seq` from `core`: the configured hold with
@@ -208,7 +216,15 @@ impl DeviceCore {
             let seq = d.serve_seq[core];
             d.serve_seq[core] += 1;
             let outcome = d.replay[core].lookup(line);
-            (outcome, d.streamers[core].clone(), d.jittered_hold(core, seq))
+            let mut hold = d.jittered_hold(core, seq);
+            // Injected latency spike: the device internals fell behind for
+            // this request, inflating its service time past the hold.
+            if let Some(faults) = &d.faults {
+                if let Some(spike) = faults.borrow_mut().latency_spike() {
+                    hold += spike;
+                }
+            }
+            (outcome, d.streamers[core].clone(), hold)
         };
         let deadline = arrival + hold;
         let this2 = this.clone();

@@ -17,7 +17,7 @@ use std::rc::Rc;
 
 use kus_pcie::dma::DmaEngine;
 use kus_sim::stats::Counter;
-use kus_sim::Sim;
+use kus_sim::{FaultInjector, Sim};
 use kus_swq::descriptor::{Completion, Descriptor, COMPLETION_BYTES, DESCRIPTOR_BYTES};
 use kus_swq::ring::QueuePair;
 
@@ -54,6 +54,7 @@ pub struct RequestFetcher {
     consecutive_empty: usize,
     bursts_in_flight: usize,
     launcher_armed: bool,
+    faults: Option<Rc<RefCell<FaultInjector>>>,
     /// Burst DMA reads performed.
     pub burst_reads: Counter,
     /// Doorbell arrivals observed.
@@ -92,6 +93,7 @@ impl RequestFetcher {
             consecutive_empty: 0,
             bursts_in_flight: 0,
             launcher_armed: false,
+            faults: None,
             burst_reads: Counter::default(),
             doorbells: Counter::default(),
             served: Counter::default(),
@@ -101,6 +103,12 @@ impl RequestFetcher {
     /// Whether the fetch loop is active.
     pub fn is_running(&self) -> bool {
         self.running
+    }
+
+    /// Attaches a fault injector; parks may then lose their doorbell-request
+    /// flag write and served completions may be dropped or duplicated.
+    pub fn set_fault_injector(&mut self, injector: Rc<RefCell<FaultInjector>>) {
+        self.faults = Some(injector);
     }
 
     /// Called when the host's doorbell MMIO write arrives at the device.
@@ -198,6 +206,16 @@ impl RequestFetcher {
                     f.consecutive_empty = 0;
                     let rerun = std::mem::take(&mut f.doorbell_while_running);
                     let dma = f.dma.clone();
+                    // Injected stall: the flag write is lost in transit, so
+                    // the host never learns it must ring — the queue is dead
+                    // until the watchdog forces doorbells back on.
+                    let stall = match &f.faults {
+                        Some(inj) => inj.borrow_mut().fetcher_stall(),
+                        None => false,
+                    };
+                    if stall {
+                        f.qp.borrow_mut().clear_doorbell_request();
+                    }
                     drop(f);
                     dma.borrow_mut().count_write();
                     dma.borrow().write(sim, 8, Box::new(|_| {}));
@@ -217,10 +235,17 @@ impl RequestFetcher {
     }
 
     fn serve_one(this: &Rc<RefCell<RequestFetcher>>, sim: &mut Sim, desc: Descriptor) {
-        let (device, dma, qp, hook, host_core) = {
+        let (device, dma, qp, hook, host_core, faults) = {
             let mut f = this.borrow_mut();
             f.served.incr();
-            (f.device.clone(), f.dma.clone(), f.qp.clone(), f.on_completion.clone(), f.host_core)
+            (
+                f.device.clone(),
+                f.dma.clone(),
+                f.qp.clone(),
+                f.on_completion.clone(),
+                f.host_core,
+                f.faults.clone(),
+            )
         };
         DeviceCore::serve(
             &device,
@@ -234,15 +259,43 @@ impl RequestFetcher {
                 // are performed after writes to the response address").
                 dma.borrow_mut().count_write();
                 dma.borrow().write(sim, kus_mem::LINE_BYTES, Box::new(|_| {}));
-                dma.borrow_mut().count_write();
-                dma.borrow().write(
-                    sim,
-                    COMPLETION_BYTES,
-                    Box::new(move |sim| {
-                        qp.borrow_mut().post_completion(Completion { tag: desc.tag });
-                        hook(sim, Completion { tag: desc.tag }, data);
-                    }),
-                );
+                // Injected faults on the completion entry itself: a dropped
+                // write never reaches the ring (the host recovers it by
+                // timeout + retry); a duplicated one lands twice (the host's
+                // tag dedup absorbs the echo).
+                let (dropped, copies) = match &faults {
+                    Some(inj) => {
+                        let mut inj = inj.borrow_mut();
+                        if inj.drop_completion() {
+                            (true, 0)
+                        } else if inj.dup_completion() {
+                            (false, 2)
+                        } else {
+                            (false, 1)
+                        }
+                    }
+                    None => (false, 1),
+                };
+                if dropped {
+                    return;
+                }
+                for _ in 0..copies {
+                    let qp = qp.clone();
+                    let hook = hook.clone();
+                    dma.borrow_mut().count_write();
+                    dma.borrow().write(
+                        sim,
+                        COMPLETION_BYTES,
+                        Box::new(move |sim| {
+                            // A full completion ring loses the entry exactly
+                            // as real hardware would; the host's timeout path
+                            // recovers the request, so don't run the hook.
+                            if qp.borrow_mut().post_completion(Completion { tag: desc.tag }) {
+                                hook(sim, Completion { tag: desc.tag }, data);
+                            }
+                        }),
+                    );
+                }
             }),
         );
     }

@@ -16,7 +16,7 @@ use kus_pcie::tlp::Tlp;
 use kus_sim::stats::Counter;
 use kus_sim::Sim;
 
-use crate::core::{DeviceCore, LineData};
+use crate::core::{DeviceCore, RespondFn};
 
 /// The device behind its memory-mapped (BAR) interface.
 #[derive(Debug)]
@@ -46,7 +46,7 @@ impl MmioDevice {
         sim: &mut Sim,
         host_core: usize,
         line: LineAddr,
-        on_data: Box<dyn FnOnce(&mut Sim, LineData)>,
+        on_data: RespondFn,
     ) {
         this.borrow_mut().reads.incr();
         let (link, core) = {

@@ -11,6 +11,8 @@
 //!   and [`yield_now`](primitives::yield_now).
 //! - [`sched`]: [`RoundRobin`](sched::RoundRobin) (prefetch mechanism) and
 //!   [`Fifo`](sched::Fifo) (software-managed queues) policies.
+//! - [`watchdog`]: stall detection and doorbell-mode degradation for the
+//!   software-managed-queue access path.
 //!
 //! The executor that binds fibers to a simulated core lives in `kus-core`.
 
@@ -20,7 +22,9 @@
 pub mod fiber;
 pub mod primitives;
 pub mod sched;
+pub mod watchdog;
 
 pub use fiber::{noop_waker, Fiber, FiberId, PollOutcome, YieldFlag};
 pub use primitives::{yield_now, OneShot, OneShotFuture};
 pub use sched::{Fifo, RoundRobin, SchedPolicy};
+pub use watchdog::{DoorbellMode, Watchdog};

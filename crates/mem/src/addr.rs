@@ -58,7 +58,7 @@ impl Addr {
     /// Panics if `align` is zero.
     pub fn is_aligned(self, align: u64) -> bool {
         assert!(align > 0, "alignment must be non-zero");
-        self.0 % align == 0
+        self.0.is_multiple_of(align)
     }
 
     /// Rounds this address up to the next multiple of `align`.

@@ -213,7 +213,7 @@ mod tests {
 
     #[test]
     fn probe_does_not_count() {
-        let mut c = SetAssocCache::new(2, 1);
+        let c = SetAssocCache::new(2, 1);
         c.probe(line(0));
         assert_eq!(c.hits.get() + c.misses.get(), 0);
     }

@@ -14,7 +14,7 @@ use std::rc::Rc;
 
 use kus_sim::event::EventFn;
 use kus_sim::stats::Counter;
-use kus_sim::{Sim, Span, Time};
+use kus_sim::{FaultInjector, Sim, Span, Time};
 
 use crate::tlp::Tlp;
 
@@ -69,15 +69,19 @@ impl Direction {
         Direction { config, busy_until: Time::ZERO, stats: DirectionStats::default() }
     }
 
-    /// Returns the arrival time of `tlp` if sent now.
-    fn send(&mut self, now: Time, tlp: Tlp) -> Time {
+    /// Returns the arrival time of `tlp` if sent now. A replayed TLP is
+    /// serialized `1 + replays` times (as after an LCRC error and ack
+    /// timeout): it holds the wire longer and arrives after its final copy.
+    fn send(&mut self, now: Time, tlp: Tlp, replays: u64) -> Time {
         let start = now.max(self.busy_until);
         let ser = self.config.serialize(tlp.wire_bytes());
-        self.busy_until = start + ser;
-        self.stats.tlps.incr();
-        self.stats.wire_bytes.add(tlp.wire_bytes());
+        let copies = 1 + replays;
+        self.busy_until = start + ser * copies;
+        // Every copy burns wire bytes; the payload is only delivered once.
+        self.stats.tlps.add(copies);
+        self.stats.wire_bytes.add(tlp.wire_bytes() * copies);
         self.stats.payload_bytes.add(tlp.payload_bytes());
-        start + ser + self.config.propagation
+        start + ser * copies + self.config.propagation
     }
 }
 
@@ -113,6 +117,7 @@ pub enum LinkDir {
 pub struct PcieLink {
     host_to_dev: Direction,
     dev_to_host: Direction,
+    faults: Option<Rc<RefCell<FaultInjector>>>,
 }
 
 impl PcieLink {
@@ -122,7 +127,14 @@ impl PcieLink {
         Rc::new(RefCell::new(PcieLink {
             host_to_dev: Direction::new(config),
             dev_to_host: Direction::new(config),
+            faults: None,
         }))
+    }
+
+    /// Attaches a fault injector; TLPs may then be replayed on the wire
+    /// according to its plan.
+    pub fn set_fault_injector(&mut self, injector: Rc<RefCell<FaultInjector>>) {
+        self.faults = Some(injector);
     }
 
     fn dir(&mut self, dir: LinkDir) -> &mut Direction {
@@ -134,7 +146,11 @@ impl PcieLink {
 
     /// Sends `tlp` in direction `dir`; `on_arrive` fires at the far end.
     pub fn send(&mut self, sim: &mut Sim, dir: LinkDir, tlp: Tlp, on_arrive: EventFn) {
-        let at = self.dir(dir).send(sim.now(), tlp);
+        let replays = match &self.faults {
+            Some(f) if f.borrow_mut().tlp_replay() => 1,
+            _ => 0,
+        };
+        let at = self.dir(dir).send(sim.now(), tlp, replays);
         sim.schedule_at(at, on_arrive);
     }
 
@@ -235,6 +251,27 @@ mod tests {
         let c = LinkConfig::gen2_x8();
         assert!((c.bytes_per_sec() - 4e9).abs() < 1.0);
         assert_eq!(c.serialize(64), Span::from_ns(16));
+    }
+
+    #[test]
+    fn tlp_replay_serializes_twice() {
+        use kus_sim::{FaultPlan, SimRng};
+        let mut sim = Sim::new();
+        let link = PcieLink::new(LinkConfig { ps_per_byte: 1000, propagation: Span::ZERO });
+        let inj = FaultInjector::new(
+            FaultPlan::none().with_tlp_replays(1.0),
+            &SimRng::from_seed(1),
+        );
+        link.borrow_mut().set_fault_injector(Rc::new(RefCell::new(inj)));
+        // 24-byte read at 1 ns/B, replayed once: arrival at 48 ns, both
+        // copies accounted on the wire, payload counted once.
+        let a = send_collect(&link, &mut sim, LinkDir::HostToDev, Tlp::mem_read());
+        sim.run();
+        assert_eq!(a.get(), 48);
+        let stats = link.borrow().stats(LinkDir::HostToDev);
+        assert_eq!(stats.tlps.get(), 2);
+        assert_eq!(stats.wire_bytes.get(), 48);
+        assert_eq!(stats.payload_bytes.get(), 0);
     }
 
     #[test]

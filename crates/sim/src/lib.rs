@@ -10,6 +10,8 @@
 //!   closures with deterministic same-instant ordering.
 //! - [`rng`]: seeded, label-splittable random streams.
 //! - [`stats`]: counters, occupancy gauges, span histograms, rate helpers.
+//! - [`fault`]: deterministic fault injection ([`FaultPlan`] /
+//!   [`FaultInjector`]) for chaos experiments.
 //!
 //! # Examples
 //!
@@ -30,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{RunOutcome, Sim};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use rng::SimRng;
 pub use time::{Clock, Span, Time};

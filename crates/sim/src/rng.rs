@@ -5,9 +5,13 @@
 //! gives independent sub-streams whose draws do not depend on the order in
 //! which unrelated components consume randomness — a common determinism bug
 //! in simulators.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is an in-repo **xoshiro256++** (public domain, Blackman &
+//! Vigna) seeded through a splitmix64 expansion. Keeping it in-tree — rather
+//! than pulling in the `rand` crate — makes the workspace fully
+//! self-contained and guarantees the stream is stable across platforms,
+//! Rust versions, and dependency upgrades, which the record/replay
+//! methodology and the fault-injection layer both rely on.
 
 /// A deterministic random stream.
 ///
@@ -31,13 +35,17 @@ use rand::{Rng, RngCore, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a stream from a 64-bit seed.
     pub fn from_seed(seed: u64) -> SimRng {
-        SimRng { seed, inner: SmallRng::seed_from_u64(seed) }
+        // Expand the seed into full xoshiro state through splitmix64 — the
+        // canonical recommendation, and it guarantees a non-zero state.
+        let mut sm = seed;
+        let state = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        SimRng { seed, state }
     }
 
     /// The seed this stream was created from.
@@ -54,24 +62,41 @@ impl SimRng {
         SimRng::from_seed(mix(self.seed, hash_label(label)))
     }
 
-    /// A uniformly random `u64`.
+    /// A uniformly random `u64` (one xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// A uniformly random value in `[0, bound)`.
+    /// A uniformly random value in `[0, bound)` (rejection-sampled, no
+    /// modulo bias).
     ///
     /// # Panics
     ///
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be non-zero");
-        self.inner.gen_range(0..bound)
+        // Largest multiple of `bound` that fits in a u64; reject above it.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
     }
 
-    /// A uniformly random `f64` in `[0, 1)`.
+    /// A uniformly random `f64` in `[0, 1)` (53 mantissa bits).
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// True with probability `p`.
@@ -81,7 +106,13 @@ impl SimRng {
     /// Panics if `p` is not within `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
-        self.inner.gen_bool(p)
+        if p >= 1.0 {
+            // unit_f64() < 1.0 always holds, but make the contract explicit
+            // (and still consume one draw so the stream advances uniformly).
+            let _ = self.next_u64();
+            return true;
+        }
+        self.unit_f64() < p
     }
 
     /// Fisher–Yates shuffles a slice in place.
@@ -91,6 +122,14 @@ impl SimRng {
             xs.swap(i, j);
         }
     }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
 }
 
 fn hash_label(label: &str) -> u64 {
@@ -164,6 +203,25 @@ mod tests {
     }
 
     #[test]
+    fn below_covers_the_range() {
+        let mut r = SimRng::from_seed(11);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            seen[r.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn unit_f64_is_in_unit_interval() {
+        let mut r = SimRng::from_seed(6);
+        for _ in 0..1000 {
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
     fn shuffle_is_permutation() {
         let mut r = SimRng::from_seed(8);
         let mut xs: Vec<u32> = (0..100).collect();
@@ -179,5 +237,12 @@ mod tests {
         let mut r = SimRng::from_seed(4);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut r = SimRng::from_seed(21);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2200..2800).contains(&hits), "p=0.25 hit {hits}/10000");
     }
 }

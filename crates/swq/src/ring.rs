@@ -74,6 +74,8 @@ pub struct QueuePair {
     pub enqueued: Counter,
     /// Completions posted by the device.
     pub completed: Counter,
+    /// Completion posts rejected because the completion ring was full.
+    pub completion_overflows: Counter,
 }
 
 impl QueuePair {
@@ -98,6 +100,7 @@ impl QueuePair {
             empty_bursts: Counter::default(),
             enqueued: Counter::default(),
             completed: Counter::default(),
+            completion_overflows: Counter::default(),
         }
     }
 
@@ -179,10 +182,25 @@ impl QueuePair {
         burst
     }
 
-    /// Device side: posts a completion entry.
-    pub fn post_completion(&mut self, c: Completion) {
+    /// Device side: posts a completion entry. Returns `false` — and records
+    /// the overflow — if the completion ring is already at capacity, in
+    /// which case the entry is lost exactly as a real device would lose a
+    /// write into a full ring; the host recovers it via timeout + retry.
+    pub fn post_completion(&mut self, c: Completion) -> bool {
+        if self.completions.len() == self.capacity {
+            self.completion_overflows.incr();
+            return false;
+        }
         self.completions.push_back(c);
         self.completed.incr();
+        true
+    }
+
+    /// Fault hook: loses the doorbell-request flag, as when a parking
+    /// fetcher's flag write never reaches host memory. The host will not
+    /// ring for new work, so the queue stalls until recovery intervenes.
+    pub fn clear_doorbell_request(&mut self) {
+        self.doorbell_requested = false;
     }
 
     /// Host side: polls one completion, oldest first.
@@ -257,6 +275,31 @@ mod tests {
         assert_eq!(q.poll_completion().unwrap().tag, 2);
         assert!(q.poll_completion().is_none());
         assert_eq!(q.completed.get(), 2);
+    }
+
+    #[test]
+    fn completion_ring_overflow_is_reported() {
+        let mut q = QueuePair::new(2);
+        assert!(q.post_completion(Completion { tag: 1 }));
+        assert!(q.post_completion(Completion { tag: 2 }));
+        assert!(!q.post_completion(Completion { tag: 3 }), "ring full");
+        assert_eq!(q.completed.get(), 2);
+        assert_eq!(q.completion_overflows.get(), 1);
+        assert_eq!(q.pending_completions(), 2);
+        // Draining makes room again.
+        q.poll_completion().unwrap();
+        assert!(q.post_completion(Completion { tag: 3 }));
+    }
+
+    #[test]
+    fn cleared_doorbell_request_silences_enqueue() {
+        let mut q = QueuePair::new(4);
+        assert!(q.fetch_burst().is_empty(), "fetcher parks");
+        assert!(q.doorbell_requested());
+        q.clear_doorbell_request();
+        // The flag write was lost: the host sees no request and never rings.
+        assert!(!q.enqueue(desc(0)).unwrap());
+        assert_eq!(q.doorbells_rung.get(), 0);
     }
 
     #[test]

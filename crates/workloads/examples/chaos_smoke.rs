@@ -1,0 +1,19 @@
+//! Runs every premade chaos scenario twice and checks the runs are
+//! bit-identical — the quick demo of deterministic fault injection.
+//!
+//! Usage: `cargo run --release -p kus-workloads --example chaos_smoke`
+
+use kus_workloads::chaos::{run_chaos, scenarios};
+
+fn main() {
+    for s in scenarios() {
+        let r = run_chaos(s.plan, s.config);
+        let f = r.faults.expect("fault report present");
+        println!("{:<22} accesses={} elapsed={} faults={:?}", s.name, r.accesses, r.elapsed, f);
+        let r2 = run_chaos(s.plan, s.config);
+        assert_eq!(r.accesses, r2.accesses, "{}: accesses differ", s.name);
+        assert_eq!(r.elapsed, r2.elapsed, "{}: elapsed differ", s.name);
+        assert_eq!(Some(f), r2.faults, "{}: fault counters differ", s.name);
+    }
+    println!("all scenarios complete and deterministic");
+}

@@ -173,7 +173,7 @@ impl Workload for BfsWorkload {
                 let mut line = first_line.index();
                 while line <= last_line.index() {
                     let mut batch = vec![Addr::new(line * LINE_BYTES)];
-                    if line + 1 <= last_line.index() {
+                    if line < last_line.index() {
                         batch.push(Addr::new((line + 1) * LINE_BYTES));
                     }
                     let _ = ctx.dev_read_batch(&batch).await;

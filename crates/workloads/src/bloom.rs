@@ -140,7 +140,7 @@ impl Workload for BloomWorkload {
                     negatives += 1;
                 }
                 assert!(
-                    !(expect_present && !hit),
+                    !expect_present || hit,
                     "false negative for inserted key {key:#x}"
                 );
                 ctx.work(cfg.work_count);

@@ -1,0 +1,121 @@
+//! Chaos-mode scenarios: the microbenchmark under deterministic fault
+//! injection.
+//!
+//! These are the robustness counterpart of the paper figures: the same
+//! software-managed-queue access path, but with the device, link, and
+//! queue protocol misbehaving on a seeded schedule (see
+//! [`kus_sim::fault`]). Because every fault draw comes from a labeled
+//! [`SimRng`](kus_sim::SimRng) stream, a scenario is a *reproducible*
+//! experiment — same plan + same seed ⇒ identical timeline, identical
+//! counters — which is what makes recovery behaviour testable at all.
+//!
+//! The premade plans exercise the three recovery mechanisms separately:
+//! latency spikes stress the timeout deadlines, completion drops stress
+//! retry/failover, and fetcher stalls stress the doorbell watchdog.
+
+use kus_core::prelude::*;
+
+use crate::microbench::{Microbench, MicrobenchConfig};
+
+/// A named, reproducible chaos scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosScenario {
+    /// Scenario name (used by reports and tests).
+    pub name: &'static str,
+    /// The fault plan to inject.
+    pub plan: FaultPlan,
+    /// The workload shape that makes this plan's faults reachable (e.g.
+    /// stalls need idle gaps so the fetcher actually parks mid-run).
+    pub config: ChaosConfig,
+}
+
+/// The three premade scenarios, one per recovery mechanism.
+pub fn scenarios() -> Vec<ChaosScenario> {
+    vec![
+        ChaosScenario {
+            name: "latency-spikes",
+            plan: FaultPlan::none().with_latency_spikes(0.05, Span::from_us(20)),
+            config: ChaosConfig::default(),
+        },
+        ChaosScenario {
+            name: "dropped-completions",
+            plan: FaultPlan::none().with_dropped_completions(0.02).with_dup_completions(0.02),
+            config: ChaosConfig::default(),
+        },
+        ChaosScenario {
+            name: "fetcher-stalls",
+            plan: FaultPlan::none().with_stalls(0.5).with_dropped_doorbells(0.1),
+            config: ChaosConfig::sparse(),
+        },
+    ]
+}
+
+/// Configuration for a chaos run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Platform RNG seed (drives both workload layout and fault schedule).
+    pub seed: u64,
+    /// Fibers per core.
+    pub fibers_per_core: usize,
+    /// Microbenchmark iterations per fiber.
+    pub iters_per_fiber: u64,
+    /// Work-loop instructions between accesses. High counts open idle
+    /// gaps in the request ring, letting the fetcher park mid-run — the
+    /// precondition for stall faults to bite.
+    pub work_count: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig { seed: 7, fibers_per_core: 8, iters_per_fiber: 40, work_count: 100 }
+    }
+}
+
+impl ChaosConfig {
+    /// A sparse variant: few fibers with long compute phases, so the
+    /// fetcher parks between bursts and stall faults have teeth.
+    pub fn sparse() -> ChaosConfig {
+        ChaosConfig { fibers_per_core: 2, work_count: 20_000, ..ChaosConfig::default() }
+    }
+}
+
+/// The platform configuration a chaos run uses, *without* any fault plan
+/// applied — the reference point for "an inert plan changes nothing".
+pub fn chaos_platform(c: ChaosConfig) -> PlatformConfig {
+    PlatformConfig::paper_default()
+        .without_replay_device()
+        .mechanism(Mechanism::SoftwareQueue)
+        .fibers_per_core(c.fibers_per_core)
+        .seed(c.seed)
+}
+
+/// The microbenchmark a chaos run drives.
+pub fn chaos_workload(c: ChaosConfig) -> Microbench {
+    Microbench::new(MicrobenchConfig {
+        work_count: c.work_count,
+        mlp: 1,
+        iters_per_fiber: c.iters_per_fiber,
+        writes_per_iter: 0,
+    })
+}
+
+/// Runs the microbenchmark over the software-managed-queue path with
+/// `plan` injected, and returns the report (its `faults` field carries
+/// the injection and recovery counters).
+pub fn run_chaos(plan: FaultPlan, c: ChaosConfig) -> RunReport {
+    let mut w = chaos_workload(c);
+    Platform::new(chaos_platform(c).faults(plan)).run(&mut w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn premade_plans_are_valid_and_active() {
+        for s in scenarios() {
+            assert!(s.plan.validate().is_ok(), "{}", s.name);
+            assert!(s.plan.is_active(), "{}", s.name);
+        }
+    }
+}

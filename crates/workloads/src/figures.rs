@@ -115,27 +115,37 @@ pub struct Quality {
     /// Use the full two-phase record/replay device (the paper's
     /// methodology) instead of the single-phase idealized device.
     pub replay_device: bool,
+    /// Fault plan applied to every run (inert by default, so paper-figure
+    /// outputs are untouched unless faults are requested).
+    pub faults: FaultPlan,
+    /// Override the platform RNG seed (`None` keeps the paper default).
+    pub seed: Option<u64>,
 }
 
 impl Quality {
     /// Fast smoke-test quality (idealized device, short loops).
     pub fn fast() -> Quality {
-        Quality { iters: 250, replay_device: false }
+        Quality { iters: 250, replay_device: false, faults: FaultPlan::none(), seed: None }
     }
 
     /// Full quality: record/replay device, longer loops.
     pub fn full() -> Quality {
-        Quality { iters: 1200, replay_device: true }
+        Quality { replay_device: true, iters: 1200, ..Quality::fast() }
     }
 }
 
 fn base_cfg(q: Quality) -> PlatformConfig {
-    let cfg = PlatformConfig::paper_default();
-    if q.replay_device {
-        cfg
-    } else {
-        cfg.without_replay_device()
+    let mut cfg = PlatformConfig::paper_default();
+    if !q.replay_device {
+        cfg = cfg.without_replay_device();
     }
+    if let Some(s) = q.seed {
+        cfg = cfg.seed(s);
+    }
+    if q.faults.is_active() {
+        cfg = cfg.faults(q.faults);
+    }
+    cfg
 }
 
 /// Runs the microbenchmark on `cfg` and returns the report.

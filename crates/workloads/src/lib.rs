@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod bfs;
+pub mod chaos;
 pub mod figures;
 pub mod bloom;
 pub mod graph;
@@ -26,6 +27,7 @@ pub mod memcached;
 pub mod microbench;
 
 pub use bfs::{BfsConfig, BfsWorkload};
+pub use chaos::{run_chaos, scenarios, ChaosConfig, ChaosScenario};
 pub use bloom::{BloomConfig, BloomWorkload};
 pub use graph::{kronecker_edges, CsrGraph, KroneckerConfig};
 pub use memcached::{MemcachedConfig, MemcachedWorkload};

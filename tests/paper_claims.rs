@@ -7,7 +7,7 @@ use kus_workloads::figures::{fig10, fig2, fig3, fig6, fig8, Quality};
 use kus_workloads::{Microbench, MicrobenchConfig};
 
 fn q() -> Quality {
-    Quality { iters: 200, replay_device: false }
+    Quality { iters: 200, ..Quality::fast() }
 }
 
 fn ubench(iters: u64) -> Microbench {
@@ -147,7 +147,7 @@ fn swq_multicore_saturates_pcie_at_half_useful() {
 /// 35–65 % of the DRAM baseline, software queues 20–50 %.
 #[test]
 fn application_single_core_bands() {
-    let figs = fig10(Quality { iters: 120, replay_device: false });
+    let figs = fig10(Quality { iters: 120, ..Quality::fast() });
     let panel_a = figs.iter().find(|f| f.id == "fig10a").unwrap();
     let panel_b = figs.iter().find(|f| f.id == "fig10b").unwrap();
     for app in ["bfs", "bloom", "memcached"] {
@@ -170,7 +170,7 @@ fn application_single_core_bands() {
 /// 14-entry queue.
 #[test]
 fn application_multicore_bands() {
-    let figs = fig10(Quality { iters: 100, replay_device: false });
+    let figs = fig10(Quality { iters: 100, ..Quality::fast() });
     let panel_c = figs.iter().find(|f| f.id == "fig10c").unwrap();
     let panel_d = figs.iter().find(|f| f.id == "fig10d").unwrap();
     for app in ["bloom", "memcached"] {

@@ -132,7 +132,7 @@ fn dram_baselines_run_for_all_workloads() {
 fn context_switch_cost_matters() {
     // The 2 us stock-Pth switch wrecks the prefetch mechanism (why the
     // paper had to optimize the library).
-    let mut mk = || Microbench::new(MicrobenchConfig { work_count: 60, mlp: 1, iters_per_fiber: 80, writes_per_iter: 0 });
+    let mk = || Microbench::new(MicrobenchConfig { work_count: 60, mlp: 1, iters_per_fiber: 80, writes_per_iter: 0 });
     let fast_cfg = PlatformConfig::paper_default().without_replay_device().fibers_per_core(10);
     let slow_cfg = fast_cfg.clone().ctx_switch(Span::from_us(2));
     let fast = Platform::new(fast_cfg).run(&mut mk());
