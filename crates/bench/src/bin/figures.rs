@@ -7,16 +7,79 @@
 //!   figures --ablations     # the ablation studies as well
 //!   figures --faults plan.toml  # inject the given fault plan into every run
 //!   figures --seed 42       # override the platform RNG seed
+//!   figures --trace out.json    # write a Chrome trace of a canonical
+//!                               # scenario (default swq-optimized) and exit
+//!   figures --trace-hash        # print each canonical scenario's trace
+//!                               # hash (the determinism fingerprint) and exit
+//!   figures --scenario NAME     # select the --trace scenario
+//!
+//! `--trace`/`--trace-hash` honour `--seed`; the hash lines are stable for
+//! a given seed, which is what CI diffs across two invocations.
 
 use kus_sim::FaultPlan;
 use kus_workloads::figures::{self, Figure, Quality};
+use kus_workloads::trace_scenarios::{run_trace_scenario, trace_scenarios};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
 }
 
+const TRACE_SEED: u64 = 0xC0FFEE;
+
+fn trace_mode(args: &[String]) -> Option<i32> {
+    let out = flag_value(args, "--trace");
+    let hash_only = args.iter().any(|a| a == "--trace-hash");
+    if out.is_none() && !hash_only {
+        return None;
+    }
+    let seed = match flag_value(args, "--seed") {
+        Some(s) => match s.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("--seed: expected an unsigned integer, got `{s}`");
+                return Some(2);
+            }
+        },
+        None => TRACE_SEED,
+    };
+    if hash_only {
+        // One line per canonical scenario: `name hash event-count`.
+        for s in trace_scenarios() {
+            let r = run_trace_scenario(s.name, seed).expect("canonical scenario");
+            let t = r.trace.expect("traced run");
+            println!("{} {:016x} {}", s.name, t.hash, t.count);
+        }
+        return Some(0);
+    }
+    let path = out.expect("checked above");
+    let scenario = flag_value(args, "--scenario").unwrap_or_else(|| "swq-optimized".into());
+    let Some(r) = run_trace_scenario(&scenario, seed) else {
+        eprintln!(
+            "--scenario: unknown `{scenario}`; available: {}",
+            trace_scenarios().iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+        );
+        return Some(2);
+    };
+    let t = r.trace.as_ref().expect("traced run");
+    let json = kus_sim::trace::chrome_json(&t.events);
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("--trace: cannot write {path}: {e}");
+        return Some(2);
+    }
+    eprintln!(
+        "# {scenario}: {} events, hash {:016x}, {} -> {path}",
+        t.count,
+        t.hash,
+        r.summary()
+    );
+    Some(0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(code) = trace_mode(&args) {
+        std::process::exit(code);
+    }
     let full = args.iter().any(|a| a == "--full");
     let ablations = args.iter().any(|a| a == "--ablations");
     let only: Option<String> = flag_value(&args, "--fig");

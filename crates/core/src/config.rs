@@ -97,6 +97,16 @@ pub struct PlatformConfig {
     /// path. Disabled by default; [`PlatformConfig::faults`] auto-enables a
     /// sensible configuration when an active plan is set.
     pub swq_recovery: SwqRecovery,
+    /// Record a structured event trace of the measured phase. Off by
+    /// default: a disabled tracer is a single branch per emit site and the
+    /// run report is bit-identical either way (the tracer observes, never
+    /// schedules).
+    pub trace: bool,
+    /// Also emit the deep per-access event class (`load.issue`, `l1.read`).
+    /// Requires the `trace` cargo feature; without it this flag changes
+    /// nothing, so default-feature and all-feature builds produce identical
+    /// trace hashes unless deep tracing is explicitly requested.
+    pub trace_deep: bool,
 }
 
 /// Timeout, retry, and degradation knobs for the SWQ access path.
@@ -180,6 +190,8 @@ impl PlatformConfig {
             seed: 0xC0FFEE,
             faults: FaultPlan::none(),
             swq_recovery: SwqRecovery::disabled(),
+            trace: false,
+            trace_deep: false,
         }
     }
 
@@ -292,6 +304,20 @@ impl PlatformConfig {
     /// Overrides the SWQ recovery configuration.
     pub fn swq_recovery(mut self, r: SwqRecovery) -> Self {
         self.swq_recovery = r;
+        self
+    }
+
+    /// Enables event tracing of the measured phase.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Enables tracing including the deep per-access event class (only
+    /// effective when built with the `trace` cargo feature).
+    pub fn trace_deep(mut self) -> Self {
+        self.trace = true;
+        self.trace_deep = true;
         self
     }
 

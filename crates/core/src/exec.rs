@@ -29,7 +29,8 @@ use kus_fiber::{yield_now, Fiber, FiberId, OneShot, PollOutcome, SchedPolicy, Wa
 use kus_mem::{Addr, ByteStore};
 use kus_sim::event::EventFn;
 use kus_sim::stats::Counter;
-use kus_sim::{Sim, Span, Time};
+use kus_sim::trace::Category;
+use kus_sim::{Sim, Span, Time, Tracer};
 use kus_swq::descriptor::Descriptor;
 use kus_swq::ring::QueuePair;
 use kus_swq::SwqCosts;
@@ -183,6 +184,9 @@ pub(crate) struct ExecInner {
     parked_on: Option<FiberId>,
     live: usize,
     swq: Option<SwqState>,
+    tracer: Tracer,
+    /// Tracer timeline row: the core id.
+    track: u32,
     /// Context switches performed by the user-level scheduler.
     pub switches: Counter,
     /// Device (dataset) accesses issued by fibers.
@@ -216,6 +220,7 @@ impl Executor {
         policy: Box<dyn SchedPolicy>,
         switch_cost: Span,
     ) -> Executor {
+        let track = core.borrow().id() as u32;
         Executor {
             inner: Rc::new(RefCell::new(ExecInner {
                 core,
@@ -234,6 +239,8 @@ impl Executor {
                 parked_on: None,
                 live: 0,
                 swq: None,
+                tracer: Tracer::off(),
+                track,
                 switches: Counter::default(),
                 accesses: Counter::default(),
                 writes: Counter::default(),
@@ -245,6 +252,16 @@ impl Executor {
     /// when the mechanism is [`Mechanism::SoftwareQueue`]).
     pub(crate) fn set_swq(&self, swq: SwqState) {
         self.inner.borrow_mut().swq = Some(swq);
+    }
+
+    /// Attaches a tracer; executor events land on the core's track.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        let mut x = self.inner.borrow_mut();
+        let track = x.track;
+        if let Some(rec) = x.swq.as_mut().and_then(|s| s.recovery.as_mut()) {
+            rec.watchdog.set_tracer(tracer.clone(), track);
+        }
+        x.tracer = tracer;
     }
 
     /// The host-side hook the platform wires into the device's request
@@ -329,8 +346,12 @@ impl Executor {
     /// Enables SWQ timeout/retry/degradation handling on this executor.
     pub(crate) fn enable_swq_recovery(&self, cfg: SwqRecovery, base_doorbell_always: bool) {
         let mut x = self.inner.borrow_mut();
+        let (tracer, track) = (x.tracer.clone(), x.track);
         let swq = x.swq.as_mut().expect("enable_swq_recovery before set_swq");
         swq.enable_recovery(cfg, base_doorbell_always);
+        if let Some(rec) = swq.recovery.as_mut() {
+            rec.watchdog.set_tracer(tracer, track);
+        }
     }
 }
 
@@ -411,6 +432,7 @@ impl ExecInner {
             let mut x = this.borrow_mut();
             x.switching = true;
             x.switches.incr();
+            x.tracer.instant(Category::Fiber, "fiber.switch", x.track, next as u64, x.switches.get());
             x.switch_cost
         };
         let this2 = this.clone();
@@ -593,6 +615,7 @@ impl ExecInner {
                 // path already resolved. The host still pays to scan and
                 // discard the entry, but nothing is delivered twice.
                 swq.stale_completions.incr();
+                x.tracer.instant(Category::Swq, "swq.stale", x.track, tag, 0);
                 drop(x);
                 Core::emit(&core, sim, Op::new(OpKind::SoftWork { span: cost }));
                 return;
@@ -605,6 +628,7 @@ impl ExecInner {
                 }
             }
             let value = dataset.borrow().read_u64(p.addr);
+            x.tracer.instant(Category::Swq, "swq.deliver", x.track, tag, p.fiber as u64);
             (core, cost, p.slot, p.fiber, value)
         };
         // The user-level scheduler's completion handling runs on the core.
@@ -635,10 +659,12 @@ impl ExecInner {
         let now = sim.now();
         let mut fails: Vec<FailOver> = Vec::new();
         let mut retried: u64 = 0;
-        let (core, ring_doorbell, costs, rearm) = {
+        let (core, ring_doorbell, costs, rearm, tracer, track) = {
             let mut x = this.borrow_mut();
             let core = x.core.clone();
             let dataset = x.dataset.clone();
+            let tracer = x.tracer.clone();
+            let track = x.track;
             let Some(swq) = x.swq.as_mut() else { return };
             let costs = swq.costs;
             let qp = swq.qp.clone();
@@ -663,9 +689,11 @@ impl ExecInner {
             for tag in expired {
                 swq.timeouts.incr();
                 let p = swq.pending.get_mut(&tag).expect("expired tag is pending");
+                tracer.instant(Category::Exec, "req.timeout", track, tag, p.retries as u64);
                 if p.retries >= cfg.max_retries {
                     let p = swq.pending.remove(&tag).expect("expired tag is pending");
                     swq.failed.incr();
+                    tracer.instant(Category::Exec, "req.failover", track, tag, p.retries as u64);
                     // Fail over to the host's coherent copy of the line so
                     // the fiber completes instead of wedging the run.
                     let value = dataset.borrow().read_u64(p.addr);
@@ -675,6 +703,7 @@ impl ExecInner {
                     // Exponential backoff on the next deadline.
                     p.deadline = now + cfg.timeout * (1u64 << p.retries.min(16));
                     swq.retries_performed.incr();
+                    tracer.instant(Category::Exec, "req.retry", track, tag, p.retries as u64);
                     retried += 1;
                     // Re-enqueue; if the ring is full the next scan round
                     // simply tries again. A duplicate service of the
@@ -691,7 +720,7 @@ impl ExecInner {
                 rec.check_armed = true;
                 Some(cfg.check_interval)
             };
-            (core, ring_doorbell, costs, rearm)
+            (core, ring_doorbell, costs, rearm, tracer, track)
         };
         for f in fails {
             let this2 = this.clone();
@@ -709,6 +738,7 @@ impl ExecInner {
             // The host pays for the re-enqueues and rings the doorbell
             // unconditionally once per round: if the fetcher's parked-state
             // flag write was lost, only an explicit ring restarts it.
+            tracer.instant(Category::Exec, "req.force_doorbell", track, retried, 0);
             Core::emit(&core, sim, Op::new(OpKind::SoftWork { span: costs.enqueue_first * retried }));
             Core::emit(
                 &core,
@@ -798,7 +828,15 @@ impl MemCtx {
     /// Used by the on-demand microbenchmark, whose arithmetic does not steer
     /// control flow.
     pub fn load_issue(&self, addr: Addr) {
-        self.exec.borrow_mut().accesses.incr();
+        {
+            let mut x = self.exec.borrow_mut();
+            x.accesses.incr();
+            // Deep event class: per-access volume, compiled in only with the
+            // `trace` feature and emitted only in verbose mode.
+            if x.tracer.is_verbose() {
+                x.tracer.instant(Category::Exec, "load.issue", x.track, addr.line().index(), self.fiber as u64);
+            }
+        }
         let d = self.buffer(OpKind::Load { line: addr.line() }, Vec::new(), None);
         self.exec.borrow_mut().fibers[self.fiber].last_reads.push(d);
     }
@@ -854,6 +892,9 @@ impl MemCtx {
     pub fn l1_read_u64(&self, addr: Addr) -> u64 {
         let d = self.buffer(OpKind::Load { line: addr.line() }, Vec::new(), None);
         let mut x = self.exec.borrow_mut();
+        if x.tracer.is_verbose() {
+            x.tracer.instant(Category::Exec, "l1.read", x.track, addr.line().index(), self.fiber as u64);
+        }
         x.fibers[self.fiber].last_reads.push(d);
         let v = x.dataset.borrow().read_u64(addr);
         v
@@ -873,6 +914,10 @@ impl MemCtx {
         let mechanism = {
             let mut x = self.exec.borrow_mut();
             x.accesses.add(addrs.len() as u64);
+            if x.tracer.is_verbose() {
+                let first = addrs.first().map_or(0, |a| a.line().index());
+                x.tracer.instant(Category::Exec, "dev_read.batch", x.track, first, addrs.len() as u64);
+            }
             x.mechanism
         };
         match mechanism {
@@ -971,6 +1016,7 @@ impl MemCtx {
                 SwqPending { slot, fiber, addr, deadline: Time::MAX, retries: 0 },
             );
             let cost = if first_of_batch { swq.costs.enqueue_first } else { swq.costs.enqueue_next };
+            x.tracer.instant(Category::Swq, "swq.issue", x.track, tag, fiber as u64);
             (tag, cost)
         };
         let exec = self.exec.clone();
@@ -978,9 +1024,11 @@ impl MemCtx {
             OpKind::SoftWork { span: enqueue_cost },
             serial.into_iter().collect(),
             Some(Box::new(move |sim: &mut Sim| {
-                let (qp, ring_doorbell, core, arm_check) = {
+                let (qp, ring_doorbell, core, arm_check, tracer, track) = {
                     let mut x = exec.borrow_mut();
                     let core = x.core.clone();
+                    let tracer = x.tracer.clone();
+                    let track = x.track;
                     let swq = x.swq.as_mut().expect("swq state");
                     let mut arm_check = None;
                     if let Some(rec) = swq.recovery.as_mut() {
@@ -994,7 +1042,7 @@ impl MemCtx {
                             arm_check = Some(rec.cfg.check_interval);
                         }
                     }
-                    (swq.qp.clone(), swq.ring_doorbell.clone(), core, arm_check)
+                    (swq.qp.clone(), swq.ring_doorbell.clone(), core, arm_check, tracer, track)
                 };
                 if let Some(interval) = arm_check {
                     let exec2 = exec.clone();
@@ -1004,7 +1052,9 @@ impl MemCtx {
                     .borrow_mut()
                     .enqueue(Descriptor { read_addr: addr, tag })
                     .expect("request ring full: raise swq_ring_capacity");
+                tracer.instant(Category::Swq, "swq.enqueue", track, tag, qp.borrow().pending_requests() as u64);
                 if rang {
+                    tracer.instant(Category::Swq, "swq.doorbell", track, tag, 0);
                     // The MMIO doorbell write: expensive, uncached, and then
                     // the write reaches the device's doorbell register.
                     Core::emit(

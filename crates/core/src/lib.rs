@@ -56,7 +56,7 @@ pub use config::{PlatformConfig, SwqRecovery};
 pub use dataset::Dataset;
 pub use exec::{Executor, MemCtx};
 pub use mechanism::Mechanism;
-pub use metrics::{DeviceReport, FaultReport, LinkReport, RunReport};
+pub use metrics::{DeviceReport, FaultReport, LatencyBreakdown, LinkReport, RunReport, TraceReport};
 pub use platform::Platform;
 pub use workload::{FiberFuture, Workload};
 
@@ -68,7 +68,7 @@ pub mod prelude {
     pub use crate::dataset::Dataset;
     pub use crate::exec::MemCtx;
     pub use crate::mechanism::Mechanism;
-    pub use crate::metrics::RunReport;
+    pub use crate::metrics::{RunReport, TraceReport};
     pub use crate::platform::Platform;
     pub use crate::workload::{FiberFuture, Workload};
     pub use kus_mem::{Addr, Backing};

@@ -29,14 +29,14 @@ use kus_mem::{Backing, LINE_BYTES};
 use kus_pcie::dma::DmaEngine;
 use kus_pcie::link::{LinkDir, PcieLink};
 use kus_pcie::tlp::Tlp;
-use kus_sim::{FaultInjector, Sim, SimRng};
+use kus_sim::{FaultInjector, Sim, SimRng, Tracer};
 use kus_swq::ring::QueuePair;
 
 use crate::config::PlatformConfig;
 use crate::dataset::Dataset;
 use crate::exec::{Executor, SwqState};
 use crate::mechanism::Mechanism;
-use crate::metrics::{DeviceReport, FaultReport, LinkReport, RunReport};
+use crate::metrics::{DeviceReport, FaultReport, LinkReport, RunReport, TraceReport};
 use crate::workload::Workload;
 
 /// The assembled experiment platform.
@@ -77,17 +77,20 @@ impl Platform {
         let mut dataset = Dataset::new(self.cfg.dataset_bytes, self.cfg.seed);
         w.prepare(self.cfg.cores * self.cfg.smt, self.cfg.fibers_per_core);
         w.build(&mut dataset);
+        // Only the measured (final) phase is traced: the record phase of a
+        // two-phase run is methodology scaffolding, not a measurement.
         match self.cfg.backing {
-            Backing::Dram => self.run_phase(w, &dataset, Phase::Dram),
+            Backing::Dram => self.run_phase(w, &dataset, Phase::Dram, self.cfg.trace),
             Backing::Device => {
                 let trace =
                     Rc::new(RefCell::new(AccessTrace::new(self.cfg.cores * self.cfg.smt)));
                 if self.cfg.use_replay_device {
-                    let _recording = self.run_phase(w, &dataset, Phase::DeviceRecord(trace.clone()));
+                    let _recording =
+                        self.run_phase(w, &dataset, Phase::DeviceRecord(trace.clone()), false);
                     let traces = trace.borrow().clone().into_cores();
-                    self.run_phase(w, &dataset, Phase::DeviceReplay(traces))
+                    self.run_phase(w, &dataset, Phase::DeviceReplay(traces), self.cfg.trace)
                 } else {
-                    self.run_phase(w, &dataset, Phase::DeviceRecord(trace))
+                    self.run_phase(w, &dataset, Phase::DeviceRecord(trace), self.cfg.trace)
                 }
             }
         }
@@ -99,10 +102,27 @@ impl Platform {
         Platform::new(self.cfg.baseline_twin()).run(w)
     }
 
-    fn run_phase(&self, w: &mut dyn Workload, dataset: &Dataset, phase: Phase) -> RunReport {
+    fn run_phase(
+        &self,
+        w: &mut dyn Workload,
+        dataset: &Dataset,
+        phase: Phase,
+        traced: bool,
+    ) -> RunReport {
         let cfg = &self.cfg;
         let mut sim = Sim::new();
         let store = dataset.store();
+
+        // The tracer observes through a shared clock handle; it never
+        // schedules events or draws randomness, so a traced run's report is
+        // identical to an untraced one (locked down by tests/properties.rs).
+        let tracer = if traced {
+            let t = Tracer::new(sim.now_handle());
+            t.set_verbose(cfg.trace_deep);
+            t
+        } else {
+            Tracer::off()
+        };
 
         // One injector per phase, derived from the run seed: record and
         // replay phases see the same fault schedule, and an inert plan
@@ -134,6 +154,7 @@ impl Platform {
             if let Some(inj) = &injector {
                 l.borrow_mut().set_fault_injector(inj.clone());
             }
+            l.borrow_mut().set_tracer(tracer.clone());
             let hold = cfg.device_latency.saturating_sub(l.borrow().unloaded_read_rtt(LINE_BYTES));
             let dev_cfg = DeviceConfig {
                 hold,
@@ -159,6 +180,7 @@ impl Platform {
             if let Some(inj) = &injector {
                 dc.borrow_mut().set_fault_injector(inj.clone());
             }
+            dc.borrow_mut().set_tracer(tracer.clone());
             // Pre-load the streaming window before the measured run starts —
             // the paper DMA-loads the recorded sequence before the second run.
             DeviceCore::start_streaming(&dc, &mut sim);
@@ -255,6 +277,7 @@ impl Platform {
                     );
                 }));
             }
+            core.borrow_mut().set_tracer(tracer.clone());
             let policy: Box<dyn SchedPolicy> = match cfg.mechanism {
                 Mechanism::SoftwareQueue => Box::new(Fifo::new()),
                 _ => Box::new(RoundRobin::new()),
@@ -266,6 +289,7 @@ impl Platform {
                 policy,
                 cfg.ctx_switch,
             );
+            exec.set_tracer(tracer.clone());
 
             if cfg.mechanism == Mechanism::SoftwareQueue {
                 let qp = Rc::new(RefCell::new(QueuePair::new(cfg.swq_ring_capacity)));
@@ -286,6 +310,7 @@ impl Platform {
                 if let Some(inj) = &injector {
                     fetcher.borrow_mut().set_fault_injector(inj.clone());
                 }
+                fetcher.borrow_mut().set_tracer(tracer.clone());
                 // The doorbell: an MMIO write TLP to the device's per-core
                 // doorbell register.
                 let ring: Rc<dyn Fn(&mut Sim)> = {
@@ -430,6 +455,7 @@ impl Platform {
             device,
             link: link_report,
             faults,
+            trace: traced.then(|| TraceReport::build(tracer.events(), sim.now())),
         };
         report
     }

@@ -222,6 +222,13 @@ impl Core {
         &self.l1
     }
 
+    /// Attaches a tracer to the core's cache structures (L1 evictions and
+    /// the LFB pool), tracked under this core's id.
+    pub fn set_tracer(&mut self, tracer: kus_sim::Tracer) {
+        self.l1.set_tracer(tracer.clone(), self.id as u32);
+        self.lfb.borrow_mut().set_tracer(tracer, self.id as u32);
+    }
+
     /// Whether the frontend wants more ops (used for fiber back-pressure).
     pub fn wants_more(&self) -> bool {
         self.queued_slots < self.config.emit_low_water_slots

@@ -14,7 +14,8 @@ use std::rc::Rc;
 use kus_mem::station::{Station, StationConfig};
 use kus_mem::{ByteStore, LineAddr, LINE_BYTES};
 use kus_sim::stats::Counter;
-use kus_sim::{FaultInjector, Sim, Span};
+use kus_sim::trace::Category;
+use kus_sim::{FaultInjector, Sim, Span, Tracer};
 
 use crate::ondemand::OnDemandModule;
 use crate::replay::{MatchOutcome, ReplayConfig, ReplayModule};
@@ -75,6 +76,7 @@ pub struct DeviceCore {
     ondemand: OnDemandModule,
     recorder: Option<Rc<RefCell<AccessTrace>>>,
     faults: Option<Rc<RefCell<FaultInjector>>>,
+    tracer: Tracer,
     /// Responses released.
     pub responses: Counter,
     /// Requests matched by a replay module.
@@ -123,6 +125,7 @@ impl DeviceCore {
             ondemand: OnDemandModule::new(config.onboard),
             recorder: None,
             faults: None,
+            tracer: Tracer::off(),
             responses: Counter::default(),
             replayed: Counter::default(),
             ondemand_served: Counter::default(),
@@ -139,6 +142,11 @@ impl DeviceCore {
     /// its plan.
     pub fn set_fault_injector(&mut self, injector: Rc<RefCell<FaultInjector>>) {
         self.faults = Some(injector);
+    }
+
+    /// Attaches a tracer. Datapath events land on track `200 + core`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The hold time of request `seq` from `core`: the configured hold with
@@ -224,23 +232,40 @@ impl DeviceCore {
                     hold += spike;
                 }
             }
+            d.tracer.instant(
+                Category::Device,
+                "dev.req",
+                200 + core as u32,
+                line.index(),
+                matches!(outcome, MatchOutcome::Replayed { .. }) as u64,
+            );
             (outcome, d.streamers[core].clone(), hold)
         };
         let deadline = arrival + hold;
         let this2 = this.clone();
         let finish = move |sim: &mut Sim| {
-            let data = {
+            let (data, tracer) = {
                 let mut d = this2.borrow_mut();
                 d.responses.incr();
                 if sim.now() > deadline {
                     d.deadline_misses.incr();
+                    d.tracer.instant(
+                        Category::Device,
+                        "dev.deadline_miss",
+                        200 + core as u32,
+                        line.index(),
+                        (sim.now() - deadline).as_ps(),
+                    );
                 }
                 let dataset = d.dataset.clone();
                 let data = dataset.borrow().read_line(line.base());
-                data
+                (data, d.tracer.clone())
             };
             let release = deadline.max(sim.now());
-            sim.schedule_at(release, move |sim| respond(sim, data));
+            sim.schedule_at(release, move |sim| {
+                tracer.complete_since(Category::Device, "dev.resp", 200 + core as u32, arrival, line.index());
+                respond(sim, data)
+            });
         };
         match outcome {
             MatchOutcome::Replayed { index } => {

@@ -17,7 +17,8 @@ use std::rc::Rc;
 
 use kus_pcie::dma::DmaEngine;
 use kus_sim::stats::Counter;
-use kus_sim::{FaultInjector, Sim};
+use kus_sim::trace::Category;
+use kus_sim::{FaultInjector, Sim, Tracer};
 use kus_swq::descriptor::{Completion, Descriptor, COMPLETION_BYTES, DESCRIPTOR_BYTES};
 use kus_swq::ring::QueuePair;
 
@@ -55,6 +56,7 @@ pub struct RequestFetcher {
     bursts_in_flight: usize,
     launcher_armed: bool,
     faults: Option<Rc<RefCell<FaultInjector>>>,
+    tracer: Tracer,
     /// Burst DMA reads performed.
     pub burst_reads: Counter,
     /// Doorbell arrivals observed.
@@ -94,6 +96,7 @@ impl RequestFetcher {
             bursts_in_flight: 0,
             launcher_armed: false,
             faults: None,
+            tracer: Tracer::off(),
             burst_reads: Counter::default(),
             doorbells: Counter::default(),
             served: Counter::default(),
@@ -111,11 +114,23 @@ impl RequestFetcher {
         self.faults = Some(injector);
     }
 
+    /// Attaches a tracer. Fetch-engine events land on track
+    /// `100 + host_core`; descriptor-lifecycle (`swq.*`) events land on the
+    /// host core's track.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    fn track(&self) -> u32 {
+        100 + self.host_core as u32
+    }
+
     /// Called when the host's doorbell MMIO write arrives at the device.
     pub fn on_doorbell(this: &Rc<RefCell<RequestFetcher>>, sim: &mut Sim) {
         {
             let mut f = this.borrow_mut();
             f.doorbells.incr();
+            f.tracer.instant(Category::Device, "fetch.doorbell", f.track(), f.doorbells.get(), f.running as u64);
             if f.running {
                 // The host raced our parking flag write; remember to re-run.
                 f.doorbell_while_running = true;
@@ -156,6 +171,7 @@ impl RequestFetcher {
             let mut f = this.borrow_mut();
             f.burst_reads.incr();
             f.bursts_in_flight += 1;
+            f.tracer.instant(Category::Device, "fetch.burst", f.track(), f.burst_reads.get(), f.bursts_in_flight as u64);
             f.dma.clone()
         };
         dma.borrow_mut().count_read();
@@ -206,6 +222,7 @@ impl RequestFetcher {
                     f.consecutive_empty = 0;
                     let rerun = std::mem::take(&mut f.doorbell_while_running);
                     let dma = f.dma.clone();
+                    f.tracer.instant(Category::Device, "fetch.park", f.track(), rerun as u64, 0);
                     // Injected stall: the flag write is lost in transit, so
                     // the host never learns it must ring — the queue is dead
                     // until the watchdog forces doorbells back on.
@@ -235,9 +252,16 @@ impl RequestFetcher {
     }
 
     fn serve_one(this: &Rc<RefCell<RequestFetcher>>, sim: &mut Sim, desc: Descriptor) {
-        let (device, dma, qp, hook, host_core, faults) = {
+        let (device, dma, qp, hook, host_core, faults, tracer) = {
             let mut f = this.borrow_mut();
             f.served.incr();
+            f.tracer.instant(
+                Category::Swq,
+                "swq.fetch",
+                f.host_core as u32,
+                desc.tag,
+                f.qp.borrow().pending_requests() as u64,
+            );
             (
                 f.device.clone(),
                 f.dma.clone(),
@@ -245,6 +269,7 @@ impl RequestFetcher {
                 f.on_completion.clone(),
                 f.host_core,
                 f.faults.clone(),
+                f.tracer.clone(),
             )
         };
         DeviceCore::serve(
@@ -257,6 +282,7 @@ impl RequestFetcher {
                 // writes on the same link direction, so order is preserved
                 // ("the device ensures that writes to the Completion Queue
                 // are performed after writes to the response address").
+                tracer.instant(Category::Swq, "swq.serve", host_core as u32, desc.tag, 0);
                 dma.borrow_mut().count_write();
                 dma.borrow().write(sim, kus_mem::LINE_BYTES, Box::new(|_| {}));
                 // Injected faults on the completion entry itself: a dropped
@@ -282,6 +308,7 @@ impl RequestFetcher {
                 for _ in 0..copies {
                     let qp = qp.clone();
                     let hook = hook.clone();
+                    let tracer = tracer.clone();
                     dma.borrow_mut().count_write();
                     dma.borrow().write(
                         sim,
@@ -291,7 +318,10 @@ impl RequestFetcher {
                             // as real hardware would; the host's timeout path
                             // recovers the request, so don't run the hook.
                             if qp.borrow_mut().post_completion(Completion { tag: desc.tag }) {
+                                tracer.instant(Category::Swq, "swq.complete", host_core as u32, desc.tag, 0);
                                 hook(sim, Completion { tag: desc.tag }, data);
+                            } else {
+                                tracer.instant(Category::Swq, "swq.cpl_overflow", host_core as u32, desc.tag, 0);
                             }
                         }),
                     );

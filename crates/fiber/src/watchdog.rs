@@ -13,7 +13,8 @@
 //! is deterministic and trivially testable.
 
 use kus_sim::stats::Counter;
-use kus_sim::{Span, Time};
+use kus_sim::trace::Category;
+use kus_sim::{Span, Time, Tracer};
 
 /// Doorbell operating mode chosen by the watchdog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +51,8 @@ pub struct Watchdog {
     pub degradations: Counter,
     /// Times the optimized mode was restored after a quiet period.
     pub restorations: Counter,
+    tracer: Tracer,
+    track: u32,
 }
 
 impl Watchdog {
@@ -62,7 +65,15 @@ impl Watchdog {
             last_stall: Time::ZERO,
             degradations: Counter::default(),
             restorations: Counter::default(),
+            tracer: Tracer::off(),
+            track: 0,
         }
+    }
+
+    /// Attaches a tracer; `track` is the timeline row (the owning core id).
+    pub fn set_tracer(&mut self, tracer: Tracer, track: u32) {
+        self.tracer = tracer;
+        self.track = track;
     }
 
     /// Current mode.
@@ -85,6 +96,7 @@ impl Watchdog {
         }
         self.mode = DoorbellMode::Degraded;
         self.degradations.incr();
+        self.tracer.instant(Category::Fiber, "watchdog.degrade", self.track, self.degradations.get(), 0);
         true
     }
 
@@ -100,6 +112,7 @@ impl Watchdog {
         }
         self.mode = DoorbellMode::Optimized;
         self.restorations.incr();
+        self.tracer.instant(Category::Fiber, "watchdog.restore", self.track, self.restorations.get(), 0);
         true
     }
 }

@@ -7,6 +7,8 @@
 
 use crate::addr::LineAddr;
 use kus_sim::stats::Counter;
+use kus_sim::trace::Category;
+use kus_sim::Tracer;
 
 /// Per-way metadata.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +45,8 @@ pub struct SetAssocCache {
     pub misses: Counter,
     /// Valid lines evicted by fills.
     pub evictions: Counter,
+    tracer: Tracer,
+    track: u32,
 }
 
 impl SetAssocCache {
@@ -62,7 +66,15 @@ impl SetAssocCache {
             hits: Counter::default(),
             misses: Counter::default(),
             evictions: Counter::default(),
+            tracer: Tracer::off(),
+            track: 0,
         }
+    }
+
+    /// Attaches a tracer; `track` is the timeline row (the owning core id).
+    pub fn set_tracer(&mut self, tracer: Tracer, track: u32) {
+        self.tracer = tracer;
+        self.track = track;
     }
 
     /// A 32 KiB, 8-way L1D of 64-byte lines (the reproduced host's L1).
@@ -121,8 +133,9 @@ impl SetAssocCache {
             None => set.iter_mut().min_by_key(|w| w.lru).expect("non-empty set"),
         };
         let evicted = victim.valid.then_some(victim.tag);
-        if evicted.is_some() {
+        if let Some(old) = evicted {
             self.evictions.incr();
+            self.tracer.instant(Category::Mem, "l1.evict", self.track, old.index(), line.index());
         }
         *victim = Way { tag: line, valid: true, lru: stamp };
         evicted

@@ -13,7 +13,8 @@ use std::collections::VecDeque;
 
 use kus_sim::event::EventFn;
 use kus_sim::stats::{Counter, Gauge};
-use kus_sim::{Sim, Time};
+use kus_sim::trace::Category;
+use kus_sim::{Sim, Time, Tracer};
 
 use crate::addr::LineAddr;
 
@@ -63,6 +64,8 @@ pub struct LfbPool {
     entries: Vec<Entry>,
     slot_waiters: VecDeque<EventFn>,
     occupancy: Gauge,
+    tracer: Tracer,
+    track: u32,
     /// Successful allocations.
     pub allocations: Counter,
     /// Requests merged into an already-pending entry.
@@ -98,6 +101,8 @@ impl LfbPool {
             entries: Vec::with_capacity(capacity),
             slot_waiters: VecDeque::new(),
             occupancy: Gauge::new(),
+            tracer: Tracer::off(),
+            track: 0,
             allocations: Counter::default(),
             merges: Counter::default(),
             full_rejections: Counter::default(),
@@ -124,6 +129,12 @@ impl LfbPool {
         &self.occupancy
     }
 
+    /// Attaches a tracer; `track` is the timeline row (the owning core id).
+    pub fn set_tracer(&mut self, tracer: Tracer, track: u32) {
+        self.tracer = tracer;
+        self.track = track;
+    }
+
     /// Allocates a buffer for `line`, optionally attaching a waiter token.
     ///
     /// # Errors
@@ -145,11 +156,13 @@ impl LfbPool {
         assert!(!self.is_pending(line), "line {line} already pending; use merge");
         if self.entries.len() == self.capacity {
             self.full_rejections.incr();
+            self.tracer.instant(Category::Mem, "lfb.full", self.track, line.index(), self.capacity as u64);
             return Err(LfbFull);
         }
         self.entries.push(Entry { line, tokens: token.into_iter().collect() });
         self.allocations.incr();
         self.occupancy.set(now, self.entries.len() as u64);
+        self.tracer.instant(Category::Mem, "lfb.alloc", self.track, line.index(), self.entries.len() as u64);
         Ok(())
     }
 
@@ -159,6 +172,7 @@ impl LfbPool {
         if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
             e.tokens.push(token);
             self.merges.incr();
+            self.tracer.instant(Category::Mem, "lfb.merge", self.track, line.index(), self.entries.len() as u64);
             true
         } else {
             false
@@ -185,6 +199,7 @@ impl LfbPool {
             .unwrap_or_else(|| panic!("completing non-pending line {line}"));
         let entry = self.entries.swap_remove(idx);
         self.occupancy.set(sim.now(), self.entries.len() as u64);
+        self.tracer.instant(Category::Mem, "lfb.fill", self.track, line.index(), self.entries.len() as u64);
         for w in self.slot_waiters.drain(..) {
             sim.schedule_now(w);
         }

@@ -14,7 +14,8 @@ use std::rc::Rc;
 
 use kus_sim::event::EventFn;
 use kus_sim::stats::Counter;
-use kus_sim::{FaultInjector, Sim, Span, Time};
+use kus_sim::trace::Category;
+use kus_sim::{FaultInjector, Sim, Span, Time, Tracer};
 
 use crate::tlp::Tlp;
 
@@ -118,6 +119,7 @@ pub struct PcieLink {
     host_to_dev: Direction,
     dev_to_host: Direction,
     faults: Option<Rc<RefCell<FaultInjector>>>,
+    tracer: Tracer,
 }
 
 impl PcieLink {
@@ -128,6 +130,7 @@ impl PcieLink {
             host_to_dev: Direction::new(config),
             dev_to_host: Direction::new(config),
             faults: None,
+            tracer: Tracer::off(),
         }))
     }
 
@@ -135,6 +138,12 @@ impl PcieLink {
     /// according to its plan.
     pub fn set_fault_injector(&mut self, injector: Rc<RefCell<FaultInjector>>) {
         self.faults = Some(injector);
+    }
+
+    /// Attaches a tracer. TLPs are traced on tracks 300 (host→dev) and
+    /// 301 (dev→host).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn dir(&mut self, dir: LinkDir) -> &mut Direction {
@@ -150,6 +159,16 @@ impl PcieLink {
             Some(f) if f.borrow_mut().tlp_replay() => 1,
             _ => 0,
         };
+        if self.tracer.is_on() {
+            let track = match dir {
+                LinkDir::HostToDev => 300,
+                LinkDir::DevToHost => 301,
+            };
+            self.tracer.instant(Category::Pcie, "tlp.send", track, tlp.wire_bytes(), tlp.payload_bytes());
+            if replays > 0 {
+                self.tracer.instant(Category::Pcie, "tlp.replay", track, tlp.wire_bytes(), replays);
+            }
+        }
         let at = self.dir(dir).send(sim.now(), tlp, replays);
         sim.schedule_at(at, on_arrive);
     }

@@ -75,6 +75,9 @@ pub enum RunOutcome {
 /// ```
 pub struct Sim {
     now: Time,
+    /// Mirror of `now`, shared with observers (e.g. the tracer) that have no
+    /// `&Sim` at the point where they need a timestamp.
+    clock: Rc<Cell<Time>>,
     seq: u64,
     queue: BinaryHeap<Scheduled>,
     executed: u64,
@@ -104,6 +107,7 @@ impl Sim {
     pub fn new() -> Sim {
         Sim {
             now: Time::ZERO,
+            clock: Rc::new(Cell::new(Time::ZERO)),
             seq: 0,
             queue: BinaryHeap::new(),
             executed: 0,
@@ -115,6 +119,14 @@ impl Sim {
     /// The current virtual time.
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// A shared handle onto the simulation clock. The cell tracks
+    /// [`now`](Sim::now) as events execute, letting passive observers (the
+    /// tracer, in particular) timestamp themselves without threading a `&Sim`
+    /// through every call site.
+    pub fn now_handle(&self) -> Rc<Cell<Time>> {
+        self.clock.clone()
     }
 
     /// Number of events executed so far.
@@ -170,6 +182,7 @@ impl Sim {
         let ev = self.queue.pop().expect("peeked event vanished");
         debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = ev.at;
+        self.clock.set(ev.at);
         self.executed += 1;
         (ev.f)(self);
         true

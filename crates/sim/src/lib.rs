@@ -12,6 +12,9 @@
 //! - [`stats`]: counters, occupancy gauges, span histograms, rate helpers.
 //! - [`fault`]: deterministic fault injection ([`FaultPlan`] /
 //!   [`FaultInjector`]) for chaos experiments.
+//! - [`trace`]: zero-cost-when-disabled structured event tracing with a
+//!   deterministic content hash, a binary log codec, and a Chrome
+//!   `trace_event` exporter.
 //!
 //! # Examples
 //!
@@ -36,8 +39,10 @@ pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use event::{RunOutcome, Sim};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use rng::SimRng;
 pub use time::{Clock, Span, Time};
+pub use trace::{Category, OccupancyTimeline, Phase, TraceEvent, Tracer};

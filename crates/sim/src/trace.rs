@@ -1,0 +1,715 @@
+//! Deterministic structured event tracing.
+//!
+//! A [`Tracer`] is a cheap clonable handle that every instrumented component
+//! holds. Disabled (the default), it is a `None` and each emission costs one
+//! branch; enabled, events are appended to a shared in-memory buffer together
+//! with a running content hash.
+//!
+//! The design invariants that make traces usable as regression oracles:
+//!
+//! - **Inert**: tracing never schedules events, never draws from an RNG
+//!   stream, and never feeds back into component state, so a traced run is
+//!   bit-identical (in simulated behaviour) to an untraced one.
+//! - **Deterministic**: events are emitted from simulation callbacks, which
+//!   the [`Sim`](crate::Sim) kernel orders deterministically; the trace of a
+//!   `(seed, config)` pair is therefore byte-stable across runs and builds.
+//! - **Hashable**: [`Tracer::hash`] folds every event into an FNV-1a-64 over
+//!   the event's canonical binary encoding, so "same behaviour" can be
+//!   asserted with a single integer while [`encode`]/[`decode`] keep the full
+//!   stream inspectable when a hash test fails.
+//!
+//! Two exporters: [`chrome_json`] renders the Chrome `trace_event` format for
+//! `chrome://tracing` / [Perfetto](https://ui.perfetto.dev), and [`encode`]
+//! produces the compact binary log the hash is defined over.
+//!
+//! Timestamps come from the shared simulation clock
+//! ([`Sim::now_handle`](crate::Sim::now_handle)), so components can emit
+//! without a `&Sim` in scope.
+//!
+//! With the `trace` cargo feature disabled (the default), the deep per-access
+//! event class is compiled out: [`Tracer::set_verbose`] is a no-op and
+//! [`Tracer::is_verbose`] is always false.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::{Span, Time};
+
+/// Subsystem that emitted an event. The discriminant is part of the stable
+/// binary encoding — append new categories, never reorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Category {
+    /// Simulation kernel / platform lifecycle.
+    Sim = 0,
+    /// Cache hierarchy and line-fill buffers (`kus-mem`).
+    Mem = 1,
+    /// PCIe link TLPs (`kus-pcie`).
+    Pcie = 2,
+    /// Device datapath and request fetcher (`kus-device`).
+    Device = 3,
+    /// Software-queue descriptor lifecycle (`kus-swq` call sites).
+    Swq = 4,
+    /// Fiber scheduling and watchdog (`kus-fiber`).
+    Fiber = 5,
+    /// Executor-level recovery: deadlines, retries, failover (`kus-core`).
+    Exec = 6,
+}
+
+impl Category {
+    fn from_u8(v: u8) -> Option<Category> {
+        use Category::*;
+        Some(match v {
+            0 => Sim,
+            1 => Mem,
+            2 => Pcie,
+            3 => Device,
+            4 => Swq,
+            5 => Fiber,
+            6 => Exec,
+            _ => return None,
+        })
+    }
+
+    /// Short lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Sim => "sim",
+            Category::Mem => "mem",
+            Category::Pcie => "pcie",
+            Category::Device => "device",
+            Category::Swq => "swq",
+            Category::Fiber => "fiber",
+            Category::Exec => "exec",
+        }
+    }
+}
+
+/// Event shape, mirroring the Chrome `trace_event` phases we use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Phase {
+    /// A point event (`ph: "i"`). `a0`/`a1` are free-form arguments.
+    Instant = 0,
+    /// A sampled counter (`ph: "C"`). `a0` is the counter value.
+    Counter = 1,
+    /// A span (`ph: "X"`). `a0` is a free-form argument, `a1` is the
+    /// duration in picoseconds; `at` is the span start.
+    Complete = 2,
+}
+
+impl Phase {
+    fn from_u8(v: u8) -> Option<Phase> {
+        Some(match v {
+            0 => Phase::Instant,
+            1 => Phase::Counter,
+            2 => Phase::Complete,
+            _ => return None,
+        })
+    }
+
+    fn chrome(self) -> char {
+        match self {
+            Phase::Instant => 'i',
+            Phase::Counter => 'C',
+            Phase::Complete => 'X',
+        }
+    }
+}
+
+/// One trace event. `name` is a static string (e.g. `"swq.enqueue"`);
+/// `track` selects the timeline row (host core, fetcher, link direction…);
+/// `a0`/`a1` carry event-specific arguments (tags, occupancy levels,
+/// durations) per the conventions documented in DESIGN.md §9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated timestamp of the event (span start for [`Phase::Complete`]).
+    pub at: Time,
+    /// Emitting subsystem.
+    pub cat: Category,
+    /// Event name, dot-namespaced within the category.
+    pub name: &'static str,
+    /// Event shape.
+    pub phase: Phase,
+    /// Timeline row (see DESIGN.md §9 for the track-id scheme).
+    pub track: u32,
+    /// First argument (tag, line index, counter value…).
+    pub a0: u64,
+    /// Second argument (occupancy after, duration in ps for `Complete`…).
+    pub a1: u64,
+}
+
+impl TraceEvent {
+    /// Canonical single-line rendering, shared by the golden-trace snapshots
+    /// and failure diffs. Stable: changing this format invalidates goldens.
+    pub fn render(&self) -> String {
+        format!(
+            "{:>12}ps {}/{} {:?} t={} a0={} a1={}",
+            self.at.as_ps(),
+            self.cat.label(),
+            self.name,
+            self.phase,
+            self.track,
+            self.a0,
+            self.a1,
+        )
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// An event decoded from the binary log: identical to [`TraceEvent`] except
+/// the name is owned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedEvent {
+    /// Simulated timestamp.
+    pub at: Time,
+    /// Emitting subsystem.
+    pub cat: Category,
+    /// Event name.
+    pub name: String,
+    /// Event shape.
+    pub phase: Phase,
+    /// Timeline row.
+    pub track: u32,
+    /// First argument.
+    pub a0: u64,
+    /// Second argument.
+    pub a1: u64,
+}
+
+impl DecodedEvent {
+    /// Same rendering as [`TraceEvent::render`], so decoded streams compare
+    /// textually equal to live ones.
+    pub fn render(&self) -> String {
+        format!(
+            "{:>12}ps {}/{} {:?} t={} a0={} a1={}",
+            self.at.as_ps(),
+            self.cat.label(),
+            self.name,
+            self.phase,
+            self.track,
+            self.a0,
+            self.a1,
+        )
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Serializes one event into the canonical byte form the content hash is
+/// defined over (also the per-event record of the binary log).
+fn event_bytes(at: Time, cat: Category, name: &str, phase: Phase, track: u32, a0: u64, a1: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + name.len());
+    out.extend_from_slice(&at.as_ps().to_le_bytes());
+    out.push(cat as u8);
+    out.push(phase as u8);
+    out.extend_from_slice(&track.to_le_bytes());
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(&a0.to_le_bytes());
+    out.extend_from_slice(&a1.to_le_bytes());
+    out
+}
+
+struct TraceState {
+    hash: u64,
+    count: u64,
+    events: Vec<TraceEvent>,
+}
+
+struct TracerInner {
+    clock: Rc<Cell<Time>>,
+    state: RefCell<TraceState>,
+    #[cfg(feature = "trace")]
+    verbose: Cell<bool>,
+}
+
+/// Handle to the (possibly disabled) trace sink. Clone freely: all clones
+/// share one buffer. `Tracer::default()` is the disabled tracer.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Rc<TracerInner>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "Tracer(off)"),
+            Some(i) => {
+                let s = i.state.borrow();
+                write!(f, "Tracer(on, {} events, hash {:016x})", s.count, s.hash)
+            }
+        }
+    }
+}
+
+impl Tracer {
+    /// The disabled tracer: every emission is a single branch, nothing is
+    /// recorded.
+    pub fn off() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer timestamping from `clock` (obtain one via
+    /// [`Sim::now_handle`](crate::Sim::now_handle)).
+    pub fn new(clock: Rc<Cell<Time>>) -> Tracer {
+        Tracer {
+            inner: Some(Rc::new(TracerInner {
+                clock,
+                state: RefCell::new(TraceState { hash: FNV_OFFSET, count: 0, events: Vec::new() }),
+                #[cfg(feature = "trace")]
+                verbose: Cell::new(false),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Enables the deep per-access event class (e.g. every L1 read). Only
+    /// effective when compiled with the `trace` cargo feature; otherwise a
+    /// no-op, so default builds never emit deep events and golden hashes
+    /// stay identical across feature configurations.
+    pub fn set_verbose(&self, on: bool) {
+        #[cfg(feature = "trace")]
+        if let Some(i) = &self.inner {
+            i.verbose.set(on);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = on;
+    }
+
+    /// Whether deep per-access events should be emitted.
+    pub fn is_verbose(&self) -> bool {
+        #[cfg(feature = "trace")]
+        {
+            self.inner.as_ref().is_some_and(|i| i.verbose.get())
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            false
+        }
+    }
+
+    /// Records one event at the current simulated time. No-op when disabled.
+    pub fn emit(&self, cat: Category, name: &'static str, phase: Phase, track: u32, a0: u64, a1: u64) {
+        let Some(inner) = &self.inner else { return };
+        let at = inner.clock.get();
+        let mut s = inner.state.borrow_mut();
+        s.hash = fnv1a(s.hash, &event_bytes(at, cat, name, phase, track, a0, a1));
+        s.count += 1;
+        s.events.push(TraceEvent { at, cat, name, phase, track, a0, a1 });
+    }
+
+    /// Emits an [`Phase::Instant`] event.
+    pub fn instant(&self, cat: Category, name: &'static str, track: u32, a0: u64, a1: u64) {
+        self.emit(cat, name, Phase::Instant, track, a0, a1);
+    }
+
+    /// Emits a [`Phase::Counter`] sample of `value`.
+    pub fn counter(&self, cat: Category, name: &'static str, track: u32, value: u64) {
+        self.emit(cat, name, Phase::Counter, track, value, 0);
+    }
+
+    /// Emits a [`Phase::Complete`] span that started at `start` and ends now.
+    /// The duration lands in `a1` (picoseconds).
+    pub fn complete_since(&self, cat: Category, name: &'static str, track: u32, start: Time, a0: u64) {
+        let Some(inner) = &self.inner else { return };
+        let now = inner.clock.get();
+        let dur = (now - start).as_ps();
+        let mut s = inner.state.borrow_mut();
+        s.hash = fnv1a(s.hash, &event_bytes(start, cat, name, Phase::Complete, track, a0, dur));
+        s.count += 1;
+        s.events.push(TraceEvent { at: start, cat, name, phase: Phase::Complete, track, a0, a1: dur });
+    }
+
+    /// Running FNV-1a-64 content hash over all events so far (the hash of
+    /// the empty trace for a disabled tracer).
+    pub fn hash(&self) -> u64 {
+        match &self.inner {
+            None => FNV_OFFSET,
+            Some(i) => i.state.borrow().hash,
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn count(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.state.borrow().count)
+    }
+
+    /// A snapshot of the recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| i.state.borrow().events.clone())
+    }
+}
+
+/// Recomputes the content hash of an event slice; equals [`Tracer::hash`]
+/// after those events were emitted.
+pub fn hash_events(events: &[TraceEvent]) -> u64 {
+    events.iter().fold(FNV_OFFSET, |h, e| {
+        fnv1a(h, &event_bytes(e.at, e.cat, e.name, e.phase, e.track, e.a0, e.a1))
+    })
+}
+
+/// Magic header of the binary trace log (7 bytes magic + 1 byte version).
+pub const TRACE_MAGIC: &[u8; 8] = b"KUSTRC\x00\x01";
+
+/// Encodes events into the compact binary log: [`TRACE_MAGIC`], a `u64`
+/// event count, then each event's canonical record (the bytes the content
+/// hash is computed over).
+pub fn encode(events: &[TraceEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + events.len() * 40);
+    out.extend_from_slice(TRACE_MAGIC);
+    out.extend_from_slice(&(events.len() as u64).to_le_bytes());
+    for e in events {
+        out.extend_from_slice(&event_bytes(e.at, e.cat, e.name, e.phase, e.track, e.a0, e.a1));
+    }
+    out
+}
+
+/// Decoding failure: offset and description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub what: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace decode error at byte {}: {}", self.offset, self.what)
+    }
+}
+
+/// Decodes a binary log produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Vec<DecodedEvent>, DecodeError> {
+    let err = |offset, what| DecodeError { offset, what };
+    if bytes.len() < 16 {
+        return Err(err(0, "truncated header"));
+    }
+    if &bytes[0..8] != TRACE_MAGIC {
+        return Err(err(0, "bad magic"));
+    }
+    let count = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let mut pos = 16;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], DecodeError> {
+        let s = bytes.get(*pos..*pos + n).ok_or(DecodeError { offset: *pos, what: "truncated record" })?;
+        *pos += n;
+        Ok(s)
+    };
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let at = Time::from_ps(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
+        let cat_at = pos;
+        let cat = Category::from_u8(take(&mut pos, 1)?[0]).ok_or(err(cat_at, "unknown category"))?;
+        let phase_at = pos;
+        let phase = Phase::from_u8(take(&mut pos, 1)?[0]).ok_or(err(phase_at, "unknown phase"))?;
+        let track = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let name_at = pos;
+        let name = std::str::from_utf8(take(&mut pos, name_len)?)
+            .map_err(|_| err(name_at, "event name is not UTF-8"))?
+            .to_string();
+        let a0 = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let a1 = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        out.push(DecodedEvent { at, cat, name, phase, track, a0, a1 });
+    }
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing bytes after last record"));
+    }
+    Ok(out)
+}
+
+/// Timestamp in fractional microseconds, rendered without going through
+/// floating point so the JSON is byte-deterministic.
+fn chrome_ts(t: Time) -> String {
+    let ps = t.as_ps();
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+fn json_escape(s: &str) -> String {
+    // Event names are static identifiers; escape defensively anyway.
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders events as Chrome `trace_event` JSON (the "JSON array format"),
+/// loadable in `chrome://tracing` and Perfetto. Deterministic: the same
+/// event stream yields byte-identical output.
+pub fn chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let name = json_escape(e.name);
+        let cat = e.cat.label();
+        let ts = chrome_ts(e.at);
+        out.push_str(&format!(
+            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"{}\",\"ts\":{ts},\"pid\":0,\"tid\":{}",
+            e.phase.chrome(),
+            e.track,
+        ));
+        match e.phase {
+            Phase::Instant => {
+                out.push_str(&format!(",\"s\":\"t\",\"args\":{{\"a0\":{},\"a1\":{}}}", e.a0, e.a1));
+            }
+            Phase::Counter => {
+                out.push_str(&format!(",\"args\":{{\"{name}\":{}}}", e.a0));
+            }
+            Phase::Complete => {
+                out.push_str(&format!(",\"dur\":{},\"args\":{{\"a0\":{}}}", chrome_ts(Time::from_ps(e.a1)), e.a0));
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// A time-weighted occupancy profile derived from a stream of
+/// `(timestamp, level)` samples: how long the tracked quantity (LFB entries
+/// in use, ring slots pending, …) sat at each level.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OccupancyTimeline {
+    /// `time_at_level[l]` is the total simulated time spent at level `l`.
+    pub time_at_level: Vec<Span>,
+    /// Highest level observed.
+    pub max_level: u64,
+    /// Number of level-change samples folded in.
+    pub samples: u64,
+}
+
+impl OccupancyTimeline {
+    /// Builds a timeline from `(time, level-after)` samples, assumed
+    /// time-ordered, starting from level 0 at time zero and ending at `end`.
+    pub fn from_samples(samples: impl IntoIterator<Item = (Time, u64)>, end: Time) -> OccupancyTimeline {
+        let mut tl = OccupancyTimeline::default();
+        let mut level = 0u64;
+        let mut since = Time::ZERO;
+        for (at, next) in samples {
+            let at = at.min(end);
+            tl.credit(level, at - since);
+            level = next;
+            since = at;
+            tl.max_level = tl.max_level.max(next);
+            tl.samples += 1;
+        }
+        if end > since {
+            tl.credit(level, end - since);
+        }
+        tl
+    }
+
+    fn credit(&mut self, level: u64, dur: Span) {
+        if dur == Span::ZERO {
+            return;
+        }
+        let idx = level as usize;
+        if self.time_at_level.len() <= idx {
+            self.time_at_level.resize(idx + 1, Span::ZERO);
+        }
+        self.time_at_level[idx] += dur;
+    }
+
+    /// Total time covered by the profile.
+    pub fn total(&self) -> Span {
+        self.time_at_level.iter().fold(Span::ZERO, |a, &s| a + s)
+    }
+
+    /// Time-weighted mean level.
+    pub fn mean(&self) -> f64 {
+        let total = self.total().as_ps();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .time_at_level
+            .iter()
+            .enumerate()
+            .map(|(l, s)| l as f64 * s.as_ps() as f64)
+            .sum();
+        weighted / total as f64
+    }
+
+    /// Fraction of time spent at or above `level`.
+    pub fn fraction_at_or_above(&self, level: u64) -> f64 {
+        let total = self.total().as_ps();
+        if total == 0 {
+            return 0.0;
+        }
+        let above: u64 = self.time_at_level.iter().skip(level as usize).map(|s| s.as_ps()).sum();
+        above as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+
+    fn ev(at_ns: u64, name: &'static str, a0: u64) -> TraceEvent {
+        TraceEvent {
+            at: Time::ZERO + Span::from_ns(at_ns),
+            cat: Category::Swq,
+            name,
+            phase: Phase::Instant,
+            track: 0,
+            a0,
+            a1: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::off();
+        t.instant(Category::Sim, "x", 0, 1, 2);
+        assert!(!t.is_on());
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.hash(), FNV_OFFSET);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn tracer_timestamps_from_sim_clock() {
+        let mut sim = Sim::new();
+        let t = Tracer::new(sim.now_handle());
+        let t2 = t.clone();
+        sim.schedule_in(Span::from_ns(42), move |_| t2.instant(Category::Mem, "probe", 3, 7, 9));
+        sim.run();
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].at.as_ns(), 42);
+        assert_eq!((evs[0].track, evs[0].a0, evs[0].a1), (3, 7, 9));
+    }
+
+    #[test]
+    fn hash_matches_recomputation_and_is_order_sensitive() {
+        let a = vec![ev(1, "a", 1), ev(2, "b", 2)];
+        let b = vec![ev(2, "b", 2), ev(1, "a", 1)];
+        assert_ne!(hash_events(&a), hash_events(&b));
+
+        let sim = Sim::new();
+        let t = Tracer::new(sim.now_handle());
+        t.instant(Category::Swq, "a", 0, 1, 0);
+        t.instant(Category::Swq, "b", 0, 2, 0);
+        assert_eq!(t.hash(), hash_events(&t.events()));
+        assert_eq!(t.count(), 2);
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_events() {
+        let evs = vec![ev(5, "swq.enqueue", 17), ev(9, "swq.deliver", 17)];
+        let bytes = encode(&evs);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded.len(), 2);
+        for (d, e) in decoded.iter().zip(&evs) {
+            assert_eq!(d.render(), e.render());
+            assert_eq!((d.at, d.cat, d.phase, d.track, d.a0, d.a1), (e.at, e.cat, e.phase, e.track, e.a0, e.a1));
+            assert_eq!(d.name, e.name);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let evs = vec![ev(5, "x", 1)];
+        let mut bytes = encode(&evs);
+        assert!(decode(&bytes[..10]).is_err(), "truncated header");
+        bytes[0] = b'Z';
+        assert!(decode(&bytes).is_err(), "bad magic");
+        let mut ok = encode(&evs);
+        ok.push(0);
+        assert!(decode(&ok).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn chrome_json_is_parseable_shape() {
+        let evs = vec![
+            ev(1, "swq.enqueue", 3),
+            TraceEvent {
+                at: Time::from_ps(1_500_000),
+                cat: Category::Device,
+                name: "dev.resp",
+                phase: Phase::Complete,
+                track: 200,
+                a0: 4,
+                a1: 2_000_000,
+            },
+            TraceEvent {
+                at: Time::from_ps(2_000_000),
+                cat: Category::Mem,
+                name: "lfb.occ",
+                phase: Phase::Counter,
+                track: 0,
+                a0: 6,
+                a1: 0,
+            },
+        ];
+        let json = chrome_json(&evs);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ts\":1.500000"));
+        assert!(json.contains("\"dur\":2.000000"));
+        assert!(json.trim_end().ends_with("]}"));
+        // Balanced braces/brackets (cheap well-formedness check, no JSON dep).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn occupancy_timeline_time_weighting() {
+        let end = Time::ZERO + Span::from_ns(100);
+        let samples = vec![
+            (Time::ZERO + Span::from_ns(10), 1),
+            (Time::ZERO + Span::from_ns(30), 2),
+            (Time::ZERO + Span::from_ns(60), 0),
+        ];
+        let tl = OccupancyTimeline::from_samples(samples, end);
+        assert_eq!(tl.max_level, 2);
+        assert_eq!(tl.samples, 3);
+        assert_eq!(tl.time_at_level[0], Span::from_ns(10 + 40));
+        assert_eq!(tl.time_at_level[1], Span::from_ns(20));
+        assert_eq!(tl.time_at_level[2], Span::from_ns(30));
+        assert_eq!(tl.total(), Span::from_ns(100));
+        let mean = tl.mean();
+        assert!((mean - 0.8).abs() < 1e-9, "mean {mean}");
+        let frac = tl.fraction_at_or_above(1);
+        assert!((frac - 0.5).abs() < 1e-9, "frac {frac}");
+    }
+
+    #[test]
+    fn verbose_is_gated_by_feature() {
+        let sim = Sim::new();
+        let t = Tracer::new(sim.now_handle());
+        assert!(!t.is_verbose());
+        t.set_verbose(true);
+        assert_eq!(t.is_verbose(), cfg!(feature = "trace"));
+    }
+}

@@ -25,6 +25,7 @@ pub mod bloom;
 pub mod graph;
 pub mod memcached;
 pub mod microbench;
+pub mod trace_scenarios;
 
 pub use bfs::{BfsConfig, BfsWorkload};
 pub use chaos::{run_chaos, scenarios, ChaosConfig, ChaosScenario};
@@ -32,3 +33,4 @@ pub use bloom::{BloomConfig, BloomWorkload};
 pub use graph::{kronecker_edges, CsrGraph, KroneckerConfig};
 pub use memcached::{MemcachedConfig, MemcachedWorkload};
 pub use microbench::{Microbench, MicrobenchConfig};
+pub use trace_scenarios::{run_trace_scenario, run_trace_scenario_opts, trace_scenarios, TraceScenario};

@@ -1,0 +1,131 @@
+//! Trace determinism: the event stream is a pure function of
+//! (configuration, seed).
+//!
+//! The tracer's binary-encoding hash is the fingerprint: two runs with the
+//! same seed and configuration must produce bit-identical event streams
+//! (same hash, same count), and different seeds must not collide. This is
+//! the contract CI enforces by diffing `figures --trace-hash` across two
+//! invocations, and the foundation the golden-trace suite builds on.
+
+use kus_core::prelude::*;
+use kus_sim::trace::hash_events;
+use kus_workloads::bloom::{BloomConfig, BloomWorkload};
+use kus_workloads::microbench::{Microbench, MicrobenchConfig};
+use kus_workloads::trace_scenarios::{run_trace_scenario, run_trace_scenario_opts, trace_scenarios};
+
+/// A small traced run of `mechanism` driving `workload`, single-phase.
+fn run_traced(mechanism: Mechanism, workload: &str, seed: u64) -> RunReport {
+    let cfg = PlatformConfig::paper_default()
+        .without_replay_device()
+        .mechanism(mechanism)
+        .fibers_per_core(4)
+        .seed(seed)
+        .traced();
+    match workload {
+        "microbench" => {
+            let mut w = Microbench::new(MicrobenchConfig {
+                work_count: 100,
+                mlp: 2,
+                iters_per_fiber: 10,
+                writes_per_iter: 0,
+            });
+            Platform::new(cfg).run(&mut w)
+        }
+        "bloom" => {
+            let mut w = BloomWorkload::new(BloomConfig {
+                n_keys: 500,
+                lookups_per_fiber: 10,
+                ..BloomConfig::default()
+            });
+            Platform::new(cfg).run(&mut w)
+        }
+        _ => unreachable!("unknown workload {workload}"),
+    }
+}
+
+fn fingerprint(r: &RunReport) -> (u64, u64) {
+    let t = r.trace.as_ref().expect("traced run carries a TraceReport");
+    (t.hash, t.count)
+}
+
+/// Same seed + same configuration ⇒ identical trace hash and event count,
+/// across the full mechanism × workload matrix.
+#[test]
+fn same_seed_same_trace_across_matrix() {
+    for mechanism in [Mechanism::OnDemand, Mechanism::Prefetch, Mechanism::SoftwareQueue] {
+        for workload in ["microbench", "bloom"] {
+            let a = run_traced(mechanism, workload, 11);
+            let b = run_traced(mechanism, workload, 11);
+            let (ha, ca) = fingerprint(&a);
+            let (hb, cb) = fingerprint(&b);
+            assert!(ca > 0, "{mechanism:?}/{workload}: empty trace");
+            assert_eq!((ha, ca), (hb, cb), "{mechanism:?}/{workload}: nondeterministic trace");
+        }
+    }
+}
+
+/// Distinct seeds reshuffle the workload layout, so the event streams (and
+/// their hashes) must differ.
+#[test]
+fn distinct_seeds_distinct_traces() {
+    for mechanism in [Mechanism::OnDemand, Mechanism::SoftwareQueue] {
+        let a = run_traced(mechanism, "microbench", 1);
+        let b = run_traced(mechanism, "microbench", 2);
+        assert_ne!(fingerprint(&a).0, fingerprint(&b).0, "{mechanism:?}: seed did not matter");
+    }
+}
+
+/// The canonical scenarios (the ones golden-locked and exported by
+/// `figures --trace`) are deterministic too, including the chaos plan.
+#[test]
+fn canonical_scenarios_are_deterministic() {
+    for s in trace_scenarios() {
+        let a = run_trace_scenario(s.name, 0xC0FFEE).expect("known scenario");
+        let b = run_trace_scenario(s.name, 0xC0FFEE).expect("known scenario");
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{}: nondeterministic", s.name);
+        let c = run_trace_scenario(s.name, 0xC0FFEE + 1).expect("known scenario");
+        assert_ne!(fingerprint(&a).0, fingerprint(&c).0, "{}: seed did not matter", s.name);
+    }
+}
+
+/// The running hash the tracer maintains incrementally equals a one-shot
+/// recomputation over the collected events, and the binary log round-trips
+/// through encode/decode.
+#[test]
+fn hash_recomputes_and_log_round_trips() {
+    let r = run_trace_scenario("swq-optimized", 5).expect("known scenario");
+    let t = r.trace.expect("traced");
+    assert_eq!(t.hash, hash_events(&t.events), "incremental hash != recomputation");
+
+    let encoded = kus_sim::trace::encode(&t.events);
+    let decoded = kus_sim::trace::decode(&encoded).expect("well-formed log");
+    assert_eq!(decoded.len(), t.events.len());
+    for (d, e) in decoded.iter().zip(&t.events) {
+        assert_eq!(d.at, e.at);
+        assert_eq!(d.name, e.name);
+        assert_eq!((d.track, d.a0, d.a1), (e.track, e.a0, e.a1));
+    }
+}
+
+/// The deep per-access event class is deterministic as well, and strictly
+/// grows the stream relative to the default class. Only meaningful when the
+/// `trace` cargo feature compiled the class in.
+#[test]
+fn deep_trace_is_deterministic_and_additive() {
+    let shallow = run_trace_scenario_opts("ondemand-baseline", 3, false).expect("known");
+    let a = run_trace_scenario_opts("ondemand-baseline", 3, true).expect("known");
+    let b = run_trace_scenario_opts("ondemand-baseline", 3, true).expect("known");
+    assert_eq!(fingerprint(&a), fingerprint(&b), "deep trace nondeterministic");
+    if cfg!(feature = "trace") {
+        assert!(
+            fingerprint(&a).1 > fingerprint(&shallow).1,
+            "deep class compiled in but added no events"
+        );
+    } else {
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&shallow),
+            "deep flag must be inert without the trace feature"
+        );
+    }
+}

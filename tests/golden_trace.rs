@@ -1,0 +1,122 @@
+//! Golden-trace snapshots: the canonical scenarios' event streams are
+//! pinned — hash, event count, and the first events rendered line-by-line.
+//!
+//! A bare hash mismatch is useless for debugging, so each golden also
+//! stores a prefix of the decoded stream; on failure the test reports the
+//! first diverging event with context instead of just "hash changed".
+//!
+//! Regenerate after an intentional instrumentation change with:
+//!
+//! ```sh
+//! KUS_BLESS=1 cargo test -q --test golden_trace
+//! ```
+//!
+//! and review the golden diff like any other code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use kus_workloads::trace_scenarios::{run_trace_scenario, trace_scenarios};
+
+/// Events snapshotted per scenario (the full stream is pinned by the hash).
+const PREFIX: usize = 40;
+
+/// Seed the goldens are recorded at (the `figures --trace` default).
+const SEED: u64 = 0xC0FFEE;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../tests/goldens/trace_{name}.txt"))
+}
+
+fn snapshot(name: &str) -> String {
+    let r = run_trace_scenario(name, SEED).expect("canonical scenario");
+    let t = r.trace.expect("traced run");
+    let mut s = String::new();
+    writeln!(s, "hash {:016x}", t.hash).unwrap();
+    writeln!(s, "count {}", t.count).unwrap();
+    for e in t.events.iter().take(PREFIX) {
+        writeln!(s, "{}", e.render()).unwrap();
+    }
+    s
+}
+
+/// Lines up to the first divergence, the divergence itself, and a little
+/// context — a readable event diff rather than a bare hash mismatch.
+fn first_divergence(expected: &str, actual: &str) -> String {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let common = exp.iter().zip(&act).take_while(|(a, b)| a == b).count();
+    let mut out = String::new();
+    writeln!(out, "first divergence at line {} (1-based):", common + 1).unwrap();
+    let from = common.saturating_sub(3);
+    for line in &exp[from..common.min(exp.len())] {
+        writeln!(out, "    {line}").unwrap();
+    }
+    match (exp.get(common), act.get(common)) {
+        (Some(e), Some(a)) => {
+            writeln!(out, "  - {e}").unwrap();
+            writeln!(out, "  + {a}").unwrap();
+        }
+        (Some(e), None) => writeln!(out, "  - {e}\n  + <stream ended>").unwrap(),
+        (None, Some(a)) => writeln!(out, "  - <golden ended>\n  + {a}").unwrap(),
+        (None, None) => writeln!(out, "  (streams equal; length differs earlier?)").unwrap(),
+    }
+    for line in act.iter().skip(common + 1).take(3) {
+        writeln!(out, "    {line}").unwrap();
+    }
+    out
+}
+
+fn check_scenario(name: &str) {
+    let path = golden_path(name);
+    let actual = snapshot(name);
+    if std::env::var("KUS_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run `KUS_BLESS=1 cargo test -q --test golden_trace`",
+            path.display()
+        )
+    });
+    if expected != actual {
+        panic!(
+            "{name}: trace diverged from golden {}\n{}\nIf the change is intentional, re-bless \
+             with KUS_BLESS=1 and review the diff.",
+            path.display(),
+            first_divergence(&expected, &actual),
+        );
+    }
+}
+
+#[test]
+fn golden_ondemand_baseline() {
+    check_scenario("ondemand-baseline");
+}
+
+#[test]
+fn golden_swq_optimized() {
+    check_scenario("swq-optimized");
+}
+
+#[test]
+fn golden_chaos_stalls() {
+    check_scenario("chaos-stalls");
+}
+
+/// Every canonical scenario has a golden test above — fail loudly if a new
+/// scenario is added without pinning it.
+#[test]
+fn all_scenarios_are_pinned() {
+    let pinned = ["ondemand-baseline", "swq-optimized", "chaos-stalls"];
+    for s in trace_scenarios() {
+        assert!(
+            pinned.contains(&s.name),
+            "scenario {} has no golden test — add one and bless it",
+            s.name
+        );
+    }
+}

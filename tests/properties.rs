@@ -332,6 +332,65 @@ fn inert_fault_plan_changes_nothing() {
     assert!(inert.faults.is_none(), "inert plan must not enable the fault layer");
 }
 
+/// Tracing is inert: enabling the tracer changes nothing about a run
+/// except the presence of the `trace` field. Across seeded cases spanning
+/// mechanisms and fault plans, every outcome field of the report —
+/// timing, work, accesses, switches, doorbells, occupancy maxima, fault
+/// counters — is identical with tracing on and off, and the traced twin of
+/// a traced run reproduces the same event hash (the tracer neither
+/// schedules events nor draws randomness).
+#[test]
+fn tracing_never_perturbs_the_run() {
+    use kus_workloads::trace_scenarios::run_trace_scenario;
+    for_cases("trace-inert", 4, |case, rng| {
+        let seed = rng.next_u64();
+        let plan = if case % 2 == 0 {
+            FaultPlan::none()
+        } else {
+            scenarios()[case as usize % scenarios().len()].plan
+        };
+        let c = ChaosConfig { seed, iters_per_fiber: 15, ..ChaosConfig::default() };
+        let traced = {
+            let mut w = chaos_workload(c);
+            let mut cfg = chaos_platform(c).traced();
+            if plan.is_active() {
+                cfg = cfg.faults(plan);
+            }
+            kus_core::Platform::new(cfg).run(&mut w)
+        };
+        let plain = {
+            let mut w = chaos_workload(c);
+            let mut cfg = chaos_platform(c);
+            if plan.is_active() {
+                cfg = cfg.faults(plan);
+            }
+            kus_core::Platform::new(cfg).run(&mut w)
+        };
+        assert!(plain.trace.is_none(), "case {case}: untraced run grew a trace");
+        let t = traced.trace.as_ref().unwrap_or_else(|| panic!("case {case}: no trace"));
+        assert!(t.count > 0, "case {case}: empty trace");
+        assert_eq!(traced.elapsed, plain.elapsed, "case {case}: elapsed");
+        assert_eq!(traced.work_insts, plain.work_insts, "case {case}: work");
+        assert_eq!(traced.accesses, plain.accesses, "case {case}: accesses");
+        assert_eq!(traced.writes, plain.writes, "case {case}: writes");
+        assert_eq!(traced.switches, plain.switches, "case {case}: switches");
+        assert_eq!(traced.doorbells, plain.doorbells, "case {case}: doorbells");
+        assert_eq!(traced.lfb_max, plain.lfb_max, "case {case}: lfb max");
+        assert_eq!(traced.device_path_max, plain.device_path_max, "case {case}: uncore max");
+        assert_eq!(traced.faults, plain.faults, "case {case}: fault counters");
+    });
+
+    // The canonical scenarios run through the same check against their
+    // untraced twins via the determinism suite; here just pin that a traced
+    // rerun reproduces the hash (no hidden RNG draws).
+    let a = run_trace_scenario("chaos-stalls", 99).expect("scenario");
+    let b = run_trace_scenario("chaos-stalls", 99).expect("scenario");
+    assert_eq!(
+        a.trace.as_ref().map(|t| (t.hash, t.count)),
+        b.trace.as_ref().map(|t| (t.hash, t.count)),
+    );
+}
+
 /// Recovery without faults is also invisible in outcome (and its periodic
 /// expiry scan never fires a timeout on a healthy run).
 #[test]
