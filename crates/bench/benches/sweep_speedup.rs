@@ -1,0 +1,47 @@
+//! Measures the sweep engine's parallel speedup: the same cell set run
+//! serially (`--jobs 1`) and on one worker per hardware thread, with the
+//! speedup ratio printed alongside the raw medians.
+//!
+//! On a multicore host the parallel run should approach `min(jobs, cells)`×
+//! the serial wall-clock (the cells are embarrassingly parallel and
+//! shared-nothing); on a single-core CI runner the ratio is ~1×, which the
+//! output labels explicitly so a low number is not misread as a regression.
+
+use kus_bench::harness::bench_stats;
+use kus_bench::sweep::{run_sweep, SweepOptions, SweepSpec};
+use kus_core::prelude::*;
+use kus_workloads::{Microbench, MicrobenchConfig};
+
+fn spec() -> SweepSpec {
+    let mc =
+        MicrobenchConfig { work_count: 100, mlp: 1, iters_per_fiber: 150, writes_per_iter: 0 };
+    let base = Experiment::new(
+        "ubench w=100 mlp=1 iters=150 writes=0",
+        PlatformConfig::paper_default().without_replay_device(),
+        move || Microbench::new(mc),
+    )
+    .expect("bench configuration is valid");
+    SweepSpec::new(base)
+        .mechanisms(&[Mechanism::OnDemand, Mechanism::Prefetch, Mechanism::SoftwareQueue])
+        .device_latencies(&[Span::from_us(1), Span::from_us(4)])
+        .fibers_per_core(&[1, 8, 16])
+}
+
+fn main() {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cells = spec().cell_count();
+    let serial = bench_stats("sweep 18 cells, jobs=1", 3, || {
+        run_sweep(&spec(), &SweepOptions::jobs(1)).cells.len()
+    });
+    println!("{serial}");
+    let parallel = bench_stats(&format!("sweep 18 cells, jobs={hw}"), 3, || {
+        run_sweep(&spec(), &SweepOptions::jobs(hw)).cells.len()
+    });
+    println!("{parallel}");
+    println!(
+        "speedup: {:.2}x on {hw} hardware thread(s), {cells} cells \
+         (ideal ~{}x; ~1x is expected when only one hardware thread is available)",
+        parallel.speedup_over(&serial),
+        hw.min(cells),
+    );
+}

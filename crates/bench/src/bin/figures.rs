@@ -1,12 +1,28 @@
-//! Regenerates the figures of the paper's evaluation as text tables.
+//! Regenerates the figures of the paper's evaluation as text tables, and
+//! runs ad-hoc configuration sweeps, through the parallel sweep engine.
 //!
-//! Usage:
+//! Figure mode:
 //!   figures                 # all figures, fast quality (idealized device)
 //!   figures --full          # record/replay device, longer loops
 //!   figures --fig fig3      # one figure (or a prefix, e.g. --fig fig10)
 //!   figures --ablations     # the ablation studies as well
 //!   figures --faults plan.toml  # inject the given fault plan into every run
 //!   figures --seed 42       # override the platform RNG seed
+//!   figures --jobs N        # worker threads (0 = one per hardware thread;
+//!                           # default 0). Output is byte-identical for any N.
+//!   figures --json out.json # also write the raw cell results as JSON
+//!   figures --csv out.csv   # also write the raw cell results as CSV
+//!
+//! Sweep mode (a declarative matrix over the microbenchmark):
+//!   figures --sweep --mech swq,prefetch --lat 1us,4us --fibers 1,8,24 \
+//!           --cores 1,4 --seeds 1,2 --jobs 4 --json out.json
+//!   Axis flags: --mech --lat --cores --fibers --smt --lfbs --credits
+//!   --ring --burst --ctx --seeds (comma-separated lists; omitted axes keep
+//!   the paper-default value). Latency/ctx values take ns/us suffixes.
+//!   Cells print as `index label work_ipc` lines; --json/--csv emit the full
+//!   machine-readable results (byte-identical across --jobs values).
+//!
+//! Trace mode:
 //!   figures --trace out.json    # write a Chrome trace of a canonical
 //!                               # scenario (default swq-optimized) and exit
 //!   figures --trace-hash        # print each canonical scenario's trace
@@ -16,12 +32,52 @@
 //! `--trace`/`--trace-hash` honour `--seed`; the hash lines are stable for
 //! a given seed, which is what CI diffs across two invocations.
 
-use kus_sim::FaultPlan;
-use kus_workloads::figures::{self, Figure, Quality};
+use kus_bench::sweep::{run_figures, run_sweep, SweepOptions, SweepSpec};
+use kus_core::prelude::*;
+use kus_workloads::figures::{self, Quality};
 use kus_workloads::trace_scenarios::{run_trace_scenario, trace_scenarios};
+use kus_workloads::{Microbench, MicrobenchConfig};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Parses `--flag a,b,c` into a vector via `parse`, exiting on bad input.
+fn list<T>(args: &[String], flag: &str, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    match flag_value(args, flag) {
+        None => Vec::new(),
+        Some(s) => s
+            .split(',')
+            .filter(|p| !p.is_empty())
+            .map(|p| {
+                parse(p.trim()).unwrap_or_else(|| fail(format!("{flag}: cannot parse `{p}`")))
+            })
+            .collect(),
+    }
+}
+
+fn parse_span(s: &str) -> Option<Span> {
+    if let Some(v) = s.strip_suffix("us") {
+        v.parse().ok().map(Span::from_us)
+    } else if let Some(v) = s.strip_suffix("ns") {
+        v.parse().ok().map(Span::from_ns)
+    } else {
+        s.parse().ok().map(Span::from_ns)
+    }
+}
+
+fn parse_mech(s: &str) -> Option<Mechanism> {
+    match s {
+        "on-demand" | "ondemand" => Some(Mechanism::OnDemand),
+        "prefetch" => Some(Mechanism::Prefetch),
+        "swq" | "software-queue" => Some(Mechanism::SoftwareQueue),
+        _ => None,
+    }
 }
 
 const TRACE_SEED: u64 = 0xC0FFEE;
@@ -75,31 +131,113 @@ fn trace_mode(args: &[String]) -> Option<i32> {
     Some(0)
 }
 
+/// Builds the quality (and thus base config) from the shared CLI flags.
+fn quality(args: &[String]) -> Quality {
+    let mut q = if args.iter().any(|a| a == "--full") { Quality::full() } else { Quality::fast() };
+    if let Some(path) = flag_value(args, "--faults") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(format!("--faults: cannot read {path}: {e}")));
+        q.faults = FaultPlan::parse_toml(&text)
+            .unwrap_or_else(|e| fail(format!("--faults: invalid plan in {path}: {e}")));
+    }
+    if let Some(seed) = flag_value(args, "--seed") {
+        q.seed = Some(seed.parse().unwrap_or_else(|_| {
+            fail(format!("--seed: expected an unsigned integer, got `{seed}`"))
+        }));
+    }
+    q
+}
+
+fn sweep_options(args: &[String]) -> SweepOptions {
+    let jobs = match flag_value(args, "--jobs") {
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| fail(format!("--jobs: expected an unsigned integer, got `{s}`"))),
+        None => 0,
+    };
+    SweepOptions { jobs, progress: true }
+}
+
+fn write_artifacts(args: &[String], results: &kus_bench::SweepResults) {
+    if let Some(path) = flag_value(args, "--json") {
+        if let Err(e) = std::fs::write(&path, results.to_json()) {
+            fail(format!("--json: cannot write {path}: {e}"));
+        }
+        eprintln!("# wrote {path} ({} cells)", results.cells.len());
+    }
+    if let Some(path) = flag_value(args, "--csv") {
+        if let Err(e) = std::fs::write(&path, results.to_csv()) {
+            fail(format!("--csv: cannot write {path}: {e}"));
+        }
+        eprintln!("# wrote {path} ({} cells)", results.cells.len());
+    }
+}
+
+/// `--sweep` mode: a declarative matrix over the microbenchmark.
+fn sweep_mode(args: &[String]) -> i32 {
+    let q = quality(args);
+    let mut cfg = PlatformConfig::paper_default();
+    if !q.replay_device {
+        cfg = cfg.without_replay_device();
+    }
+    if q.faults.is_active() {
+        cfg = cfg.faults(q.faults);
+    }
+    let work: u32 = flag_value(args, "--work")
+        .map(|s| s.parse().unwrap_or_else(|_| fail(format!("--work: bad value `{s}`"))))
+        .unwrap_or(100);
+    let mc = MicrobenchConfig {
+        work_count: work,
+        mlp: 1,
+        iters_per_fiber: q.iters,
+        writes_per_iter: 0,
+    };
+    let base = Experiment::new(
+        format!("ubench w={work} mlp=1 iters={} writes=0", mc.iters_per_fiber),
+        cfg,
+        move || Microbench::new(mc),
+    )
+    .unwrap_or_else(|e| fail(format!("base configuration invalid: {e}")));
+
+    let spec = SweepSpec::new(base)
+        .mechanisms(&list(args, "--mech", parse_mech))
+        .device_latencies(&list(args, "--lat", parse_span))
+        .cores(&list(args, "--cores", |s| s.parse().ok()))
+        .fibers_per_core(&list(args, "--fibers", |s| s.parse().ok()))
+        .smt(&list(args, "--smt", |s| s.parse().ok()))
+        .lfb_counts(&list(args, "--lfbs", |s| s.parse().ok()))
+        .device_path_credits(&list(args, "--credits", |s| s.parse().ok()))
+        .swq_ring_capacities(&list(args, "--ring", |s| s.parse().ok()))
+        .swq_fetch_bursts(&list(args, "--burst", |s| s.parse().ok()))
+        .ctx_switches(&list(args, "--ctx", parse_span))
+        .seeds(&list(args, "--seeds", |s| s.parse().ok()));
+
+    let opts = sweep_options(args);
+    eprintln!("# sweep: {} cells, jobs={}", spec.cell_count(), opts.jobs);
+    let results = run_sweep(&spec, &opts);
+    eprintln!("# sweep: done in {:.2}s", results.wall_seconds);
+    for c in &results.cells {
+        match &c.outcome {
+            Ok(r) => println!("{} {} work_ipc={:.6}", c.index, c.label, r.work_ipc()),
+            Err(e) => println!("{} {} ERROR {e}", c.index, c.label),
+        }
+    }
+    write_artifacts(args, &results);
+    i32::from(results.errors().count() > 0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(code) = trace_mode(&args) {
         std::process::exit(code);
     }
-    let full = args.iter().any(|a| a == "--full");
+    if args.iter().any(|a| a == "--sweep") {
+        std::process::exit(sweep_mode(&args));
+    }
+
     let ablations = args.iter().any(|a| a == "--ablations");
     let only: Option<String> = flag_value(&args, "--fig");
-    let mut q = if full { Quality::full() } else { Quality::fast() };
-    if let Some(path) = flag_value(&args, "--faults") {
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("--faults: cannot read {path}: {e}");
-            std::process::exit(2);
-        });
-        q.faults = FaultPlan::parse_toml(&text).unwrap_or_else(|e| {
-            eprintln!("--faults: invalid plan in {path}: {e}");
-            std::process::exit(2);
-        });
-    }
-    if let Some(seed) = flag_value(&args, "--seed") {
-        q.seed = Some(seed.parse().unwrap_or_else(|_| {
-            eprintln!("--seed: expected an unsigned integer, got `{seed}`");
-            std::process::exit(2);
-        }));
-    }
+    let q = quality(&args);
     eprintln!(
         "# quality: iters={} replay_device={} faults={} (use --full for the paper methodology)",
         q.iters,
@@ -107,43 +245,33 @@ fn main() {
         if q.faults.is_active() { "active" } else { "off" },
     );
 
-    type Thunk = fn(Quality) -> Vec<Figure>;
-    type Entry<'a> = (&'a str, Box<dyn Fn(Quality) -> Vec<Figure>>);
-    let single = |f: fn(Quality) -> Figure| move |q: Quality| vec![f(q)];
-    let mut registry: Vec<Entry> = vec![
-        ("fig2", Box::new(single(figures::fig2))),
-        ("fig3", Box::new(single(figures::fig3))),
-        ("fig4", Box::new(single(figures::fig4))),
-        ("fig5", Box::new(single(figures::fig5))),
-        ("fig6", Box::new(single(figures::fig6))),
-        ("fig7", Box::new(single(figures::fig7))),
-        ("fig8", Box::new(single(figures::fig8))),
-        ("fig9", Box::new(single(figures::fig9))),
-        ("fig10", Box::new(figures::fig10 as Thunk)),
-    ];
-    if ablations
+    let include_ablations = ablations
         || only
             .as_deref()
             .map(|o| o.starts_with("ablation") || o.starts_with("ext"))
-            .unwrap_or(false)
-    {
-        registry.push(("ablation_lfb", Box::new(single(figures::ablation_lfb))));
-        registry.push(("ablation_uncore", Box::new(single(figures::ablation_uncore))));
-        registry.push(("ablation_ctx_switch", Box::new(single(figures::ablation_ctx_switch))));
-        registry.push(("ablation_swq_opts", Box::new(single(figures::ablation_swq_opts))));
-        registry.push(("ext_writes", Box::new(single(figures::ext_writes))));
-        registry.push(("ext_smt", Box::new(single(figures::ext_smt))));
-        registry.push(("ext_jitter", Box::new(single(figures::ext_jitter))));
-    }
-    for (id, thunk) in registry {
-        if let Some(only) = &only {
-            if !id.starts_with(only.as_str()) {
-                continue;
-            }
+            .unwrap_or(false);
+    let mut entries = figures::registry(include_ablations);
+    if let Some(only) = &only {
+        entries.retain(|e| e.id.starts_with(only.as_str()));
+        if entries.is_empty() {
+            fail(format!("--fig: no figure matches prefix `{only}`"));
         }
-        eprintln!("# generating {id}...");
-        for fig in thunk(q) {
+    }
+
+    let opts = sweep_options(&args);
+    let (figsets, results) = run_figures(&entries, q, &opts);
+    eprintln!(
+        "# {} unique cells in {:.2}s ({} errors)",
+        results.cells.len(),
+        results.wall_seconds,
+        results.errors().count(),
+    );
+    for (id, figs) in figsets {
+        eprintln!("# {id}");
+        for fig in figs {
             println!("{}", fig.render_table());
         }
     }
+    write_artifacts(&args, &results);
+    std::process::exit(i32::from(results.errors().count() > 0));
 }

@@ -1,10 +1,13 @@
-//! # kus-bench — benchmark harness
+//! # kus-bench — benchmark harness and the parallel sweep engine
 //!
-//! Two entry points:
+//! Three entry points:
 //!
-//! - `cargo run --release -p kus-bench --bin figures [-- --fig figN] [--full]`
-//!   regenerates the data series of every figure in the paper's evaluation
-//!   (and the ablations) and prints them as text tables.
+//! - `cargo run --release -p kus-bench --bin figures [-- --fig figN]
+//!   [--full] [--jobs N] [--json out.json]` regenerates the data series of
+//!   every figure in the paper's evaluation (and the ablations) through the
+//!   [`sweep`] engine and prints them as text tables.
+//! - `figures --sweep` runs a declarative configuration matrix from the
+//!   command line (see `--help` in the binary's doc comment).
 //! - `cargo bench -p kus-bench` runs the wall-clock benchmarks: one scaled-
 //!   down configuration per paper figure (so regressions in any modelled
 //!   path show up as timing changes) plus microbenchmarks of the simulator
@@ -13,5 +16,10 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod sweep;
 
 pub use kus_workloads::figures;
+pub use sweep::{
+    run_cells, run_figures, run_sweep, CellResult, SweepCell, SweepOptions, SweepResults,
+    SweepSpec,
+};

@@ -11,6 +11,43 @@ use kus_swq::SwqCosts;
 
 use crate::mechanism::Mechanism;
 
+/// Why a [`PlatformConfig`] is not runnable.
+///
+/// Produced by [`PlatformConfig::validate`]; the builder setters never
+/// panic — they record whatever they are given and the error surfaces when
+/// the configuration is assembled into a [`Platform`](crate::Platform) or
+/// [`Experiment`](crate::Experiment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A count field that must be non-zero was zero (the field is named).
+    Zero(&'static str),
+    /// A software-queue run with a DRAM-backed dataset: software-managed
+    /// queues address the device, not DRAM.
+    SwqNeedsDevice,
+    /// The fault plan failed [`FaultPlan::validate`].
+    Fault(String),
+    /// SWQ recovery is enabled with a zero timeout or scan interval, which
+    /// would busy-loop the expiry scan (the offending field is named).
+    Recovery(&'static str),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Zero(field) => write!(f, "`{field}` must be non-zero"),
+            ConfigError::SwqNeedsDevice => {
+                write!(f, "software-managed queues address the device, not DRAM")
+            }
+            ConfigError::Fault(e) => write!(f, "invalid fault plan: {e}"),
+            ConfigError::Recovery(field) => {
+                write!(f, "swq_recovery is enabled but `{field}` is zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full configuration of one experiment run.
 ///
 /// Defaults reproduce the paper's testbed: a Xeon E5-2670v3 host, PCIe Gen2
@@ -195,6 +232,61 @@ impl PlatformConfig {
         }
     }
 
+    /// Checks that this configuration is runnable.
+    ///
+    /// The builder setters never reject their input; every structural error
+    /// is collected here instead, so a sweep can construct arbitrary
+    /// configuration matrices and report the broken cells rather than
+    /// panicking mid-expansion. [`Platform::new`](crate::Platform::new)
+    /// still panics on an invalid configuration (legacy behaviour, kept for
+    /// one release — see its deprecation note);
+    /// [`Platform::try_new`](crate::Platform::try_new) and
+    /// [`Experiment`](crate::Experiment) surface the error.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::Zero("cores"));
+        }
+        if self.fibers_per_core == 0 {
+            return Err(ConfigError::Zero("fibers_per_core"));
+        }
+        if self.smt == 0 {
+            return Err(ConfigError::Zero("smt"));
+        }
+        if self.core.lfb_count == 0 {
+            return Err(ConfigError::Zero("core.lfb_count"));
+        }
+        if self.device_path_credits == 0 {
+            return Err(ConfigError::Zero("device_path_credits"));
+        }
+        if self.dram_path_credits == 0 {
+            return Err(ConfigError::Zero("dram_path_credits"));
+        }
+        if self.dataset_bytes == 0 {
+            return Err(ConfigError::Zero("dataset_bytes"));
+        }
+        if self.mechanism == Mechanism::SoftwareQueue {
+            if self.backing == Backing::Dram {
+                return Err(ConfigError::SwqNeedsDevice);
+            }
+            if self.swq_ring_capacity == 0 {
+                return Err(ConfigError::Zero("swq_ring_capacity"));
+            }
+            if self.swq_fetch_burst == 0 {
+                return Err(ConfigError::Zero("swq_fetch_burst"));
+            }
+        }
+        self.faults.validate().map_err(ConfigError::Fault)?;
+        if self.swq_recovery.enabled {
+            if self.swq_recovery.timeout.is_zero() {
+                return Err(ConfigError::Recovery("timeout"));
+            }
+            if self.swq_recovery.check_interval.is_zero() {
+                return Err(ConfigError::Recovery("check_interval"));
+            }
+        }
+        Ok(())
+    }
+
     /// Sets the access mechanism.
     pub fn mechanism(mut self, m: Mechanism) -> Self {
         self.mechanism = m;
@@ -213,36 +305,29 @@ impl PlatformConfig {
         self
     }
 
-    /// Sets the core count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
+    /// Sets the core count (zero is rejected by [`PlatformConfig::validate`]).
     pub fn cores(mut self, n: usize) -> Self {
-        assert!(n > 0, "at least one core");
         self.cores = n;
         self
     }
 
-    /// Sets the user-level thread count per core.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
+    /// Sets the user-level thread count per core (zero is rejected by
+    /// [`PlatformConfig::validate`]).
     pub fn fibers_per_core(mut self, n: usize) -> Self {
-        assert!(n > 0, "at least one fiber per core");
         self.fibers_per_core = n;
         self
     }
 
-    /// Sets the SMT context count per core (1 or 2 on the reproduced host).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
+    /// Sets the SMT context count per core (1 or 2 on the reproduced host;
+    /// zero is rejected by [`PlatformConfig::validate`]).
     pub fn smt(mut self, n: usize) -> Self {
-        assert!(n > 0, "at least one hardware context");
         self.smt = n;
+        self
+    }
+
+    /// Sets the full core micro-architecture configuration.
+    pub fn core(mut self, c: CoreConfig) -> Self {
+        self.core = c;
         self
     }
 
@@ -260,9 +345,52 @@ impl PlatformConfig {
         self
     }
 
+    /// Sets the chip-level DRAM-path queue capacity.
+    pub fn dram_path_credits(mut self, n: usize) -> Self {
+        self.dram_path_credits = n;
+        self
+    }
+
     /// Sets the context-switch cost.
     pub fn ctx_switch(mut self, s: Span) -> Self {
         self.ctx_switch = s;
+        self
+    }
+
+    /// Sets the PCIe link configuration.
+    pub fn link(mut self, l: LinkConfig) -> Self {
+        self.link = l;
+        self
+    }
+
+    /// Sets the host DRAM channel configuration.
+    pub fn host_dram(mut self, s: StationConfig) -> Self {
+        self.host_dram = s;
+        self
+    }
+
+    /// Sets the software-queue host-cost model.
+    pub fn swq_costs(mut self, c: SwqCosts) -> Self {
+        self.swq = c;
+        self
+    }
+
+    /// Sets the software-queue request-ring capacity per core.
+    pub fn swq_ring_capacity(mut self, n: usize) -> Self {
+        self.swq_ring_capacity = n;
+        self
+    }
+
+    /// Sets the descriptor fetch-burst size (1 disables burst amortization).
+    pub fn swq_fetch_burst(mut self, n: usize) -> Self {
+        self.swq_fetch_burst = n;
+        self
+    }
+
+    /// Ablation: ring the doorbell on every enqueue (no doorbell-request
+    /// flag).
+    pub fn swq_doorbell_every_enqueue(mut self, always: bool) -> Self {
+        self.swq_doorbell_every_enqueue = always;
         self
     }
 
@@ -272,9 +400,40 @@ impl PlatformConfig {
         self
     }
 
+    /// Sets the device replay-window behaviour.
+    pub fn replay(mut self, r: ReplayConfig) -> Self {
+        self.replay = r;
+        self
+    }
+
+    /// Sets the device streamer behaviour.
+    pub fn streamer(mut self, s: StreamerConfig) -> Self {
+        self.streamer = s;
+        self
+    }
+
+    /// Sets the device on-board DRAM channel configuration.
+    pub fn onboard(mut self, s: StationConfig) -> Self {
+        self.onboard = s;
+        self
+    }
+
+    /// Sets the dataset address-space capacity in bytes.
+    pub fn dataset_bytes(mut self, n: u64) -> Self {
+        self.dataset_bytes = n;
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
+        self
+    }
+
+    /// Selects between the full two-phase record/replay discipline and the
+    /// single-phase idealized device.
+    pub fn use_replay_device(mut self, yes: bool) -> Self {
+        self.use_replay_device = yes;
         self
     }
 
@@ -287,13 +446,9 @@ impl PlatformConfig {
     /// Sets the fault-injection plan. An *active* plan auto-enables SWQ
     /// recovery scaled to the current device latency (set the latency
     /// first, or override with [`PlatformConfig::swq_recovery`] after);
-    /// faults without timeouts would simply wedge the run.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the plan fails [`FaultPlan::validate`].
+    /// faults without timeouts would simply wedge the run. An invalid plan
+    /// is accepted here and rejected by [`PlatformConfig::validate`].
     pub fn faults(mut self, plan: FaultPlan) -> Self {
-        plan.validate().expect("invalid fault plan");
         self.faults = plan;
         if plan.is_active() && !self.swq_recovery.enabled {
             self.swq_recovery = SwqRecovery::for_device_latency(self.device_latency);
@@ -391,6 +546,136 @@ mod tests {
         let c = PlatformConfig::paper_default().faults(FaultPlan::none());
         assert!(!c.swq_recovery.enabled);
         assert!(!c.faults.is_active());
+    }
+
+    #[test]
+    fn validate_accepts_paper_default() {
+        assert_eq!(PlatformConfig::paper_default().validate(), Ok(()));
+        assert_eq!(
+            PlatformConfig::paper_default().mechanism(Mechanism::SoftwareQueue).validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn setters_accept_bad_values_and_validate_rejects_them() {
+        // The builder records whatever it is given; the error surfaces at
+        // validate time, named after the offending field.
+        let cases: [(PlatformConfig, ConfigError); 6] = [
+            (PlatformConfig::paper_default().cores(0), ConfigError::Zero("cores")),
+            (
+                PlatformConfig::paper_default().fibers_per_core(0),
+                ConfigError::Zero("fibers_per_core"),
+            ),
+            (PlatformConfig::paper_default().smt(0), ConfigError::Zero("smt")),
+            (PlatformConfig::paper_default().dataset_bytes(0), ConfigError::Zero("dataset_bytes")),
+            (
+                PlatformConfig::paper_default()
+                    .mechanism(Mechanism::SoftwareQueue)
+                    .swq_ring_capacity(0),
+                ConfigError::Zero("swq_ring_capacity"),
+            ),
+            (
+                PlatformConfig::paper_default()
+                    .mechanism(Mechanism::SoftwareQueue)
+                    .backing(Backing::Dram),
+                ConfigError::SwqNeedsDevice,
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate(), Err(want));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_invalid_fault_plan() {
+        let c = PlatformConfig::paper_default().faults(FaultPlan::none().with_stalls(2.0));
+        assert!(matches!(c.validate(), Err(ConfigError::Fault(_))));
+        // The error message names the field, for sweep error rows.
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("stall_prob"), "{msg}");
+    }
+
+    #[test]
+    fn validate_rejects_busy_loop_recovery() {
+        let mut r = SwqRecovery::for_device_latency(Span::from_us(1));
+        r.check_interval = Span::ZERO;
+        let c = PlatformConfig::paper_default().swq_recovery(r);
+        assert_eq!(c.validate(), Err(ConfigError::Recovery("check_interval")));
+    }
+
+    /// Every public field is reachable through a builder setter, so sweeps
+    /// can address every knob without field pokes. The exhaustive struct
+    /// literal below fails to compile when a field is added — extend the
+    /// setter chain (and a setter) alongside it.
+    #[test]
+    fn every_public_field_has_a_setter() {
+        let core = CoreConfig { lfb_count: 21, ..CoreConfig::xeon_e5_2670v3() };
+        let link = LinkConfig { ps_per_byte: 125, ..LinkConfig::gen2_x8() };
+        let host_dram = StationConfig { concurrency: 7, ..StationConfig::host_dram() };
+        let onboard = StationConfig { concurrency: 9, ..StationConfig::onboard_ddr3() };
+        let swq = SwqCosts { doorbell: Span::from_ns(299), ..SwqCosts::optimized() };
+        let replay = ReplayConfig { window_depth: 65, ..ReplayConfig::default() };
+        let streamer = StreamerConfig { burst: 65, ..StreamerConfig::default() };
+        let faults = FaultPlan::none().with_stalls(0.25);
+        let recovery = SwqRecovery::for_device_latency(Span::from_us(3));
+        let want = PlatformConfig {
+            mechanism: Mechanism::SoftwareQueue,
+            backing: Backing::Device,
+            device_latency: Span::from_us(2),
+            cores: 3,
+            fibers_per_core: 5,
+            smt: 2,
+            core,
+            ctx_switch: Span::from_ns(40),
+            device_path_credits: 28,
+            dram_path_credits: 96,
+            link,
+            host_dram,
+            swq,
+            swq_ring_capacity: 128,
+            swq_doorbell_every_enqueue: true,
+            swq_fetch_burst: 4,
+            device_jitter: Span::from_ns(100),
+            replay,
+            streamer,
+            onboard,
+            use_replay_device: false,
+            dataset_bytes: 1 << 20,
+            seed: 99,
+            faults,
+            swq_recovery: recovery,
+            trace: true,
+            trace_deep: true,
+        };
+        let got = PlatformConfig::paper_default()
+            .mechanism(Mechanism::SoftwareQueue)
+            .backing(Backing::Device)
+            .device_latency(Span::from_us(2))
+            .cores(3)
+            .fibers_per_core(5)
+            .smt(2)
+            .core(core)
+            .ctx_switch(Span::from_ns(40))
+            .device_path_credits(28)
+            .dram_path_credits(96)
+            .link(link)
+            .host_dram(host_dram)
+            .swq_costs(swq)
+            .swq_ring_capacity(128)
+            .swq_doorbell_every_enqueue(true)
+            .swq_fetch_burst(4)
+            .device_jitter(Span::from_ns(100))
+            .replay(replay)
+            .streamer(streamer)
+            .onboard(onboard)
+            .use_replay_device(false)
+            .dataset_bytes(1 << 20)
+            .seed(99)
+            .faults(faults)
+            .swq_recovery(recovery)
+            .trace_deep();
+        assert_eq!(format!("{want:?}"), format!("{got:?}"));
     }
 
     #[test]

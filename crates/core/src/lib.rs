@@ -47,14 +47,16 @@ pub mod analytic;
 pub mod config;
 pub mod dataset;
 pub mod exec;
+pub mod experiment;
 pub mod mechanism;
 pub mod metrics;
 pub mod platform;
 pub mod workload;
 
-pub use config::{PlatformConfig, SwqRecovery};
+pub use config::{ConfigError, PlatformConfig, SwqRecovery};
 pub use dataset::Dataset;
 pub use exec::{Executor, MemCtx};
+pub use experiment::{Experiment, Runner, WorkloadFactory};
 pub use mechanism::Mechanism;
 pub use metrics::{DeviceReport, FaultReport, LatencyBreakdown, LinkReport, RunReport, TraceReport};
 pub use platform::Platform;
@@ -62,15 +64,14 @@ pub use workload::{FiberFuture, Workload};
 
 /// Convenient glob-import of the public API.
 pub mod prelude {
-    pub use crate::config::{PlatformConfig, SwqRecovery};
-    pub use crate::metrics::FaultReport;
-    pub use kus_sim::FaultPlan;
+    pub use crate::config::{ConfigError, PlatformConfig, SwqRecovery};
     pub use crate::dataset::Dataset;
     pub use crate::exec::MemCtx;
+    pub use crate::experiment::{Experiment, Runner, WorkloadFactory};
     pub use crate::mechanism::Mechanism;
-    pub use crate::metrics::{RunReport, TraceReport};
+    pub use crate::metrics::{FaultReport, RunReport, TraceReport};
     pub use crate::platform::Platform;
     pub use crate::workload::{FiberFuture, Workload};
     pub use kus_mem::{Addr, Backing};
-    pub use kus_sim::{Span, Time};
+    pub use kus_sim::{FaultPlan, Span, Time};
 }

@@ -250,6 +250,38 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// A zeroed report shaped like a run of `cfg`.
+    ///
+    /// This is what a collecting [`Runner`](crate::Runner) hands back during
+    /// a sweep's dry pass: every metric is zero (and
+    /// [`normalized_to`](RunReport::normalized_to) of/against it is zero),
+    /// but the configuration-derived fields are real so figure assembly code
+    /// that labels series off them still works.
+    pub fn placeholder(cfg: &crate::config::PlatformConfig) -> RunReport {
+        RunReport {
+            workload: "",
+            mechanism: cfg.mechanism,
+            backing: cfg.backing,
+            device_latency: cfg.device_latency,
+            cores: cfg.cores,
+            fibers_per_core: cfg.fibers_per_core,
+            clock: cfg.core.clock,
+            elapsed: Span::ZERO,
+            work_insts: 0,
+            accesses: 0,
+            writes: 0,
+            switches: 0,
+            doorbells: 0,
+            lfb_max: 0,
+            device_path_max: 0,
+            fill_latency: None,
+            device: None,
+            link: None,
+            faults: None,
+            trace: None,
+        }
+    }
+
     /// Aggregate work IPC: work instructions per core cycle of elapsed time
     /// (summed across cores, exactly as the paper aggregates multicore
     /// results against a single-core baseline).

@@ -32,7 +32,7 @@ use kus_pcie::tlp::Tlp;
 use kus_sim::{FaultInjector, Sim, SimRng, Tracer};
 use kus_swq::ring::QueuePair;
 
-use crate::config::PlatformConfig;
+use crate::config::{ConfigError, PlatformConfig};
 use crate::dataset::Dataset;
 use crate::exec::{Executor, SwqState};
 use crate::mechanism::Mechanism;
@@ -56,14 +56,24 @@ impl Platform {
     ///
     /// # Panics
     ///
-    /// Panics on contradictory configurations (a software-queue run with a
-    /// DRAM-backed dataset).
+    /// Panics if `cfg` fails [`PlatformConfig::validate`] (a zero count, a
+    /// software-queue run with a DRAM-backed dataset, an invalid fault
+    /// plan). **Deprecation note:** this panicking constructor is kept for
+    /// one release for callers that predate the validation API; new code
+    /// should use [`Platform::try_new`] or route runs through
+    /// [`Experiment`](crate::Experiment), both of which return the
+    /// [`ConfigError`] instead.
     pub fn new(cfg: PlatformConfig) -> Platform {
-        assert!(
-            !(cfg.mechanism == Mechanism::SoftwareQueue && cfg.backing == Backing::Dram),
-            "software-managed queues address the device, not DRAM"
-        );
-        Platform { cfg }
+        match Platform::try_new(cfg) {
+            Ok(p) => p,
+            Err(e) => panic!("invalid platform configuration: {e}"),
+        }
+    }
+
+    /// Creates a platform from `cfg`, surfacing validation errors.
+    pub fn try_new(cfg: PlatformConfig) -> Result<Platform, ConfigError> {
+        cfg.validate()?;
+        Ok(Platform { cfg })
     }
 
     /// The configuration this platform runs.

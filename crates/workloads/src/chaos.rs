@@ -99,12 +99,24 @@ pub fn chaos_workload(c: ChaosConfig) -> Microbench {
     })
 }
 
+/// A chaos run as an [`Experiment`] cell, suitable for the sweep engine.
+/// Invalid plans surface as a [`ConfigError`] instead of a panic.
+pub fn chaos_experiment(plan: FaultPlan, c: ChaosConfig) -> Result<Experiment, ConfigError> {
+    Experiment::new(
+        format!(
+            "chaos seed={} fibers={} iters={} work={}",
+            c.seed, c.fibers_per_core, c.iters_per_fiber, c.work_count
+        ),
+        chaos_platform(c).faults(plan),
+        move || chaos_workload(c),
+    )
+}
+
 /// Runs the microbenchmark over the software-managed-queue path with
 /// `plan` injected, and returns the report (its `faults` field carries
 /// the injection and recovery counters).
 pub fn run_chaos(plan: FaultPlan, c: ChaosConfig) -> RunReport {
-    let mut w = chaos_workload(c);
-    Platform::new(chaos_platform(c).faults(plan)).run(&mut w)
+    chaos_experiment(plan, c).expect("chaos plan is valid").run()
 }
 
 #[cfg(test)]

@@ -10,6 +10,17 @@
 //! single-core, single-threaded, on-demand DRAM baseline of the same
 //! workload shape (for MLP variants, the baseline has matching MLP;
 //! Fig. 10 normalizes each application to its own DRAM baseline).
+//!
+//! ## Execution model
+//!
+//! Every cell a figure needs is described as an [`Experiment`] and obtained
+//! through a [`Runner`], so the same generator code serves three modes:
+//! `figN(q)` runs serially ([`Runner::immediate`], the legacy behaviour);
+//! driven with a collecting runner it *declares* its cells for the
+//! `kus-bench` sweep engine to execute in parallel; and driven with a
+//! cached runner it re-assembles byte-identical figures from the sweep's
+//! results. [`registry`] lists every generator in paper order for such
+//! batch drivers.
 
 use kus_core::prelude::*;
 use kus_core::RunReport;
@@ -148,21 +159,31 @@ fn base_cfg(q: Quality) -> PlatformConfig {
     cfg
 }
 
-/// Runs the microbenchmark on `cfg` and returns the report.
-fn ubench(cfg: PlatformConfig, work: u32, mlp: usize, iters: u64) -> RunReport {
-    let mut w = Microbench::new(MicrobenchConfig {
+/// The microbenchmark on `cfg` as an experiment cell.
+fn ubench_exp(cfg: PlatformConfig, work: u32, mlp: usize, iters: u64) -> Experiment {
+    let mc = MicrobenchConfig {
         work_count: work,
         mlp,
         iters_per_fiber: (iters / mlp as u64).max(10),
         writes_per_iter: 0,
-    });
-    Platform::new(cfg).run(&mut w)
+    };
+    Experiment::new(
+        format!("ubench w={work} mlp={mlp} iters={} writes=0", mc.iters_per_fiber),
+        cfg,
+        move || Microbench::new(mc),
+    )
+    .expect("figure configuration is valid")
+}
+
+/// Runs the microbenchmark on `cfg` through the runner.
+fn ubench(r: &Runner, cfg: PlatformConfig, work: u32, mlp: usize, iters: u64) -> RunReport {
+    r.run(&ubench_exp(cfg, work, mlp, iters))
 }
 
 /// The single-core, single-thread, on-demand DRAM baseline at matching MLP.
-fn ubench_baseline(q: Quality, work: u32, mlp: usize) -> RunReport {
+fn ubench_baseline(r: &Runner, q: Quality, work: u32, mlp: usize) -> RunReport {
     let cfg = base_cfg(q).cores(1).baseline_twin();
-    ubench(cfg, work, mlp, (q.iters * 4).max(1000))
+    ubench(r, cfg, work, mlp, (q.iters * 4).max(1000))
 }
 
 /// The paper's default work-count for the thread-sweep figures.
@@ -173,13 +194,19 @@ const THREADS: [usize; 9] = [1, 2, 4, 6, 8, 10, 12, 14, 16];
 
 /// Fig. 2: on-demand access of the microsecond device, work-count sweep.
 pub fn fig2(q: Quality) -> Figure {
+    fig2_with(&Runner::immediate(), q)
+}
+
+/// [`fig2`] against an explicit runner.
+pub fn fig2_with(r: &Runner, q: Quality) -> Figure {
     let works = [50u32, 100, 200, 500, 1000, 2000, 5000];
     let mut series = Vec::new();
     for lat_us in [1u64, 2, 4] {
         let mut points = Vec::new();
         for &w in &works {
-            let base = ubench_baseline(q, w, 1);
+            let base = ubench_baseline(r, q, w, 1);
             let dev = ubench(
+                r,
                 base_cfg(q)
                     .mechanism(Mechanism::OnDemand)
                     .device_latency(Span::from_us(lat_us)),
@@ -202,12 +229,18 @@ pub fn fig2(q: Quality) -> Figure {
 
 /// Fig. 3: prefetch-based access, thread sweep at 1/2/4 µs.
 pub fn fig3(q: Quality) -> Figure {
-    let base = ubench_baseline(q, SWEEP_WORK, 1);
+    fig3_with(&Runner::immediate(), q)
+}
+
+/// [`fig3`] against an explicit runner.
+pub fn fig3_with(r: &Runner, q: Quality) -> Figure {
+    let base = ubench_baseline(r, q, SWEEP_WORK, 1);
     let mut series = Vec::new();
     for lat_us in [1u64, 2, 4] {
         let mut points = Vec::new();
         for &t in &THREADS {
             let dev = ubench(
+                r,
                 base_cfg(q)
                     .mechanism(Mechanism::Prefetch)
                     .device_latency(Span::from_us(lat_us))
@@ -231,12 +264,18 @@ pub fn fig3(q: Quality) -> Figure {
 
 /// Fig. 4: 1 µs prefetch-based access at various work counts.
 pub fn fig4(q: Quality) -> Figure {
+    fig4_with(&Runner::immediate(), q)
+}
+
+/// [`fig4`] against an explicit runner.
+pub fn fig4_with(r: &Runner, q: Quality) -> Figure {
     let mut series = Vec::new();
     for w in [50u32, 100, 200, 400, 800] {
-        let base = ubench_baseline(q, w, 1);
+        let base = ubench_baseline(r, q, w, 1);
         let mut points = Vec::new();
         for &t in &THREADS {
             let dev = ubench(
+                r,
                 base_cfg(q).mechanism(Mechanism::Prefetch).fibers_per_core(t),
                 w,
                 1,
@@ -258,12 +297,18 @@ pub fn fig4(q: Quality) -> Figure {
 /// Fig. 5: multicore prefetch-based access (normalized to the single-core
 /// baseline).
 pub fn fig5(q: Quality) -> Figure {
-    let base = ubench_baseline(q, SWEEP_WORK, 1);
+    fig5_with(&Runner::immediate(), q)
+}
+
+/// [`fig5`] against an explicit runner.
+pub fn fig5_with(r: &Runner, q: Quality) -> Figure {
+    let base = ubench_baseline(r, q, SWEEP_WORK, 1);
     let mut series = Vec::new();
     for cores in [1usize, 2, 4, 8] {
         let mut points = Vec::new();
         for t in [1usize, 2, 4, 6, 8] {
             let dev = ubench(
+                r,
                 base_cfg(q)
                     .mechanism(Mechanism::Prefetch)
                     .cores(cores)
@@ -288,12 +333,18 @@ pub fn fig5(q: Quality) -> Figure {
 /// Fig. 6: 1 µs prefetch-based access at MLP 1/2/4, each normalized to the
 /// matching-MLP DRAM baseline.
 pub fn fig6(q: Quality) -> Figure {
+    fig6_with(&Runner::immediate(), q)
+}
+
+/// [`fig6`] against an explicit runner.
+pub fn fig6_with(r: &Runner, q: Quality) -> Figure {
     let mut series = Vec::new();
     for mlp in [1usize, 2, 4] {
-        let base = ubench_baseline(q, SWEEP_WORK, mlp);
+        let base = ubench_baseline(r, q, SWEEP_WORK, mlp);
         let mut points = Vec::new();
         for &t in &THREADS {
             let dev = ubench(
+                r,
                 base_cfg(q).mechanism(Mechanism::Prefetch).fibers_per_core(t),
                 SWEEP_WORK,
                 mlp,
@@ -314,7 +365,12 @@ pub fn fig6(q: Quality) -> Figure {
 
 /// Fig. 7: application-managed queues vs prefetch, 1 µs and 4 µs.
 pub fn fig7(q: Quality) -> Figure {
-    let base = ubench_baseline(q, SWEEP_WORK, 1);
+    fig7_with(&Runner::immediate(), q)
+}
+
+/// [`fig7`] against an explicit runner.
+pub fn fig7_with(r: &Runner, q: Quality) -> Figure {
+    let base = ubench_baseline(r, q, SWEEP_WORK, 1);
     let threads = [1usize, 2, 4, 8, 10, 12, 16, 20, 24, 28, 32];
     let mut series = Vec::new();
     for (mech, label) in [(Mechanism::Prefetch, "prefetch"), (Mechanism::SoftwareQueue, "swq")] {
@@ -322,6 +378,7 @@ pub fn fig7(q: Quality) -> Figure {
             let mut points = Vec::new();
             for &t in &threads {
                 let dev = ubench(
+                    r,
                     base_cfg(q)
                         .mechanism(mech)
                         .device_latency(Span::from_us(lat_us))
@@ -347,12 +404,18 @@ pub fn fig7(q: Quality) -> Figure {
 /// Fig. 8: multicore application-managed queues (24 threads/core),
 /// normalized to the single-core baseline.
 pub fn fig8(q: Quality) -> Figure {
-    let base = ubench_baseline(q, SWEEP_WORK, 1);
+    fig8_with(&Runner::immediate(), q)
+}
+
+/// [`fig8`] against an explicit runner.
+pub fn fig8_with(r: &Runner, q: Quality) -> Figure {
+    let base = ubench_baseline(r, q, SWEEP_WORK, 1);
     let mut series = Vec::new();
     for lat_us in [1u64, 4] {
         let mut points = Vec::new();
         for cores in [1usize, 2, 4, 8, 12] {
             let dev = ubench(
+                r,
                 base_cfg(q)
                     .mechanism(Mechanism::SoftwareQueue)
                     .device_latency(Span::from_us(lat_us))
@@ -377,14 +440,20 @@ pub fn fig8(q: Quality) -> Figure {
 
 /// Fig. 9: MLP impact on software-managed queues, one and four cores.
 pub fn fig9(q: Quality) -> Figure {
+    fig9_with(&Runner::immediate(), q)
+}
+
+/// [`fig9`] against an explicit runner.
+pub fn fig9_with(r: &Runner, q: Quality) -> Figure {
     let threads = [1usize, 2, 4, 8, 12, 16, 24, 32];
     let mut series = Vec::new();
     for cores in [1usize, 4] {
         for mlp in [1usize, 2, 4] {
-            let base = ubench_baseline(q, SWEEP_WORK, mlp);
+            let base = ubench_baseline(r, q, SWEEP_WORK, mlp);
             let mut points = Vec::new();
             for &t in &threads {
                 let dev = ubench(
+                    r,
                     base_cfg(q)
                         .mechanism(Mechanism::SoftwareQueue)
                         .cores(cores)
@@ -410,7 +479,61 @@ pub fn fig9(q: Quality) -> Figure {
 /// The thread counts Fig. 10 sweeps for each application.
 const APP_THREADS: [usize; 5] = [1, 4, 8, 16, 24];
 
+/// One Fig.-10 application run as an experiment cell. The label carries the
+/// app name and every workload parameter, so the sweep engine's
+/// deduplication fingerprint is faithful.
+fn app_exp(app: &str, cfg: PlatformConfig, q: Quality) -> Experiment {
+    let lookups = q.iters.max(100);
+    let exp = match app {
+        "bfs" => {
+            let bc = BfsConfig {
+                scale: 12,
+                max_visits: (q.iters * 4).max(400),
+                ..BfsConfig::default()
+            };
+            Experiment::new(
+                format!("bfs scale={} visits={}", bc.scale, bc.max_visits),
+                cfg,
+                move || BfsWorkload::new(bc),
+            )
+        }
+        "bloom" => {
+            let bc = BloomConfig { lookups_per_fiber: lookups / 2, ..BloomConfig::default() };
+            Experiment::new(
+                format!("bloom lookups={}", bc.lookups_per_fiber),
+                cfg,
+                move || BloomWorkload::new(bc),
+            )
+        }
+        "memcached" => {
+            let mc =
+                MemcachedConfig { lookups_per_fiber: lookups / 2, ..MemcachedConfig::default() };
+            Experiment::new(
+                format!("memcached lookups={}", mc.lookups_per_fiber),
+                cfg,
+                move || MemcachedWorkload::new(mc),
+            )
+        }
+        "ubench-4read" => {
+            let mc = MicrobenchConfig {
+                work_count: SWEEP_WORK,
+                mlp: 4,
+                iters_per_fiber: (q.iters / 4).max(50),
+                writes_per_iter: 0,
+            };
+            Experiment::new(
+                format!("ubench w={} mlp=4 iters={} writes=0", SWEEP_WORK, mc.iters_per_fiber),
+                cfg,
+                move || Microbench::new(mc),
+            )
+        }
+        other => panic!("unknown app {other}"),
+    };
+    exp.expect("figure configuration is valid")
+}
+
 fn app_run(
+    r: &Runner,
     q: Quality,
     app: &str,
     mech: Mechanism,
@@ -418,51 +541,12 @@ fn app_run(
     fibers: usize,
 ) -> RunReport {
     let cfg = base_cfg(q).mechanism(mech).cores(cores).fibers_per_core(fibers);
-    run_app(app, cfg, q)
+    r.run(&app_exp(app, cfg, q))
 }
 
-fn app_baseline(q: Quality, app: &str) -> RunReport {
+fn app_baseline(r: &Runner, q: Quality, app: &str) -> RunReport {
     let cfg = base_cfg(q).cores(1).baseline_twin();
-    run_app(app, cfg, q)
-}
-
-fn run_app(app: &str, cfg: PlatformConfig, q: Quality) -> RunReport {
-    let p = Platform::new(cfg);
-    let lookups = q.iters.max(100);
-    match app {
-        "bfs" => {
-            let mut w = BfsWorkload::new(BfsConfig {
-                scale: 12,
-                max_visits: (q.iters * 4).max(400),
-                ..BfsConfig::default()
-            });
-            p.run(&mut w)
-        }
-        "bloom" => {
-            let mut w = BloomWorkload::new(BloomConfig {
-                lookups_per_fiber: lookups / 2,
-                ..BloomConfig::default()
-            });
-            p.run(&mut w)
-        }
-        "memcached" => {
-            let mut w = MemcachedWorkload::new(MemcachedConfig {
-                lookups_per_fiber: lookups / 2,
-                ..MemcachedConfig::default()
-            });
-            p.run(&mut w)
-        }
-        "ubench-4read" => {
-            let mut w = Microbench::new(MicrobenchConfig {
-                work_count: SWEEP_WORK,
-                mlp: 4,
-                iters_per_fiber: (q.iters / 4).max(50),
-                writes_per_iter: 0,
-            });
-            p.run(&mut w)
-        }
-        other => panic!("unknown app {other}"),
-    }
+    r.run(&app_exp(app, cfg, q))
 }
 
 /// Fig. 10: application case studies — four panels as the paper lays them
@@ -471,6 +555,11 @@ fn run_app(app: &str, cfg: PlatformConfig, q: Quality) -> RunReport {
 /// application, swept over thread counts, normalized to that application's
 /// own single-core DRAM baseline.
 pub fn fig10(q: Quality) -> Vec<Figure> {
+    fig10_with(&Runner::immediate(), q)
+}
+
+/// [`fig10`] against an explicit runner.
+pub fn fig10_with(r: &Runner, q: Quality) -> Vec<Figure> {
     let apps = ["bfs", "bloom", "memcached", "ubench-4read"];
     let panels = [
         ("fig10a", "Applications, prefetch, 1 core", Mechanism::Prefetch, 1usize),
@@ -478,7 +567,7 @@ pub fn fig10(q: Quality) -> Vec<Figure> {
         ("fig10c", "Applications, prefetch, 8 cores", Mechanism::Prefetch, 8),
         ("fig10d", "Applications, swq, 8 cores", Mechanism::SoftwareQueue, 8),
     ];
-    let baselines: Vec<RunReport> = apps.iter().map(|a| app_baseline(q, a)).collect();
+    let baselines: Vec<RunReport> = apps.iter().map(|a| app_baseline(r, q, a)).collect();
     panels
         .into_iter()
         .map(|(id, title, mech, cores)| {
@@ -486,7 +575,7 @@ pub fn fig10(q: Quality) -> Vec<Figure> {
             for (app, base) in apps.iter().zip(&baselines) {
                 let mut points = Vec::new();
                 for &t in &APP_THREADS {
-                    let dev = app_run(q, app, mech, cores, t);
+                    let dev = app_run(r, q, app, mech, cores, t);
                     points.push(Point { x: t as f64, y: dev.normalized_to(base) });
                 }
                 series.push(Series { label: app.to_string(), points });
@@ -499,12 +588,18 @@ pub fn fig10(q: Quality) -> Vec<Figure> {
 /// Ablation: lifting the 10-LFB cap lets even a 4 µs device approach DRAM
 /// (§V-B "Implications": per-core queues should hold ≈20 × latency-in-µs).
 pub fn ablation_lfb(q: Quality) -> Figure {
-    let base = ubench_baseline(q, SWEEP_WORK, 1);
+    ablation_lfb_with(&Runner::immediate(), q)
+}
+
+/// [`ablation_lfb`] against an explicit runner.
+pub fn ablation_lfb_with(r: &Runner, q: Quality) -> Figure {
+    let base = ubench_baseline(r, q, SWEEP_WORK, 1);
     let mut series = Vec::new();
     for lfbs in [10usize, 20, 40, 80] {
         let mut points = Vec::new();
         for t in [10usize, 20, 40, 60, 80] {
             let dev = ubench(
+                r,
                 base_cfg(q)
                     .mechanism(Mechanism::Prefetch)
                     .device_latency(Span::from_us(4))
@@ -531,12 +626,18 @@ pub fn ablation_lfb(q: Quality) -> Figure {
 /// Ablation: lifting the 14-entry chip-level queue restores multicore
 /// prefetch scaling.
 pub fn ablation_uncore(q: Quality) -> Figure {
-    let base = ubench_baseline(q, SWEEP_WORK, 1);
+    ablation_uncore_with(&Runner::immediate(), q)
+}
+
+/// [`ablation_uncore`] against an explicit runner.
+pub fn ablation_uncore_with(r: &Runner, q: Quality) -> Figure {
+    let base = ubench_baseline(r, q, SWEEP_WORK, 1);
     let mut series = Vec::new();
     for credits in [14usize, 56, 224] {
         let mut points = Vec::new();
         for cores in [1usize, 2, 4, 8] {
             let dev = ubench(
+                r,
                 base_cfg(q)
                     .mechanism(Mechanism::Prefetch)
                     .device_path_credits(credits)
@@ -562,12 +663,18 @@ pub fn ablation_uncore(q: Quality) -> Figure {
 /// Ablation: the unmodified 2 µs Pth context switch vs the optimized 35 ns
 /// switch.
 pub fn ablation_ctx_switch(q: Quality) -> Figure {
-    let base = ubench_baseline(q, SWEEP_WORK, 1);
+    ablation_ctx_switch_with(&Runner::immediate(), q)
+}
+
+/// [`ablation_ctx_switch`] against an explicit runner.
+pub fn ablation_ctx_switch_with(r: &Runner, q: Quality) -> Figure {
+    let base = ubench_baseline(r, q, SWEEP_WORK, 1);
     let mut series = Vec::new();
     for (label, ns) in [("35ns switch", 35u64), ("2us switch (stock Pth)", 2000)] {
         let mut points = Vec::new();
         for &t in &THREADS {
             let dev = ubench(
+                r,
                 base_cfg(q)
                     .mechanism(Mechanism::Prefetch)
                     .ctx_switch(Span::from_ns(ns))
@@ -592,7 +699,12 @@ pub fn ablation_ctx_switch(q: Quality) -> Figure {
 /// Ablation: software-queue designs without the doorbell-request flag or
 /// without burst descriptor reads ("strictly inferior", §III-A).
 pub fn ablation_swq_opts(q: Quality) -> Figure {
-    let base = ubench_baseline(q, SWEEP_WORK, 1);
+    ablation_swq_opts_with(&Runner::immediate(), q)
+}
+
+/// [`ablation_swq_opts`] against an explicit runner.
+pub fn ablation_swq_opts_with(r: &Runner, q: Quality) -> Figure {
+    let base = ubench_baseline(r, q, SWEEP_WORK, 1);
     let variants: [(&str, bool, usize); 3] = [
         ("optimized", false, 8),
         ("no doorbell flag", true, 8),
@@ -602,12 +714,12 @@ pub fn ablation_swq_opts(q: Quality) -> Figure {
     for (label, doorbell_always, burst) in variants {
         let mut points = Vec::new();
         for t in [1usize, 4, 8, 16, 24, 32] {
-            let mut cfg = base_cfg(q)
+            let cfg = base_cfg(q)
                 .mechanism(Mechanism::SoftwareQueue)
-                .fibers_per_core(t);
-            cfg.swq_doorbell_every_enqueue = doorbell_always;
-            cfg.swq_fetch_burst = burst;
-            let dev = ubench(cfg, SWEEP_WORK, 1, q.iters);
+                .fibers_per_core(t)
+                .swq_doorbell_every_enqueue(doorbell_always)
+                .swq_fetch_burst(burst);
+            let dev = ubench(r, cfg, SWEEP_WORK, 1, q.iters);
             points.push(Point { x: t as f64, y: dev.normalized_to(&base) });
         }
         series.push(Series { label: label.to_string(), points });
@@ -626,20 +738,34 @@ pub fn ablation_swq_opts(q: Quality) -> Figure {
 /// requiring prefetch instructions". The curve should stay essentially
 /// flat as writes are added.
 pub fn ext_writes(q: Quality) -> Figure {
-    let base = ubench_baseline(q, SWEEP_WORK, 1);
+    ext_writes_with(&Runner::immediate(), q)
+}
+
+/// [`ext_writes`] against an explicit runner.
+pub fn ext_writes_with(r: &Runner, q: Quality) -> Figure {
+    let base = ubench_baseline(r, q, SWEEP_WORK, 1);
     let mut series = Vec::new();
     for mech in [Mechanism::OnDemand, Mechanism::Prefetch] {
         let fibers = if mech == Mechanism::Prefetch { 10 } else { 1 };
         let mut points = Vec::new();
         for writes in [0u32, 1, 2, 4] {
-            let mut w = Microbench::new(MicrobenchConfig {
+            let mc = MicrobenchConfig {
                 work_count: SWEEP_WORK,
                 mlp: 1,
                 iters_per_fiber: q.iters,
                 writes_per_iter: writes,
-            });
+            };
             let cfg = base_cfg(q).mechanism(mech).fibers_per_core(fibers);
-            let dev = Platform::new(cfg).run(&mut w);
+            let exp = Experiment::new(
+                format!(
+                    "ubench w={} mlp=1 iters={} writes={writes}",
+                    SWEEP_WORK, mc.iters_per_fiber
+                ),
+                cfg,
+                move || Microbench::new(mc),
+            )
+            .expect("figure configuration is valid");
+            let dev = r.run(&exp);
             points.push(Point { x: writes as f64, y: dev.normalized_to(&base) });
         }
         series.push(Series { label: format!("{mech} ({fibers}t)"), points });
@@ -658,7 +784,12 @@ pub fn ext_writes(q: Quality) -> Figure {
 /// another context is blocked on a long-latency access". The paper
 /// measures with hyper-threading disabled; this experiment turns it on.
 pub fn ext_smt(q: Quality) -> Figure {
-    let base = ubench_baseline(q, SWEEP_WORK, 1);
+    ext_smt_with(&Runner::immediate(), q)
+}
+
+/// [`ext_smt`] against an explicit runner.
+pub fn ext_smt_with(r: &Runner, q: Quality) -> Figure {
+    let base = ubench_baseline(r, q, SWEEP_WORK, 1);
     let mut series = Vec::new();
     for smt in [1usize, 2] {
         let mut points = Vec::new();
@@ -667,7 +798,7 @@ pub fn ext_smt(q: Quality) -> Figure {
                 .mechanism(Mechanism::OnDemand)
                 .device_latency(Span::from_us(lat_us))
                 .smt(smt);
-            let dev = ubench(cfg, SWEEP_WORK, 1, q.iters.min(300));
+            let dev = ubench(r, cfg, SWEEP_WORK, 1, q.iters.min(300));
             points.push(Point { x: lat_us as f64, y: dev.normalized_to(&base) });
         }
         series.push(Series { label: format!("smt={smt}"), points });
@@ -687,7 +818,12 @@ pub fn ext_smt(q: Quality) -> Figure {
 /// responses stall their fiber's turn), but the plateau survives — the
 /// paper's conclusions are not an artifact of fixed latency.
 pub fn ext_jitter(q: Quality) -> Figure {
-    let base = ubench_baseline(q, SWEEP_WORK, 1);
+    ext_jitter_with(&Runner::immediate(), q)
+}
+
+/// [`ext_jitter`] against an explicit runner.
+pub fn ext_jitter_with(r: &Runner, q: Quality) -> Figure {
+    let base = ubench_baseline(r, q, SWEEP_WORK, 1);
     let mut series = Vec::new();
     // 2 us mean leaves ~1.2 us of internal service time to jitter over.
     for spread_ns in [0u64, 800, 1600, 2400] {
@@ -698,7 +834,7 @@ pub fn ext_jitter(q: Quality) -> Figure {
                 .device_latency(Span::from_us(2))
                 .device_jitter(Span::from_ns(spread_ns))
                 .fibers_per_core(t);
-            let dev = ubench(cfg, SWEEP_WORK, 1, q.iters);
+            let dev = ubench(r, cfg, SWEEP_WORK, 1, q.iters);
             points.push(Point { x: t as f64, y: dev.normalized_to(&base) });
         }
         series.push(Series { label: format!("jitter={spread_ns}ns"), points });
@@ -714,22 +850,84 @@ pub fn ext_jitter(q: Quality) -> Figure {
 
 /// All figures, in paper order (Fig. 10 expands into its four panels).
 pub fn all_figures(q: Quality) -> Vec<Figure> {
-    let mut figs = vec![fig2(q), fig3(q), fig4(q), fig5(q), fig6(q), fig7(q), fig8(q), fig9(q)];
-    figs.extend(fig10(q));
+    all_figures_with(&Runner::immediate(), q)
+}
+
+/// [`all_figures`] against an explicit runner.
+pub fn all_figures_with(r: &Runner, q: Quality) -> Vec<Figure> {
+    let mut figs = vec![
+        fig2_with(r, q),
+        fig3_with(r, q),
+        fig4_with(r, q),
+        fig5_with(r, q),
+        fig6_with(r, q),
+        fig7_with(r, q),
+        fig8_with(r, q),
+        fig9_with(r, q),
+    ];
+    figs.extend(fig10_with(r, q));
     figs
 }
 
 /// All ablations.
 pub fn all_ablations(q: Quality) -> Vec<Figure> {
+    all_ablations_with(&Runner::immediate(), q)
+}
+
+/// [`all_ablations`] against an explicit runner.
+pub fn all_ablations_with(r: &Runner, q: Quality) -> Vec<Figure> {
     vec![
-        ablation_lfb(q),
-        ablation_uncore(q),
-        ablation_ctx_switch(q),
-        ablation_swq_opts(q),
-        ext_writes(q),
-        ext_smt(q),
-        ext_jitter(q),
+        ablation_lfb_with(r, q),
+        ablation_uncore_with(r, q),
+        ablation_ctx_switch_with(r, q),
+        ablation_swq_opts_with(r, q),
+        ext_writes_with(r, q),
+        ext_smt_with(r, q),
+        ext_jitter_with(r, q),
     ]
+}
+
+/// A figure generator the batch drivers can call with any [`Runner`].
+pub type FigureThunk = Box<dyn Fn(&Runner, Quality) -> Vec<Figure> + Send + Sync>;
+
+/// One registry entry: a stable figure id plus its generator.
+pub struct RegistryEntry {
+    /// The id used by `--fig` prefix selection (e.g. "fig3",
+    /// "ablation_lfb").
+    pub id: &'static str,
+    /// The generator (a figure may expand into several panels, like
+    /// Fig. 10).
+    pub thunk: FigureThunk,
+}
+
+/// Every figure generator in paper order; with `ablations`, the ablation
+/// and extension studies as well. This is the single figure list shared by
+/// the `figures` binary, the sweep engine, and CI.
+pub fn registry(ablations: bool) -> Vec<RegistryEntry> {
+    fn single(id: &'static str, f: fn(&Runner, Quality) -> Figure) -> RegistryEntry {
+        RegistryEntry { id, thunk: Box::new(move |r, q| vec![f(r, q)]) }
+    }
+    let mut entries = vec![
+        single("fig2", fig2_with),
+        single("fig3", fig3_with),
+        single("fig4", fig4_with),
+        single("fig5", fig5_with),
+        single("fig6", fig6_with),
+        single("fig7", fig7_with),
+        single("fig8", fig8_with),
+        single("fig9", fig9_with),
+        RegistryEntry { id: "fig10", thunk: Box::new(fig10_with) },
+    ];
+    if ablations {
+        entries.push(single("ablation_lfb", ablation_lfb_with));
+        entries.push(single("ablation_uncore", ablation_uncore_with));
+        entries.push(single("ablation_ctx_switch", ablation_ctx_switch_with));
+        entries.push(single("ablation_swq_opts", ablation_swq_opts_with));
+        entries.push(single("ext_writes", ext_writes_with));
+        entries.push(single("ext_smt", ext_smt_with));
+        entries.push(single("ext_jitter", ext_jitter_with));
+    }
+    entries
 }
 
 #[cfg(test)]
@@ -761,5 +959,34 @@ mod tests {
         let t = f.render_table();
         assert!(t.contains("figX"));
         assert!(t.contains("0.250"));
+    }
+
+    #[test]
+    fn registry_matches_paper_order() {
+        let ids: Vec<&str> = registry(true).iter().map(|e| e.id).collect();
+        assert_eq!(&ids[..3], &["fig2", "fig3", "fig4"]);
+        assert!(ids.contains(&"fig10"));
+        assert!(ids.contains(&"ext_jitter"));
+        assert_eq!(registry(false).len(), 9);
+    }
+
+    /// The collect pass is pure in the runner: collecting twice yields the
+    /// same cell set, which is what guarantees the cached re-assembly pass
+    /// finds every report it asks for.
+    #[test]
+    fn collect_pass_is_deterministic() {
+        let q = Quality { iters: 20, ..Quality::fast() };
+        let fps = |_: ()| {
+            let r = Runner::collecting();
+            let _ = fig3_with(&r, q);
+            r.into_cells().iter().map(|e| e.fingerprint()).collect::<Vec<_>>()
+        };
+        let a = fps(());
+        let b = fps(());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // Dedup: the shared baseline appears exactly once.
+        let unique: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(unique.len(), a.len());
     }
 }

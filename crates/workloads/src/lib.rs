@@ -28,9 +28,12 @@ pub mod microbench;
 pub mod trace_scenarios;
 
 pub use bfs::{BfsConfig, BfsWorkload};
-pub use chaos::{run_chaos, scenarios, ChaosConfig, ChaosScenario};
+pub use chaos::{chaos_experiment, run_chaos, scenarios, ChaosConfig, ChaosScenario};
 pub use bloom::{BloomConfig, BloomWorkload};
 pub use graph::{kronecker_edges, CsrGraph, KroneckerConfig};
 pub use memcached::{MemcachedConfig, MemcachedWorkload};
 pub use microbench::{Microbench, MicrobenchConfig};
-pub use trace_scenarios::{run_trace_scenario, run_trace_scenario_opts, trace_scenarios, TraceScenario};
+pub use trace_scenarios::{
+    run_trace_scenario, run_trace_scenario_opts, trace_scenario_experiment, trace_scenarios,
+    TraceScenario,
+};

@@ -53,26 +53,38 @@ pub fn run_trace_scenario(name: &str, seed: u64) -> Option<RunReport> {
 /// [`run_trace_scenario`] with control over the deep per-access event
 /// class (only effective when built with the `trace` cargo feature).
 pub fn run_trace_scenario_opts(name: &str, seed: u64, deep: bool) -> Option<RunReport> {
+    trace_scenario_experiment(name, seed, deep).map(|e| e.run())
+}
+
+/// A canonical scenario as an [`Experiment`] cell (tracing enabled), or
+/// `None` for an unknown name. The sweep engine and the `figures --trace`
+/// CLI both drive scenarios through this.
+pub fn trace_scenario_experiment(name: &str, seed: u64, deep: bool) -> Option<Experiment> {
     let trace = |cfg: PlatformConfig| if deep { cfg.trace_deep() } else { cfg.traced() };
-    match name {
+    let exp = match name {
         "ondemand-baseline" => {
-            let mut w = Microbench::new(MicrobenchConfig {
+            let mc = MicrobenchConfig {
                 work_count: 100,
                 mlp: 2,
                 iters_per_fiber: 12,
                 writes_per_iter: 0,
-            });
+            };
             let cfg = PlatformConfig::paper_default()
                 .without_replay_device()
                 .mechanism(Mechanism::OnDemand)
                 .fibers_per_core(4)
                 .seed(seed);
-            Some(Platform::new(trace(cfg)).run(&mut w))
+            Experiment::new(format!("trace:{name} seed={seed} deep={deep}"), trace(cfg), move || {
+                Microbench::new(mc)
+            })
         }
         "swq-optimized" => {
             let shape = ChaosConfig { seed, ..ChaosConfig::default() };
-            let mut w = chaos_workload(shape);
-            Some(Platform::new(trace(chaos_platform(shape))).run(&mut w))
+            Experiment::new(
+                format!("trace:{name} seed={seed} deep={deep}"),
+                trace(chaos_platform(shape)),
+                move || chaos_workload(shape),
+            )
         }
         "chaos-stalls" => {
             let s = scenarios()
@@ -80,11 +92,15 @@ pub fn run_trace_scenario_opts(name: &str, seed: u64, deep: bool) -> Option<RunR
                 .find(|s| s.name == "fetcher-stalls")
                 .expect("premade chaos scenario exists");
             let shape = ChaosConfig { seed, ..s.config };
-            let mut w = chaos_workload(shape);
-            Some(Platform::new(trace(chaos_platform(shape)).faults(s.plan)).run(&mut w))
+            Experiment::new(
+                format!("trace:{name} seed={seed} deep={deep}"),
+                trace(chaos_platform(shape)).faults(s.plan),
+                move || chaos_workload(shape),
+            )
         }
-        _ => None,
-    }
+        _ => return None,
+    };
+    Some(exp.expect("canonical scenario configuration is valid"))
 }
 
 #[cfg(test)]

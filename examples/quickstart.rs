@@ -18,7 +18,9 @@ fn microbench() -> Microbench {
 fn main() {
     // The DRAM baseline: single thread, on-demand loads, data in DRAM.
     let base_cfg = PlatformConfig::paper_default().without_replay_device();
-    let baseline = Platform::new(base_cfg.clone()).run_baseline(&mut microbench());
+    let exp = Experiment::new("ubench w=100 mlp=1 iters=600", base_cfg.clone(), microbench)
+        .expect("quickstart configuration is valid");
+    let baseline = exp.run_baseline();
     println!("baseline: {}", baseline.summary());
     println!();
 
@@ -32,8 +34,7 @@ fn main() {
         (Mechanism::SoftwareQueue, 16),
     ] {
         let cfg = base_cfg.clone().mechanism(mech).fibers_per_core(threads);
-        let mut w = microbench();
-        let r = Platform::new(cfg).run(&mut w);
+        let r = exp.with_config(cfg).expect("valid variant").run();
         println!(
             "{:<14} {:>8} {:>11.1}ns {:>12.3} {:>10}",
             mech.to_string(),
