@@ -29,14 +29,28 @@
 //!                               # hash (the determinism fingerprint) and exit
 //!   figures --scenario NAME     # select the --trace scenario
 //!
+//! Load mode (a serving sweep: mechanism × offered Poisson rate):
+//!   figures --load --service memcached --mech ondemand,prefetch,swq \
+//!           --rates 250k,500k,1m,2m,4m --requests 400 --queue-cap 64 \
+//!           --cores 2 --fibers 8 --jobs 4 --json load.json --csv load.csv
+//!   --service is echo | memcached | bloom (default memcached). --slo-p99 /
+//!   --slo-p999 (ns/us suffixes) add an SLO verdict column. Rates accept
+//!   k/m suffixes. Prints the throughput–latency curve (p50/p99/p999
+//!   columns) and the saturation knee per mechanism; --json/--csv emit the
+//!   full per-cell LoadReports, byte-identical across --jobs values.
+//!
 //! `--trace`/`--trace-hash` honour `--seed`; the hash lines are stable for
 //! a given seed, which is what CI diffs across two invocations.
 
+use kus_bench::load::{run_load_sweep, LoadSweepSpec};
 use kus_bench::sweep::{run_figures, run_sweep, SweepOptions, SweepSpec};
 use kus_core::prelude::*;
+use kus_load::{service_factory, ArrivalProcess, EchoService, LoadSpec, SloSpec};
 use kus_workloads::figures::{self, Quality};
 use kus_workloads::trace_scenarios::{run_trace_scenario, trace_scenarios};
-use kus_workloads::{Microbench, MicrobenchConfig};
+use kus_workloads::{
+    BloomConfig, BloomService, MemcachedConfig, MemcachedService, Microbench, MicrobenchConfig,
+};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
@@ -226,6 +240,97 @@ fn sweep_mode(args: &[String]) -> i32 {
     i32::from(results.errors().count() > 0)
 }
 
+/// Parses an offered rate like `250000`, `250k`, or `1.5m` (requests/s).
+fn parse_rate(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(v) = s.strip_suffix(['m', 'M']) {
+        v.parse::<f64>().ok().map(|x| (x * 1e6) as u64)
+    } else if let Some(v) = s.strip_suffix(['k', 'K']) {
+        v.parse::<f64>().ok().map(|x| (x * 1e3) as u64)
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// `--load` mode: a serving sweep over mechanism × offered Poisson rate.
+fn load_mode(args: &[String]) -> i32 {
+    let q = quality(args);
+    let mut cfg = PlatformConfig::paper_default().cores(2).fibers_per_core(8);
+    if !q.replay_device {
+        cfg = cfg.without_replay_device();
+    }
+    if q.faults.is_active() {
+        cfg = cfg.faults(q.faults);
+    }
+    if let Some(seed) = q.seed {
+        cfg = cfg.seed(seed);
+    }
+    if let Some(v) = flag_value(args, "--cores") {
+        cfg = cfg.cores(v.parse().unwrap_or_else(|_| fail(format!("--cores: bad value `{v}`"))));
+    }
+    if let Some(v) = flag_value(args, "--fibers") {
+        cfg = cfg
+            .fibers_per_core(v.parse().unwrap_or_else(|_| fail(format!("--fibers: bad `{v}`"))));
+    }
+
+    let requests: usize = flag_value(args, "--requests")
+        .map(|s| s.parse().unwrap_or_else(|_| fail(format!("--requests: bad value `{s}`"))))
+        .unwrap_or(400);
+    let queue_cap: usize = flag_value(args, "--queue-cap")
+        .map(|s| s.parse().unwrap_or_else(|_| fail(format!("--queue-cap: bad value `{s}`"))))
+        .unwrap_or(64);
+    let mut slo = SloSpec::none();
+    if let Some(s) = flag_value(args, "--slo-p99") {
+        slo = slo.p99(parse_span(&s).unwrap_or_else(|| fail(format!("--slo-p99: bad `{s}`"))));
+    }
+    if let Some(s) = flag_value(args, "--slo-p999") {
+        slo = slo.p999(parse_span(&s).unwrap_or_else(|| fail(format!("--slo-p999: bad `{s}`"))));
+    }
+    // Placeholder arrival; the sweep replaces it per cell with the swept
+    // Poisson rate.
+    let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 1.0 })
+        .requests(requests)
+        .queue_capacity(queue_cap)
+        .slo(slo);
+
+    let service = flag_value(args, "--service").unwrap_or_else(|| "memcached".into());
+    let factory = match service.as_str() {
+        "echo" => service_factory(|| EchoService::new(4096)),
+        "memcached" => MemcachedService::factory(MemcachedConfig::default()),
+        "bloom" => BloomService::factory(BloomConfig::default()),
+        other => fail(format!("--service: unknown `{other}` (echo | memcached | bloom)")),
+    };
+
+    let mut sweep = LoadSweepSpec::new(service, factory, spec, cfg);
+    let mechs = list(args, "--mech", parse_mech);
+    if !mechs.is_empty() {
+        sweep = sweep.mechanisms(&mechs);
+    }
+    let rates = list(args, "--rates", parse_rate);
+    if !rates.is_empty() {
+        sweep = sweep.rates(&rates);
+    }
+
+    let opts = sweep_options(args);
+    eprintln!("# load sweep: {} cells, jobs={}", sweep.cell_count(), opts.jobs);
+    let results = run_load_sweep(&sweep, &opts);
+    eprintln!("# load sweep: done in {:.2}s", results.wall_seconds);
+    print!("{}", results.render_table());
+    if let Some(path) = flag_value(args, "--json") {
+        if let Err(e) = std::fs::write(&path, results.to_json()) {
+            fail(format!("--json: cannot write {path}: {e}"));
+        }
+        eprintln!("# wrote {path} ({} cells)", results.cells.len());
+    }
+    if let Some(path) = flag_value(args, "--csv") {
+        if let Err(e) = std::fs::write(&path, results.to_csv()) {
+            fail(format!("--csv: cannot write {path}: {e}"));
+        }
+        eprintln!("# wrote {path} ({} cells)", results.cells.len());
+    }
+    i32::from(results.errors().count() > 0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(code) = trace_mode(&args) {
@@ -233,6 +338,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "--sweep") {
         std::process::exit(sweep_mode(&args));
+    }
+    if args.iter().any(|a| a == "--load") {
+        std::process::exit(load_mode(&args));
     }
 
     let ablations = args.iter().any(|a| a == "--ablations");

@@ -8,6 +8,9 @@
 //!   [`sweep`] engine and prints them as text tables.
 //! - `figures --sweep` runs a declarative configuration matrix from the
 //!   command line (see `--help` in the binary's doc comment).
+//! - `figures --load` runs a serving [`load`] sweep — mechanism × offered
+//!   rate — and prints the throughput–latency curve with the saturation
+//!   knee per mechanism.
 //! - `cargo bench -p kus-bench` runs the wall-clock benchmarks: one scaled-
 //!   down configuration per paper figure (so regressions in any modelled
 //!   path show up as timing changes) plus microbenchmarks of the simulator
@@ -16,9 +19,11 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod load;
 pub mod sweep;
 
 pub use kus_workloads::figures;
+pub use load::{run_load_sweep, LoadCell, LoadSweepResults, LoadSweepSpec};
 pub use sweep::{
     run_cells, run_figures, run_sweep, CellResult, SweepCell, SweepOptions, SweepResults,
     SweepSpec,

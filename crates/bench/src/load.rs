@@ -1,0 +1,412 @@
+//! The load sweep: throughput–latency curves per access mechanism.
+//!
+//! A load sweep is a two-axis matrix — mechanism × offered rate — whose
+//! cells are [`kus_load`] serving runs executed on the [`sweep`
+//! engine](crate::sweep). Each cell's [`LoadReport`] is reconstructed from
+//! the cell's deterministic event trace, so every emitter here is
+//! byte-identical between `--jobs 1` and `--jobs N` (locked down by
+//! `tests/sweep_equivalence.rs`).
+//!
+//! The headline product is the **saturation knee** per mechanism: the
+//! highest swept rate at which goodput still tracks the offered rate
+//! (within 5%). Past the knee the admission queue saturates, requests
+//! shed, and the tail percentiles detach from the service time — the
+//! "killer microsecond" seen from a request's point of view.
+
+use std::fmt::Write as _;
+
+use kus_core::prelude::{Mechanism, PlatformConfig};
+use kus_load::{load_experiment, ArrivalProcess, LoadReport, LoadSpec, ServiceFactory};
+
+use crate::sweep::{csv_field, json_escape, run_cells, SweepCell, SweepOptions};
+
+/// Goodput must stay within this fraction of the offered rate for a cell
+/// to count as "keeping up" (see [`LoadSweepResults::knees`]).
+pub const KNEE_GOODPUT_FRACTION: f64 = 0.95;
+
+/// A declarative load sweep: one service, one base serving spec, and the
+/// mechanism × offered-rate matrix to explore.
+#[derive(Clone)]
+pub struct LoadSweepSpec {
+    service_name: String,
+    service: ServiceFactory,
+    spec: LoadSpec,
+    cfg: PlatformConfig,
+    mechanisms: Vec<Mechanism>,
+    rates: Vec<u64>,
+}
+
+impl LoadSweepSpec {
+    /// A sweep of `service` under `spec`'s queueing/SLO parameters on the
+    /// `cfg` platform. `spec.arrival` is replaced per cell by an open-loop
+    /// Poisson process at each swept rate; the default matrix covers all
+    /// three mechanisms at a decade of rates around a few-core capacity.
+    pub fn new(
+        service_name: impl Into<String>,
+        service: ServiceFactory,
+        spec: LoadSpec,
+        cfg: PlatformConfig,
+    ) -> LoadSweepSpec {
+        LoadSweepSpec {
+            service_name: service_name.into(),
+            service,
+            spec,
+            cfg,
+            mechanisms: vec![Mechanism::OnDemand, Mechanism::Prefetch, Mechanism::SoftwareQueue],
+            rates: vec![250_000, 500_000, 1_000_000, 2_000_000, 2_500_000, 3_000_000, 4_000_000],
+        }
+    }
+
+    /// Replaces the mechanism axis.
+    pub fn mechanisms(mut self, v: &[Mechanism]) -> Self {
+        self.mechanisms = v.to_vec();
+        self
+    }
+
+    /// Replaces the offered-rate axis (requests/second; integers keep the
+    /// cell labels and emitters exact).
+    pub fn rates(mut self, v: &[u64]) -> Self {
+        self.rates = v.to_vec();
+        self
+    }
+
+    /// The number of cells this spec expands into.
+    pub fn cell_count(&self) -> usize {
+        self.mechanisms.len() * self.rates.len()
+    }
+
+    /// Expands the matrix in order (mechanism outermost, rate innermost).
+    fn expand(&self) -> (Vec<(Mechanism, u64)>, Vec<SweepCell>) {
+        let mut keys = Vec::with_capacity(self.cell_count());
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for &mech in &self.mechanisms {
+            for &rate in &self.rates {
+                let label = format!("{} mech={mech} rate={rate}rps", self.service_name);
+                let spec = LoadSpec {
+                    arrival: ArrivalProcess::Poisson { rate_rps: rate as f64 },
+                    ..self.spec
+                };
+                let exp =
+                    load_experiment(&label, spec, self.cfg.clone().mechanism(mech), self.service.clone())
+                        .map_err(|e| e.to_string());
+                keys.push((mech, rate));
+                cells.push(SweepCell { label, exp });
+            }
+        }
+        (keys, cells)
+    }
+}
+
+/// One executed load cell, in matrix order.
+#[derive(Debug, Clone)]
+pub struct LoadCell {
+    /// Cell index in matrix order.
+    pub index: usize,
+    /// Cell label.
+    pub label: String,
+    /// The mechanism this cell ran.
+    pub mechanism: Mechanism,
+    /// The offered Poisson rate, requests/second.
+    pub rate_rps: u64,
+    /// The load analytics, or the validation/panic message.
+    pub outcome: Result<LoadReport, String>,
+}
+
+/// All results of one load sweep, in matrix order.
+#[derive(Debug, Clone)]
+pub struct LoadSweepResults {
+    /// Service name the sweep ran.
+    pub service: String,
+    /// The serving spec the cells shared (modulo the arrival rate).
+    pub spec: LoadSpec,
+    /// Per-cell results, mechanism-major.
+    pub cells: Vec<LoadCell>,
+    /// Wall-clock seconds (never part of emitter output).
+    pub wall_seconds: f64,
+}
+
+/// Expands and executes a load sweep on the shared pool.
+pub fn run_load_sweep(spec: &LoadSweepSpec, opts: &SweepOptions) -> LoadSweepResults {
+    let (keys, cells) = spec.expand();
+    let results = run_cells(cells, opts);
+    let cells = results
+        .cells
+        .into_iter()
+        .zip(keys)
+        .map(|(c, (mech, rate))| LoadCell {
+            index: c.index,
+            label: c.label,
+            mechanism: mech,
+            rate_rps: rate,
+            outcome: c.outcome.and_then(|r| {
+                LoadReport::from_run(&r)
+                    .ok_or_else(|| "run produced no serving trace events".to_string())
+            }),
+        })
+        .collect();
+    LoadSweepResults {
+        service: spec.service_name.clone(),
+        spec: spec.spec,
+        cells,
+        wall_seconds: results.wall_seconds,
+    }
+}
+
+impl LoadSweepResults {
+    /// Error rows, in matrix order.
+    pub fn errors(&self) -> impl Iterator<Item = (&LoadCell, &str)> {
+        self.cells.iter().filter_map(|c| c.outcome.as_ref().err().map(|e| (c, e.as_str())))
+    }
+
+    /// The saturation knee per swept mechanism (mechanism-axis order): the
+    /// highest swept rate whose measured goodput reached
+    /// [`KNEE_GOODPUT_FRACTION`] of the *nominal* offered rate. The nominal
+    /// rate is the yardstick because a finite open-loop run eventually
+    /// drains its queue — completions match admissions even deep into
+    /// saturation, so goodput-vs-measured-offered would never fall below
+    /// one until the shed path engages. `None` means the mechanism kept up
+    /// with no swept rate.
+    pub fn knees(&self) -> Vec<(Mechanism, Option<u64>)> {
+        let mut out: Vec<(Mechanism, Option<u64>)> = Vec::new();
+        for c in &self.cells {
+            if out.last().map(|&(m, _)| m) != Some(c.mechanism) {
+                out.push((c.mechanism, None));
+            }
+            if let Ok(r) = &c.outcome {
+                if r.goodput_rps >= KNEE_GOODPUT_FRACTION * c.rate_rps as f64 {
+                    out.last_mut().expect("pushed above").1 = Some(c.rate_rps);
+                }
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON: one object per cell (matrix order) with the
+    /// full embedded [`LoadReport`], plus the per-mechanism knees.
+    /// Byte-identical for a given cell set regardless of `--jobs`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\n  \"service\": \"{}\",\n  \"cells\": [\n", json_escape(&self.service));
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"index\":{},\"label\":\"{}\",\"mechanism\":\"{}\",\"rate_rps\":{}",
+                c.index,
+                json_escape(&c.label),
+                c.mechanism,
+                c.rate_rps,
+            );
+            match &c.outcome {
+                Ok(r) => {
+                    let verdict = self.spec.slo.verdict(r);
+                    let _ = write!(
+                        out,
+                        ",\"ok\":true,\"slo_pass\":{},\"report\":{}",
+                        verdict.pass,
+                        r.to_json()
+                    );
+                }
+                Err(e) => {
+                    let _ = write!(out, ",\"ok\":false,\"error\":\"{}\"", json_escape(e));
+                }
+            }
+            out.push('}');
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"knees\": [\n");
+        let knees = self.knees();
+        for (i, (mech, knee)) in knees.iter().enumerate() {
+            match knee {
+                Some(r) => {
+                    let _ = write!(out, "    {{\"mechanism\":\"{mech}\",\"knee_rps\":{r}}}");
+                }
+                None => {
+                    let _ = write!(out, "    {{\"mechanism\":\"{mech}\",\"knee_rps\":null}}");
+                }
+            }
+            if i + 1 < knees.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Machine-readable CSV (header + one row per cell, matrix order).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,label,mechanism,rate_rps,ok,offered,completed,shed,offered_rps,goodput_rps,p50_ns,p90_ns,p99_ns,p999_ns,max_ns,queue_wait_p99_ns,queue_depth_max,slo_pass,error\n",
+        );
+        for c in &self.cells {
+            match &c.outcome {
+                Ok(r) => {
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{},true,{},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},",
+                        c.index,
+                        csv_field(&c.label),
+                        c.mechanism,
+                        c.rate_rps,
+                        r.offered,
+                        r.completed,
+                        r.shed,
+                        r.offered_rps,
+                        r.goodput_rps,
+                        r.latency.p50.as_ns(),
+                        r.latency.p90.as_ns(),
+                        r.latency.p99.as_ns(),
+                        r.latency.p999.as_ns(),
+                        r.latency.max.as_ns(),
+                        r.queue_wait.p99.as_ns(),
+                        r.queue_depth_max,
+                        self.spec.slo.verdict(r).pass,
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{},false,,,,,,,,,,,,,,{}",
+                        c.index,
+                        csv_field(&c.label),
+                        c.mechanism,
+                        c.rate_rps,
+                        csv_field(e),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// The throughput–latency curve per mechanism as a text table, with
+    /// per-mechanism knee lines.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# load sweep: service={} arrival=poisson requests={} queue={} (knee = goodput >= {:.0}% of nominal rate)",
+            self.service,
+            self.spec.requests,
+            self.spec.queue_capacity,
+            100.0 * KNEE_GOODPUT_FRACTION,
+        );
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>12} {:>7} {:>10} {:>10} {:>10} {:>10}  slo",
+            "mechanism", "rate_rps", "goodput", "shed%", "p50", "p99", "p999", "max"
+        );
+        let mut last: Option<Mechanism> = None;
+        for c in &self.cells {
+            if last != Some(c.mechanism) {
+                if last.is_some() {
+                    out.push('\n');
+                }
+                last = Some(c.mechanism);
+            }
+            match &c.outcome {
+                Ok(r) => {
+                    let verdict = self.spec.slo.verdict(r);
+                    let _ = writeln!(
+                        out,
+                        "{:<14} {:>12} {:>12.0} {:>6.2}% {:>10} {:>10} {:>10} {:>10}  {}",
+                        c.mechanism.to_string(),
+                        c.rate_rps,
+                        r.goodput_rps,
+                        100.0 * r.shed_fraction(),
+                        r.latency.p50.to_string(),
+                        r.latency.p99.to_string(),
+                        r.latency.p999.to_string(),
+                        r.latency.max.to_string(),
+                        if verdict.pass { "pass" } else { "FAIL" },
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<14} {:>12} ERROR {e}",
+                        c.mechanism.to_string(),
+                        c.rate_rps
+                    );
+                }
+            }
+        }
+        out.push('\n');
+        for (mech, knee) in self.knees() {
+            match knee {
+                Some(r) => {
+                    let _ = writeln!(out, "knee {mech}: {r} rps");
+                }
+                None => {
+                    let _ = writeln!(out, "knee {mech}: below the swept range");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kus_load::{service_factory, EchoService};
+    use kus_sim::Span;
+
+    fn tiny_sweep() -> LoadSweepSpec {
+        let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 1.0 })
+            .requests(80)
+            .queue_capacity(16);
+        let cfg = PlatformConfig::paper_default()
+            .without_replay_device()
+            .fibers_per_core(4)
+            .dataset_bytes(1 << 20);
+        LoadSweepSpec::new("echo", service_factory(|| EchoService::new(64)), spec, cfg)
+            .mechanisms(&[Mechanism::OnDemand, Mechanism::Prefetch])
+            .rates(&[200_000, 5_000_000])
+    }
+
+    #[test]
+    fn sweep_is_mechanism_major_and_deterministic_across_jobs() {
+        let spec = tiny_sweep();
+        assert_eq!(spec.cell_count(), 4);
+        let serial = run_load_sweep(&spec, &SweepOptions::jobs(1));
+        let pooled = run_load_sweep(&spec, &SweepOptions::jobs(4));
+        assert_eq!(serial.to_json(), pooled.to_json());
+        assert_eq!(serial.to_csv(), pooled.to_csv());
+        assert_eq!(serial.render_table(), pooled.render_table());
+        assert_eq!(serial.cells[0].mechanism, Mechanism::OnDemand);
+        assert_eq!(serial.cells[0].rate_rps, 200_000);
+        assert_eq!(serial.cells[3].mechanism, Mechanism::Prefetch);
+        assert_eq!(serial.cells[3].rate_rps, 5_000_000);
+        assert_eq!(serial.errors().count(), 0);
+    }
+
+    #[test]
+    fn prefetch_knee_is_at_or_above_on_demand() {
+        let results = run_load_sweep(&tiny_sweep(), &SweepOptions::jobs(2));
+        let knees = results.knees();
+        assert_eq!(knees.len(), 2);
+        let od = knees[0].1.unwrap_or(0);
+        let pf = knees[1].1.unwrap_or(0);
+        assert!(pf >= od, "prefetch knee {pf} below on-demand {od}");
+        // At 200k rps both mechanisms keep up with four fibers.
+        assert!(od >= 200_000, "on-demand should keep up at 200k rps");
+    }
+
+    #[test]
+    fn overloaded_cells_report_sheds_and_slo_failures() {
+        let mut spec = tiny_sweep();
+        spec.spec = spec.spec.slo(kus_load::SloSpec::none().p99(Span::from_us(3)));
+        let results = run_load_sweep(&spec, &SweepOptions::jobs(2));
+        // The 5M rps on-demand cell must be saturated.
+        let hot = &results.cells[1];
+        let r = hot.outcome.as_ref().expect("cell ran");
+        assert!(r.shed > 0, "5M rps on-demand must shed");
+        let json = results.to_json();
+        assert!(json.contains("\"knees\""));
+        assert!(json.contains("\"slo_pass\":false"), "saturated cell should bust a 3us p99");
+    }
+}

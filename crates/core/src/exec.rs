@@ -18,7 +18,7 @@
 //! - software-queue operations charge their own explicit costs
 //!   ([`SwqCosts`]).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::future::Future;
 use std::pin::Pin;
@@ -69,6 +69,10 @@ struct FiberBook {
     last_serial: Option<BufDep>,
     /// Blocked specifically on frontend back-pressure.
     wants_frontend: bool,
+    /// The pending suspension is a timer wait (`sleep_until`), not a memory
+    /// op: the scheduler keeps the fiber off the run rotation until the
+    /// wake event fires. Consumed at the next `Blocked` poll outcome.
+    sleeping: bool,
 }
 
 struct SwqPending {
@@ -187,6 +191,9 @@ pub(crate) struct ExecInner {
     tracer: Tracer,
     /// Tracer timeline row: the core id.
     track: u32,
+    /// Mirror of the simulation clock, captured in [`Executor::start`];
+    /// lets fibers read the current time without a `&Sim`.
+    clock: Rc<Cell<Time>>,
     /// Context switches performed by the user-level scheduler.
     pub switches: Counter,
     /// Device (dataset) accesses issued by fibers.
@@ -241,6 +248,7 @@ impl Executor {
                 swq: None,
                 tracer: Tracer::off(),
                 track,
+                clock: Rc::new(Cell::new(Time::ZERO)),
                 switches: Counter::default(),
                 accesses: Counter::default(),
                 writes: Counter::default(),
@@ -293,6 +301,7 @@ impl Executor {
             last_reads: Vec::new(),
             last_serial: None,
             wants_frontend: false,
+            sleeping: false,
         });
         x.policy.register(id);
         x.live += 1;
@@ -301,6 +310,7 @@ impl Executor {
 
     /// Starts executing fibers (schedules the first step).
     pub fn start(&self, sim: &mut Sim) {
+        self.inner.borrow_mut().clock = sim.now_handle();
         ExecInner::kick(&self.inner, sim);
     }
 
@@ -550,7 +560,11 @@ impl ExecInner {
                 }
                 PollOutcome::Blocked => {
                     x.fibers[id].state = FiberState::Blocked;
-                    x.policy.make_blocked(id);
+                    if std::mem::take(&mut x.fibers[id].sleeping) {
+                        x.policy.make_sleeping(id);
+                    } else {
+                        x.policy.make_blocked(id);
+                    }
                 }
             }
         }
@@ -807,6 +821,69 @@ impl MemCtx {
             prev = Some(self.buffer(OpKind::Work { insts: n }, d, None));
         }
         self.exec.borrow_mut().fibers[self.fiber].last_serial = prev;
+    }
+
+    /// Current simulated time, read from the clock mirror the executor
+    /// captures at [`Executor::start`] (zero before the run starts).
+    ///
+    /// Serving loops use this to timestamp request arrival, dispatch, and
+    /// completion without access to the scheduler.
+    pub fn now(&self) -> Time {
+        self.exec.borrow().clock.get()
+    }
+
+    /// Suspends the fiber until simulated time `t` (resolving immediately
+    /// if `t` is already past). The timer is anchored by a minimal
+    /// serialized op, so program order is preserved: work buffered before
+    /// the sleep lands before it.
+    ///
+    /// This is the traffic generator's pacing primitive: an open-loop
+    /// arrival process sleeps to the next precomputed arrival instant, a
+    /// closed-loop user sleeps out its think time.
+    pub fn sleep_until(&self, t: Time) -> kus_fiber::OneShotFuture<u64> {
+        let (slot, fut) = OneShot::new();
+        let exec = self.exec.clone();
+        let fiber = self.fiber;
+        let serial = self.exec.borrow().fibers[self.fiber].last_serial;
+        let dep = self.buffer(
+            // A 1 ps anchor: the fiber must suspend for the flush to emit
+            // it, and its completion hook is the only place with a `&mut
+            // Sim` to schedule the actual wake event.
+            OpKind::SoftWork { span: Span::from_ps(1) },
+            serial.into_iter().collect(),
+            Some(Box::new(move |sim: &mut Sim| {
+                let wake = move |sim: &mut Sim| {
+                    slot.set(sim.now().as_ps());
+                    ExecInner::wake(&exec, sim, fiber);
+                };
+                if t <= sim.now() {
+                    wake(sim);
+                } else {
+                    sim.schedule_at(t, wake);
+                }
+            })),
+        );
+        let mut x = self.exec.borrow_mut();
+        x.fibers[self.fiber].last_serial = Some(dep);
+        // Mark the imminent suspension as a timer wait so the scheduler
+        // keeps this fiber off the run rotation until the wake fires.
+        x.fibers[self.fiber].sleeping = true;
+        drop(x);
+        fut
+    }
+
+    /// Emits an application-level [`Category::Load`] instant event on this
+    /// core's track. No-op when tracing is off.
+    pub fn trace_instant(&self, name: &'static str, a0: u64, a1: u64) {
+        let x = self.exec.borrow();
+        x.tracer.instant(Category::Load, name, x.track, a0, a1);
+    }
+
+    /// Emits an application-level [`Category::Load`] complete-span event
+    /// that started at `start` and ends now. No-op when tracing is off.
+    pub fn trace_complete_since(&self, name: &'static str, start: Time, a0: u64) {
+        let x = self.exec.borrow();
+        x.tracer.complete_since(Category::Load, name, x.track, start, a0);
     }
 
     /// Emits a fixed-duration stretch of host software (serialized).
@@ -1238,6 +1315,48 @@ mod tests {
         exec.start(&mut sim);
         sim.run();
         assert!(exec.switches() >= 20, "switches: {}", exec.switches());
+    }
+
+    #[test]
+    fn sleep_until_wakes_at_target_time() {
+        let (mut sim, exec, _) = executor(Mechanism::OnDemand, Span::from_us(1));
+        let woke = Rc::new(Cell::new((0u64, 0u64)));
+        let w = woke.clone();
+        exec.spawn(move |ctx| async move {
+            // First poll lands after the initial context switch, not at 0.
+            assert!(ctx.now() < Time::ZERO + Span::from_ns(100));
+            let target = Time::ZERO + Span::from_us(3);
+            ctx.sleep_until(target).await;
+            // Already-past targets resolve without waiting further.
+            ctx.sleep_until(Time::ZERO + Span::from_ns(1)).await;
+            w.set((ctx.now().as_ps(), target.as_ps()));
+        });
+        exec.start(&mut sim);
+        sim.run();
+        let (woke_at, target) = woke.get();
+        assert!(woke_at >= target, "woke at {woke_at} before {target}");
+        // The anchor op plus scheduling adds at most a handful of ns.
+        assert!(woke_at < target + Span::from_ns(100).as_ps(), "woke late: {woke_at}");
+    }
+
+    #[test]
+    fn sleeps_interleave_with_loads_deterministically() {
+        let run = || {
+            let (mut sim, exec, _) = executor(Mechanism::Prefetch, Span::from_us(1));
+            for f in 0..3usize {
+                exec.spawn(move |ctx| async move {
+                    for i in 0..5u64 {
+                        let t = ctx.now() + Span::from_ns(400 * (f as u64 + 1));
+                        ctx.sleep_until(t).await;
+                        let _ = ctx.dev_read_u64(Addr::new((f as u64 * 8 + i) * 64)).await;
+                    }
+                });
+            }
+            exec.start(&mut sim);
+            sim.run();
+            (sim.now().as_ps(), exec.switches())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -21,6 +21,16 @@ pub trait SchedPolicy: std::fmt::Debug {
     fn make_ready(&mut self, id: FiberId);
     /// Marks a fiber blocked.
     fn make_blocked(&mut self, id: FiberId);
+    /// Marks a fiber blocked on a *timer* rather than a memory operation.
+    /// A strict-rotation policy must not hand the core to a timer-waiter
+    /// (the thread sits on a sleep queue, off the run ring, until its
+    /// deadline); policies that only circulate ready fibers need no
+    /// distinction, so the default forwards to [`make_blocked`].
+    ///
+    /// [`make_blocked`]: SchedPolicy::make_blocked
+    fn make_sleeping(&mut self, id: FiberId) {
+        self.make_blocked(id);
+    }
     /// Picks the fiber to run after `current` (which may have blocked,
     /// yielded, or finished). Returns `None` if nothing is ready.
     fn pick_next(&mut self, current: Option<FiberId>) -> Option<FiberId>;
@@ -38,7 +48,8 @@ pub trait SchedPolicy: std::fmt::Debug {
 #[derive(Debug, Default)]
 pub struct RoundRobin {
     ring: Vec<FiberId>,
-    ready: Vec<bool>, // indexed by FiberId
+    ready: Vec<bool>,    // indexed by FiberId
+    sleeping: Vec<bool>, // indexed by FiberId: timer-waiters skipped by rotation
     live: usize,
 }
 
@@ -54,6 +65,17 @@ impl RoundRobin {
         }
         &mut self.ready[id]
     }
+
+    fn sleep_slot(&mut self, id: FiberId) -> &mut bool {
+        if self.sleeping.len() <= id {
+            self.sleeping.resize(id + 1, false);
+        }
+        &mut self.sleeping[id]
+    }
+
+    fn is_sleeping(&self, id: FiberId) -> bool {
+        self.sleeping.get(id).copied().unwrap_or(false)
+    }
 }
 
 impl SchedPolicy for RoundRobin {
@@ -68,16 +90,24 @@ impl SchedPolicy for RoundRobin {
         if let Some(pos) = self.ring.iter().position(|&f| f == id) {
             self.ring.remove(pos);
             self.ready[id] = false;
+            *self.sleep_slot(id) = false;
             self.live -= 1;
         }
     }
 
     fn make_ready(&mut self, id: FiberId) {
         *self.slot(id) = true;
+        *self.sleep_slot(id) = false;
     }
 
     fn make_blocked(&mut self, id: FiberId) {
         *self.slot(id) = false;
+        *self.sleep_slot(id) = false;
+    }
+
+    fn make_sleeping(&mut self, id: FiberId) {
+        *self.slot(id) = false;
+        *self.sleep_slot(id) = true;
     }
 
     fn pick_next(&mut self, current: Option<FiberId>) -> Option<FiberId> {
@@ -91,8 +121,17 @@ impl SchedPolicy for RoundRobin {
             },
             None => 0,
         };
-        // Strict rotation: hand the core to the successor unconditionally.
-        Some(self.ring[start % self.ring.len()])
+        // Strict rotation: hand the core to the successor unconditionally —
+        // if its load has not returned, the core stalls on it. Timer-waiters
+        // are the one exception: they live on the sleep queue, not the run
+        // ring, so the rotation passes over them.
+        for i in 0..self.ring.len() {
+            let id = self.ring[(start + i) % self.ring.len()];
+            if !self.is_sleeping(id) {
+                return Some(id);
+            }
+        }
+        None
     }
 
     fn has_ready(&self) -> bool {

@@ -1,0 +1,213 @@
+//! Deterministic arrival processes.
+//!
+//! Open-loop traces are materialized *before* the simulation starts: the
+//! generator draws every inter-arrival gap from a labelled [`SimRng`]
+//! stream, so the trace depends only on the seed — never on simulation
+//! dynamics, worker scheduling, or trace collection.
+
+use std::fmt;
+
+use kus_sim::rng::SimRng;
+use kus_sim::Span;
+
+/// How requests arrive at the service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Open-loop Poisson arrivals at a fixed mean rate (requests/second).
+    Poisson {
+        /// Mean offered rate in requests per second.
+        rate_rps: f64,
+    },
+    /// Open-loop on-off bursts: Poisson arrivals at `rate_rps` during `on`
+    /// windows, silence during `off` windows.
+    OnOff {
+        /// Mean rate during the on-windows, in requests per second.
+        rate_rps: f64,
+        /// Length of each burst window.
+        on: Span,
+        /// Length of each silent window between bursts.
+        off: Span,
+    },
+    /// Open-loop ramp: locally-exponential gaps whose instantaneous rate
+    /// rises linearly from `start_rps` to `end_rps` over `over`, then holds.
+    Ramp {
+        /// Offered rate at the start of the trace.
+        start_rps: f64,
+        /// Offered rate after the ramp completes.
+        end_rps: f64,
+        /// Duration of the linear ramp.
+        over: Span,
+    },
+    /// Closed loop: `users` concurrent users, each thinking for an
+    /// exponentially-distributed time (mean `think`) between requests.
+    ClosedLoop {
+        /// Concurrent users (capped at the run's total fiber count).
+        users: usize,
+        /// Mean think time between a response and the next request.
+        think: Span,
+    },
+}
+
+impl ArrivalProcess {
+    /// Whether this process drives an open-loop admission queue (closed
+    /// loop users self-serve and never queue).
+    pub fn is_open_loop(&self) -> bool {
+        !matches!(self, ArrivalProcess::ClosedLoop { .. })
+    }
+
+    /// Materializes `requests` arrival offsets (relative to the start of
+    /// the measured phase), strictly non-decreasing. Draws only from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`ArrivalProcess::ClosedLoop`], which has no open-loop
+    /// trace, and on non-positive rates.
+    pub fn offsets(&self, requests: usize, rng: &mut SimRng) -> Vec<Span> {
+        let mut out = Vec::with_capacity(requests);
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } => {
+                assert!(rate_rps > 0.0, "poisson rate must be positive");
+                let mut t = 0.0f64;
+                for _ in 0..requests {
+                    t += exp_gap_ns(rate_rps, rng);
+                    out.push(Span::from_ns_f64(t));
+                }
+            }
+            ArrivalProcess::OnOff { rate_rps, on, off } => {
+                assert!(rate_rps > 0.0, "on-off rate must be positive");
+                assert!(!on.is_zero(), "on-window must be non-empty");
+                // Draw gaps in "busy time" (the concatenation of the on
+                // windows), then map busy time onto wall time by inserting
+                // one off-window per elapsed on-window.
+                let (on_ns, off_ns) = (on.as_ns_f64(), off.as_ns_f64());
+                let mut busy = 0.0f64;
+                for _ in 0..requests {
+                    busy += exp_gap_ns(rate_rps, rng);
+                    let cycles = (busy / on_ns).floor();
+                    out.push(Span::from_ns_f64(busy + cycles * off_ns));
+                }
+            }
+            ArrivalProcess::Ramp { start_rps, end_rps, over } => {
+                assert!(start_rps > 0.0 && end_rps > 0.0, "ramp rates must be positive");
+                let over_ns = over.as_ns_f64().max(1.0);
+                let mut t = 0.0f64;
+                for _ in 0..requests {
+                    let frac = (t / over_ns).min(1.0);
+                    let rate = start_rps + (end_rps - start_rps) * frac;
+                    t += exp_gap_ns(rate, rng);
+                    out.push(Span::from_ns_f64(t));
+                }
+            }
+            ArrivalProcess::ClosedLoop { .. } => {
+                panic!("closed-loop arrivals have no open-loop trace")
+            }
+        }
+        out
+    }
+
+    /// One exponentially-distributed think gap with mean `think` (used by
+    /// closed-loop users; exposed for tests).
+    pub fn think_gap(think: Span, rng: &mut SimRng) -> Span {
+        let u = rng.unit_f64();
+        Span::from_ns_f64(-(1.0 - u).ln() * think.as_ns_f64())
+    }
+}
+
+/// One exponential inter-arrival gap in nanoseconds at `rate` req/s.
+fn exp_gap_ns(rate_rps: f64, rng: &mut SimRng) -> f64 {
+    let u = rng.unit_f64();
+    -(1.0 - u).ln() / rate_rps * 1e9
+}
+
+impl fmt::Display for ArrivalProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } => write!(f, "poisson({rate_rps:.0}rps)"),
+            ArrivalProcess::OnOff { rate_rps, on, off } => {
+                write!(f, "onoff({rate_rps:.0}rps,on={on},off={off})")
+            }
+            ArrivalProcess::Ramp { start_rps, end_rps, over } => {
+                write!(f, "ramp({start_rps:.0}->{end_rps:.0}rps,over={over})")
+            }
+            ArrivalProcess::ClosedLoop { users, think } => {
+                write!(f, "closed({users}users,think={think})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_trace_is_seed_deterministic_and_rate_accurate() {
+        let gen = |seed: u64| {
+            let mut rng = SimRng::from_seed(seed);
+            ArrivalProcess::Poisson { rate_rps: 1_000_000.0 }.offsets(10_000, &mut rng)
+        };
+        let a = gen(7);
+        assert_eq!(a, gen(7), "same seed must reproduce the trace");
+        assert_ne!(a, gen(8), "distinct seeds must differ");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "offsets must be sorted");
+        // 10k arrivals at 1M rps ≈ 10 ms of trace (law of large numbers).
+        let total_ms = a.last().unwrap().as_us_f64() / 1000.0;
+        assert!((total_ms - 10.0).abs() < 1.0, "trace spans {total_ms} ms");
+    }
+
+    #[test]
+    fn on_off_gaps_respect_silent_windows() {
+        let mut rng = SimRng::from_seed(42);
+        let p = ArrivalProcess::OnOff {
+            rate_rps: 10_000_000.0,
+            on: Span::from_us(10),
+            off: Span::from_us(90),
+        };
+        let offsets = p.offsets(2000, &mut rng);
+        // ~100 arrivals per 10 us on-window; each 100 us cycle holds one
+        // on-window, so the trace must stretch ≈ 10x the pure-busy span.
+        let busy_only = ArrivalProcess::Poisson { rate_rps: 10_000_000.0 }
+            .offsets(2000, &mut SimRng::from_seed(42));
+        assert!(
+            offsets.last().unwrap().as_ns_f64() > 5.0 * busy_only.last().unwrap().as_ns_f64(),
+            "off-windows must dilate the trace"
+        );
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn ramp_accelerates() {
+        let mut rng = SimRng::from_seed(1);
+        let p = ArrivalProcess::Ramp {
+            start_rps: 100_000.0,
+            end_rps: 10_000_000.0,
+            over: Span::from_us(1000),
+        };
+        let offsets = p.offsets(4000, &mut rng);
+        // The first quarter of the requests must span much more time than
+        // the last quarter (the rate rose 100x).
+        let q1 = offsets[999].as_ns_f64();
+        let q4 = offsets[3999].as_ns_f64() - offsets[3000].as_ns_f64();
+        assert!(q1 > 3.0 * q4, "ramp did not accelerate: q1={q1} q4={q4}");
+    }
+
+    #[test]
+    fn think_gaps_have_requested_mean() {
+        let mut rng = SimRng::from_seed(3);
+        let think = Span::from_us(50);
+        let n = 20_000;
+        let sum: f64 = (0..n)
+            .map(|_| ArrivalProcess::think_gap(think, &mut rng).as_us_f64())
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean - 50.0).abs() < 2.0, "mean think {mean} us");
+    }
+
+    #[test]
+    #[should_panic(expected = "no open-loop trace")]
+    fn closed_loop_has_no_offsets() {
+        let mut rng = SimRng::from_seed(0);
+        let p = ArrivalProcess::ClosedLoop { users: 4, think: Span::from_us(1) };
+        let _ = p.offsets(10, &mut rng);
+    }
+}

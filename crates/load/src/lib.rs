@@ -1,0 +1,36 @@
+//! `kus-load`: deterministic traffic generation, request serving, and
+//! tail-latency/SLO analytics layered on the kus platform.
+//!
+//! The paper evaluates batch throughput, but the systems it targets serve
+//! *requests*: what decides whether a µs-scale access mechanism is usable
+//! in a datacenter is the p99/p999 sojourn time under open-loop load, not
+//! the mean. This crate adds the missing serving axis:
+//!
+//! - [`arrival`] — deterministic open-loop (Poisson, on-off bursts, ramp)
+//!   and closed-loop (N users with think time) arrival processes driven by
+//!   [`kus_sim::rng::SimRng`] streams: same seed ⇒ same arrival trace.
+//! - [`service`] — the [`Service`] trait: one request's worth of work
+//!   expressed against a fiber's `MemCtx` (per-request adapters for the
+//!   existing workload kernels live in `kus-workloads::service`).
+//! - [`serving`] — [`ServingWorkload`]: a dispatcher that admits arrivals
+//!   into a bounded queue (shedding on overflow), serves them on fibers
+//!   across all cores, and stamps every request's arrival → dispatch →
+//!   completion through the tracer.
+//! - [`report`] — [`LoadReport`]: p50/p90/p99/p999/max percentile tables
+//!   (HDR-histogram backed), goodput, shed counts, a queue-depth timeline,
+//!   and an [`SloSpec`] verdict, all reconstructed from the deterministic
+//!   event trace so the analytics are byte-reproducible across runs and
+//!   `--jobs` values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod report;
+pub mod service;
+pub mod serving;
+
+pub use arrival::ArrivalProcess;
+pub use report::{LoadReport, Percentiles, SloSpec, SloVerdict};
+pub use service::{service_factory, EchoService, ServeFuture, Service, ServiceFactory};
+pub use serving::{load_experiment, LoadSpec, ServingWorkload};

@@ -1,0 +1,443 @@
+//! Tail-latency analytics: [`LoadReport`] reconstruction from the event
+//! trace, percentile tables, and SLO verdicts.
+//!
+//! The report is computed *from the deterministic trace*, not from live
+//! counters inside the simulation: `load.dispatch` / `load.complete` /
+//! `load.shed` events carry each request's id and true arrival time, so
+//! the full sojourn decomposition (queue wait + service time) can be
+//! rebuilt after the fact. Because the trace is byte-reproducible, so is
+//! every number here — including across sweep `--jobs` values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use kus_core::prelude::RunReport;
+use kus_sim::stats::{rate_per_sec, HdrHistogram};
+use kus_sim::{Category, Span, Time, TraceEvent};
+
+/// A percentile summary of one latency distribution, backed by the
+/// mergeable HDR histogram (≤ ~1.6% relative error per quantile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: Span,
+    /// Median.
+    pub p50: Span,
+    /// 90th percentile.
+    pub p90: Span,
+    /// 99th percentile.
+    pub p99: Span,
+    /// 99.9th percentile — the paper's "killer microsecond" headline stat.
+    pub p999: Span,
+    /// Worst observed sample (exact).
+    pub max: Span,
+}
+
+impl Percentiles {
+    /// Summarizes `hist` at the standard report quantiles.
+    pub fn from_histogram(hist: &HdrHistogram) -> Percentiles {
+        Percentiles {
+            count: hist.count(),
+            mean: hist.mean(),
+            p50: hist.quantile(0.50),
+            p90: hist.quantile(0.90),
+            p99: hist.quantile(0.99),
+            p999: hist.quantile(0.999),
+            max: hist.max(),
+        }
+    }
+
+    fn json_into(&self, out: &mut String) {
+        use fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"mean_ps\":{},\"p50_ps\":{},\"p90_ps\":{},\"p99_ps\":{},\"p999_ps\":{},\"max_ps\":{}}}",
+            self.count,
+            self.mean.as_ps(),
+            self.p50.as_ps(),
+            self.p90.as_ps(),
+            self.p99.as_ps(),
+            self.p999.as_ps(),
+            self.max.as_ps(),
+        );
+    }
+}
+
+/// Everything a capacity planner asks of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Requests that arrived (completed + shed).
+    pub offered: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests rejected at admission (queue full).
+    pub shed: u64,
+    /// First arrival to last completion.
+    pub window: Span,
+    /// Offered arrival rate over the window, requests/second.
+    pub offered_rps: f64,
+    /// Completion rate over the window, requests/second.
+    pub goodput_rps: f64,
+    /// End-to-end sojourn time: arrival → completion.
+    pub latency: Percentiles,
+    /// Admission-queue wait: arrival → dispatch.
+    pub queue_wait: Percentiles,
+    /// Service time: dispatch → completion.
+    pub service: Percentiles,
+    /// Peak admission-queue depth.
+    pub queue_depth_max: u64,
+    /// Time-weighted mean queue depth over the window.
+    pub queue_depth_avg: f64,
+}
+
+impl LoadReport {
+    /// Rebuilds the load analytics from a traced run. Returns `None` when
+    /// the run was untraced or its trace carries no serving events.
+    pub fn from_run(run: &RunReport) -> Option<LoadReport> {
+        Self::from_events(&run.trace.as_ref()?.events)
+    }
+
+    /// Rebuilds the load analytics from a raw event stream (exposed for
+    /// tests and external trace processing).
+    pub fn from_events(events: &[TraceEvent]) -> Option<LoadReport> {
+        // (arrival, dispatch/completion time) per request id, plus the
+        // emitting track so histograms can be sharded per core and merged
+        // — exercising the mergeability the sweep pool relies on.
+        let mut dispatches: BTreeMap<u64, (Time, Time, u32)> = BTreeMap::new();
+        let mut completions: BTreeMap<u64, (Time, Time, u32)> = BTreeMap::new();
+        let mut shed = 0u64;
+        for ev in events.iter().filter(|e| e.cat == Category::Load) {
+            let arrival = Time::from_ps(ev.a1);
+            match ev.name {
+                "load.dispatch" => {
+                    dispatches.insert(ev.a0, (arrival, ev.at, ev.track));
+                }
+                "load.complete" => {
+                    completions.insert(ev.a0, (arrival, ev.at, ev.track));
+                }
+                "load.shed" => shed += 1,
+                _ => {}
+            }
+        }
+        if completions.is_empty() && dispatches.is_empty() && shed == 0 {
+            return None;
+        }
+
+        // Per-track histogram shards, merged in ascending track order.
+        let mut latency: BTreeMap<u32, HdrHistogram> = BTreeMap::new();
+        let mut wait: BTreeMap<u32, HdrHistogram> = BTreeMap::new();
+        let mut service: BTreeMap<u32, HdrHistogram> = BTreeMap::new();
+        let mut first_arrival = Time::MAX;
+        let mut last_completion = Time::ZERO;
+        for (req, &(arrival, done, track)) in &completions {
+            first_arrival = first_arrival.min(arrival);
+            last_completion = last_completion.max(done);
+            latency.entry(track).or_default().record(done.saturating_since(arrival));
+            if let Some(&(_, dispatched, _)) = dispatches.get(req) {
+                wait.entry(track).or_default().record(dispatched.saturating_since(arrival));
+                service.entry(track).or_default().record(done.saturating_since(dispatched));
+            }
+        }
+        let merge = |shards: BTreeMap<u32, HdrHistogram>| {
+            let mut all = HdrHistogram::new();
+            for (_, shard) in shards {
+                all.merge(&shard);
+            }
+            all
+        };
+
+        // Queue-depth timeline: +1 when an eventually-dispatched request
+        // arrives, −1 when it dispatches. At equal timestamps the push
+        // precedes the pop (that is the order the dispatcher runs them).
+        let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(dispatches.len() * 2);
+        for &(arrival, dispatched, _) in dispatches.values() {
+            deltas.push((arrival.as_ps(), 1));
+            deltas.push((dispatched.as_ps(), -1));
+        }
+        deltas.sort_by_key(|&(t, d)| (t, -d));
+        let mut depth = 0i64;
+        let mut depth_max = 0i64;
+        let mut weighted = 0f64;
+        let mut prev = deltas.first().map_or(0, |&(t, _)| t);
+        for &(t, d) in &deltas {
+            weighted += depth as f64 * (t - prev) as f64;
+            prev = t;
+            depth += d;
+            depth_max = depth_max.max(depth);
+        }
+        let span_ps = deltas.last().map_or(0, |&(t, _)| t).saturating_sub(deltas.first().map_or(0, |&(t, _)| t));
+        let queue_depth_avg = if span_ps > 0 { weighted / span_ps as f64 } else { 0.0 };
+
+        let completed = completions.len() as u64;
+        let offered = completed + shed;
+        let window = if completed > 0 {
+            last_completion.saturating_since(first_arrival)
+        } else {
+            Span::from_ps(0)
+        };
+        Some(LoadReport {
+            offered,
+            completed,
+            shed,
+            window,
+            offered_rps: rate_per_sec(offered, window),
+            goodput_rps: rate_per_sec(completed, window),
+            latency: Percentiles::from_histogram(&merge(latency)),
+            queue_wait: Percentiles::from_histogram(&merge(wait)),
+            service: Percentiles::from_histogram(&merge(service)),
+            queue_depth_max: depth_max as u64,
+            queue_depth_avg,
+        })
+    }
+
+    /// Fraction of offered requests that were shed.
+    pub fn shed_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+
+    /// Canonical JSON encoding: integer picoseconds, fixed-precision
+    /// rates — byte-identical for identical runs, regardless of `--jobs`.
+    pub fn to_json(&self) -> String {
+        use fmt::Write;
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"offered\":{},\"completed\":{},\"shed\":{},\"window_ps\":{},\"offered_rps\":{:.6},\"goodput_rps\":{:.6},",
+            self.offered,
+            self.completed,
+            self.shed,
+            self.window.as_ps(),
+            self.offered_rps,
+            self.goodput_rps,
+        );
+        out.push_str("\"latency\":");
+        self.latency.json_into(&mut out);
+        out.push_str(",\"queue_wait\":");
+        self.queue_wait.json_into(&mut out);
+        out.push_str(",\"service\":");
+        self.service.json_into(&mut out);
+        let _ = write!(
+            out,
+            ",\"queue_depth_max\":{},\"queue_depth_avg\":{:.6}}}",
+            self.queue_depth_max, self.queue_depth_avg,
+        );
+        out
+    }
+
+    /// A human-readable percentile table (used by `examples/serving.rs`
+    /// and `figures --load`).
+    pub fn to_table(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "offered {} ({:.0} rps)  completed {} ({:.0} rps)  shed {} ({:.2}%)  window {}",
+            self.offered,
+            self.offered_rps,
+            self.completed,
+            self.goodput_rps,
+            self.shed,
+            100.0 * self.shed_fraction(),
+            self.window,
+        );
+        let _ = writeln!(
+            out,
+            "queue depth: max {}  avg {:.2}",
+            self.queue_depth_max, self.queue_depth_avg
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "metric", "mean", "p50", "p90", "p99", "p999", "max"
+        );
+        for (label, p) in [
+            ("sojourn", &self.latency),
+            ("queue-wait", &self.queue_wait),
+            ("service", &self.service),
+        ] {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                label,
+                p.mean.to_string(),
+                p.p50.to_string(),
+                p.p90.to_string(),
+                p.p99.to_string(),
+                p.p999.to_string(),
+                p.max.to_string(),
+            );
+        }
+        out
+    }
+}
+
+/// A service-level objective: bounds the report is judged against.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloSpec {
+    /// Upper bound on p99 sojourn time.
+    pub p99: Option<Span>,
+    /// Upper bound on p999 sojourn time.
+    pub p999: Option<Span>,
+    /// Upper bound on the shed fraction (0.0 = shed nothing).
+    pub max_shed_fraction: Option<f64>,
+}
+
+impl SloSpec {
+    /// No objectives; every report passes.
+    pub fn none() -> SloSpec {
+        SloSpec::default()
+    }
+
+    /// Bounds the p99 sojourn time.
+    pub fn p99(mut self, bound: Span) -> SloSpec {
+        self.p99 = Some(bound);
+        self
+    }
+
+    /// Bounds the p999 sojourn time.
+    pub fn p999(mut self, bound: Span) -> SloSpec {
+        self.p999 = Some(bound);
+        self
+    }
+
+    /// Bounds the fraction of arrivals the system may shed.
+    pub fn max_shed_fraction(mut self, bound: f64) -> SloSpec {
+        self.max_shed_fraction = Some(bound);
+        self
+    }
+
+    /// Judges `report` against every configured bound.
+    pub fn verdict(&self, report: &LoadReport) -> SloVerdict {
+        let mut violations = Vec::new();
+        if let Some(bound) = self.p99 {
+            if report.latency.p99 > bound {
+                violations.push(format!("p99 {} exceeds {}", report.latency.p99, bound));
+            }
+        }
+        if let Some(bound) = self.p999 {
+            if report.latency.p999 > bound {
+                violations.push(format!("p999 {} exceeds {}", report.latency.p999, bound));
+            }
+        }
+        if let Some(bound) = self.max_shed_fraction {
+            let got = report.shed_fraction();
+            if got > bound {
+                violations.push(format!("shed fraction {got:.4} exceeds {bound:.4}"));
+            }
+        }
+        SloVerdict { pass: violations.is_empty(), violations }
+    }
+}
+
+/// The outcome of judging a [`LoadReport`] against an [`SloSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloVerdict {
+    /// Whether every configured bound held.
+    pub pass: bool,
+    /// One line per violated bound.
+    pub violations: Vec<String>,
+}
+
+impl fmt::Display for SloVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pass {
+            write!(f, "SLO PASS")
+        } else {
+            write!(f, "SLO FAIL: {}", self.violations.join("; "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kus_sim::Phase;
+
+    fn ev(name: &'static str, at_ns: u64, track: u32, a0: u64, a1_ns: u64) -> TraceEvent {
+        TraceEvent {
+            at: Time::ZERO + Span::from_ns(at_ns),
+            cat: Category::Load,
+            name,
+            phase: Phase::Instant,
+            track,
+            a0,
+            a1: Span::from_ns(a1_ns).as_ps(),
+        }
+    }
+
+    /// Two requests on two cores plus one shed arrival:
+    /// req 0: arrive 0, dispatch 100 ns, complete 1100 ns (sojourn 1100).
+    /// req 1: arrive 50, dispatch 150 ns, complete 2150 ns (sojourn 2100).
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            ev("load.dispatch", 100, 0, 0, 0),
+            ev("load.dispatch", 150, 1, 1, 50),
+            ev("load.shed", 60, 0, 2, 60),
+            ev("load.complete", 1100, 0, 0, 0),
+            ev("load.complete", 2150, 1, 1, 50),
+        ]
+    }
+
+    #[test]
+    fn reconstructs_counts_window_and_decomposition() {
+        let r = LoadReport::from_events(&sample_events()).expect("events present");
+        assert_eq!((r.offered, r.completed, r.shed), (3, 2, 1));
+        assert_eq!(r.window, Span::from_ns(2150));
+        assert_eq!(r.latency.max, Span::from_ns(2100));
+        assert_eq!(r.queue_wait.max, Span::from_ns(100));
+        assert_eq!(r.service.max, Span::from_ns(2000));
+        assert_eq!(r.latency.count, 2);
+        // Both requests queued concurrently over [50, 100) ns.
+        assert_eq!(r.queue_depth_max, 2);
+        assert!(r.queue_depth_avg > 0.0);
+        assert!((r.shed_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_stable_and_event_order_does_not_matter() {
+        let a = LoadReport::from_events(&sample_events()).unwrap();
+        let mut shuffled = sample_events();
+        shuffled.reverse();
+        let b = LoadReport::from_events(&shuffled).unwrap();
+        assert_eq!(a, b, "report must not depend on event order");
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().starts_with("{\"offered\":3,\"completed\":2,\"shed\":1,"));
+    }
+
+    #[test]
+    fn ignores_foreign_categories_and_returns_none_without_load_events() {
+        assert!(LoadReport::from_events(&[]).is_none());
+        let foreign = TraceEvent {
+            at: Time::ZERO,
+            cat: Category::Sim,
+            name: "load.dispatch",
+            phase: Phase::Instant,
+            track: 0,
+            a0: 0,
+            a1: 0,
+        };
+        assert!(LoadReport::from_events(&[foreign]).is_none(), "wrong category must not count");
+    }
+
+    #[test]
+    fn slo_verdict_reports_each_violated_bound() {
+        let r = LoadReport::from_events(&sample_events()).unwrap();
+        assert!(SloSpec::none().verdict(&r).pass);
+        let pass = SloSpec::none().p99(Span::from_us(10)).max_shed_fraction(0.5);
+        assert!(pass.verdict(&r).pass);
+        let fail = SloSpec::none()
+            .p99(Span::from_ns(500))
+            .p999(Span::from_ns(500))
+            .max_shed_fraction(0.1);
+        let v = fail.verdict(&r);
+        assert!(!v.pass);
+        assert_eq!(v.violations.len(), 3);
+        assert!(v.to_string().starts_with("SLO FAIL:"));
+    }
+}

@@ -1,0 +1,436 @@
+//! The serving loop: a [`Workload`] that admits arriving requests into a
+//! bounded queue and serves them on fibers across every core.
+//!
+//! # Dispatch model
+//!
+//! The open-loop arrival trace is materialized at build time
+//! ([`ArrivalProcess::offsets`]), so admission can be evaluated *lazily*
+//! and still be exact: whenever a worker fiber looks for work at time
+//! `now`, it first catches the shared cursor up over all arrivals with
+//! `t_arrival ≤ now`, admitting each into the bounded queue (or shedding
+//! it, stamped with its true arrival time) in arrival order. Queue
+//! occupancy only changes at arrivals (+1) and dispatches (−1), and every
+//! dispatch performs the catch-up first, so the reconstructed admission
+//! decisions are identical to an eagerly-simulated admission loop — with
+//! no generator fiber perturbing the cores under test.
+//!
+//! Idle workers sleep until the next arrival instant
+//! ([`MemCtx::sleep_until`]); the first to wake takes the request, the
+//! rest re-arm. Closed-loop mode skips the queue entirely: each fiber is
+//! one user cycling think → request → response.
+//!
+//! Every request leaves three tracer events on [`Category::Load`]
+//! (`load.dispatch`, `load.complete`, with the true arrival time in `a1`,
+//! and `load.shed` for rejected arrivals), from which
+//! [`LoadReport::from_run`](crate::report::LoadReport::from_run)
+//! reconstructs the full latency decomposition.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use kus_core::prelude::{
+    ConfigError, Dataset, Experiment, FiberFuture, MemCtx, PlatformConfig, Workload,
+};
+use kus_sim::rng::SimRng;
+use kus_sim::{Span, Time};
+
+use crate::arrival::ArrivalProcess;
+use crate::report::SloSpec;
+use crate::service::{Service, ServiceFactory, SharedService};
+
+/// A complete serving scenario: how requests arrive, how many, how much
+/// queueing the system tolerates, and what the SLO demands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSpec {
+    /// The arrival process.
+    pub arrival: ArrivalProcess,
+    /// Open loop: total requests in the trace. Closed loop: requests per
+    /// user.
+    pub requests: usize,
+    /// Bounded admission queue capacity; arrivals beyond it are shed.
+    pub queue_capacity: usize,
+    /// Host software charged per dispatched request (queue pop, bookkeeping).
+    pub dispatch_overhead: Span,
+    /// The service-level objective the report is judged against.
+    pub slo: SloSpec,
+}
+
+impl LoadSpec {
+    /// A spec with `arrival`, 1000 requests, a 64-deep admission queue,
+    /// 50 ns of dispatch software, and no SLO.
+    pub fn new(arrival: ArrivalProcess) -> LoadSpec {
+        LoadSpec {
+            arrival,
+            requests: 1000,
+            queue_capacity: 64,
+            dispatch_overhead: Span::from_ns(50),
+            slo: SloSpec::default(),
+        }
+    }
+
+    /// Sets the request count (total for open loop, per-user for closed).
+    pub fn requests(mut self, n: usize) -> LoadSpec {
+        self.requests = n;
+        self
+    }
+
+    /// Sets the admission-queue capacity.
+    pub fn queue_capacity(mut self, n: usize) -> LoadSpec {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Sets the per-dispatch host-software overhead.
+    pub fn dispatch_overhead(mut self, span: Span) -> LoadSpec {
+        self.dispatch_overhead = span;
+        self
+    }
+
+    /// Sets the SLO.
+    pub fn slo(mut self, slo: SloSpec) -> LoadSpec {
+        self.slo = slo;
+        self
+    }
+}
+
+/// Shared open-loop dispatcher state (one per run, reset per phase).
+struct LoadRuntime {
+    /// Clock value at the first worker poll of the phase; arrival offsets
+    /// are relative to it.
+    t0: Cell<Option<Time>>,
+    /// Next un-admitted index into the arrival trace.
+    next_arrival: Cell<usize>,
+    /// Next arrival index no idle worker has claimed a wake-up for yet.
+    /// Each idle worker sleeps until a *distinct* future arrival, so an
+    /// arrival wakes exactly one worker instead of the whole pool (a
+    /// thundering herd would bill every request for the idle workers'
+    /// context switches).
+    next_claim: Cell<usize>,
+    /// Admitted `(request id, absolute arrival time)` pairs, FCFS.
+    queue: RefCell<VecDeque<(u64, Time)>>,
+    /// Arrivals shed because the queue was full.
+    shed: Cell<u64>,
+}
+
+impl LoadRuntime {
+    fn new() -> LoadRuntime {
+        LoadRuntime {
+            t0: Cell::new(None),
+            next_arrival: Cell::new(0),
+            next_claim: Cell::new(0),
+            queue: RefCell::new(VecDeque::new()),
+            shed: Cell::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        self.t0.set(None);
+        self.next_arrival.set(0);
+        self.next_claim.set(0);
+        self.queue.borrow_mut().clear();
+        self.shed.set(0);
+    }
+
+    /// Admits (or sheds) every arrival with `t ≤ now`, in arrival order.
+    fn catch_up(&self, arrivals: &[Span], capacity: usize, now: Time, ctx: &MemCtx) {
+        let t0 = match self.t0.get() {
+            Some(t) => t,
+            None => {
+                self.t0.set(Some(now));
+                now
+            }
+        };
+        let mut next = self.next_arrival.get();
+        while next < arrivals.len() {
+            let at = t0 + arrivals[next];
+            if at > now {
+                break;
+            }
+            let id = next as u64;
+            let admitted = {
+                let mut q = self.queue.borrow_mut();
+                if q.len() < capacity {
+                    q.push_back((id, at));
+                    true
+                } else {
+                    false
+                }
+            };
+            if !admitted {
+                self.shed.set(self.shed.get() + 1);
+                ctx.trace_instant("load.shed", id, at.as_ps());
+            }
+            next += 1;
+        }
+        self.next_arrival.set(next);
+    }
+}
+
+/// The serving workload: traffic generation + dispatch over one
+/// [`Service`], runnable anywhere a [`Workload`] is (platform, experiment,
+/// sweep engine, fault plans).
+pub struct ServingWorkload {
+    spec: LoadSpec,
+    /// Held between construction and `build`.
+    service: Option<Box<dyn Service>>,
+    /// Built service shared by all fiber bodies.
+    built: Option<SharedService>,
+    /// Open-loop arrival offsets (empty for closed loop).
+    arrivals: Rc<Vec<Span>>,
+    /// Seed for per-user think-time streams (closed loop).
+    think_seed: u64,
+    /// Fibers per phase, from `prepare`; spawn resets the runtime whenever
+    /// the spawn counter wraps (each record/replay phase re-spawns all).
+    total_fibers: usize,
+    spawn_seen: Cell<usize>,
+    rt: Rc<LoadRuntime>,
+}
+
+impl ServingWorkload {
+    /// Creates a serving workload over `service`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero queue capacity.
+    pub fn new(spec: LoadSpec, service: Box<dyn Service>) -> ServingWorkload {
+        assert!(spec.queue_capacity > 0, "queue capacity must be at least 1");
+        ServingWorkload {
+            spec,
+            service: Some(service),
+            built: None,
+            arrivals: Rc::new(Vec::new()),
+            think_seed: 0,
+            total_fibers: 0,
+            spawn_seen: Cell::new(0),
+            rt: Rc::new(LoadRuntime::new()),
+        }
+    }
+
+    /// The spec this workload runs.
+    pub fn spec(&self) -> &LoadSpec {
+        &self.spec
+    }
+}
+
+impl Workload for ServingWorkload {
+    fn name(&self) -> &'static str {
+        "serving"
+    }
+
+    fn build(&mut self, data: &mut Dataset) {
+        let mut service = self.service.take().expect("build called once");
+        service.build(data);
+        self.built = Some(Rc::from(service));
+        if self.spec.arrival.is_open_loop() {
+            let mut rng = data.rng("load-arrivals");
+            self.arrivals = Rc::new(self.spec.arrival.offsets(self.spec.requests, &mut rng));
+        }
+        self.think_seed = data.rng("load-think").seed();
+    }
+
+    fn prepare(&mut self, cores: usize, fibers_per_core: usize) {
+        self.total_fibers = cores * fibers_per_core;
+        self.spawn_seen.set(0);
+    }
+
+    fn spawn(&self, core: usize, fiber: usize, fibers_total: usize, ctx: MemCtx) -> FiberFuture {
+        // A record/replay run spawns every fiber twice; restart the shared
+        // dispatcher state at each phase boundary so both phases replay the
+        // same admission sequence (and the measured phase starts clean).
+        let seen = self.spawn_seen.get();
+        if self.total_fibers > 0 && seen.is_multiple_of(self.total_fibers) {
+            self.rt.reset();
+        }
+        self.spawn_seen.set(seen + 1);
+
+        let service = self.built.clone().expect("spawn before build");
+        let spec = self.spec;
+        match spec.arrival {
+            ArrivalProcess::ClosedLoop { users, think } => {
+                let stripe = core * fibers_total + fiber;
+                let think_seed = self.think_seed;
+                Box::pin(async move {
+                    // Each fiber is one user; extra fibers idle. Effective
+                    // concurrency is min(users, total fibers).
+                    if stripe >= users {
+                        return;
+                    }
+                    let mut rng =
+                        SimRng::from_seed(think_seed).split(&format!("user-{stripe}"));
+                    for i in 0..spec.requests {
+                        let gap = ArrivalProcess::think_gap(think, &mut rng);
+                        ctx.sleep_until(ctx.now() + gap).await;
+                        let id = (stripe * spec.requests + i) as u64;
+                        // No queue: a closed-loop request dispatches the
+                        // instant its user stops thinking.
+                        let start = ctx.now();
+                        ctx.trace_instant("load.dispatch", id, start.as_ps());
+                        if !spec.dispatch_overhead.is_zero() {
+                            ctx.host_work(spec.dispatch_overhead);
+                        }
+                        let _ = service.serve(id, &ctx).await;
+                        ctx.trace_instant("load.complete", id, start.as_ps());
+                    }
+                })
+            }
+            _ => {
+                let rt = self.rt.clone();
+                let arrivals = self.arrivals.clone();
+                Box::pin(async move {
+                    loop {
+                        let now = ctx.now();
+                        rt.catch_up(&arrivals, spec.queue_capacity, now, &ctx);
+                        let popped = rt.queue.borrow_mut().pop_front();
+                        if let Some((id, arrival)) = popped {
+                            if !spec.dispatch_overhead.is_zero() {
+                                ctx.host_work(spec.dispatch_overhead);
+                            }
+                            ctx.trace_instant("load.dispatch", id, arrival.as_ps());
+                            let _ = service.serve(id, &ctx).await;
+                            ctx.trace_instant("load.complete", id, arrival.as_ps());
+                            continue;
+                        }
+                        // Idle: claim the next unclaimed arrival and sleep
+                        // until it. Claims are unique, so every future
+                        // arrival has exactly one sleeping worker and each
+                        // wake-up costs one context switch — not one per
+                        // idle fiber. With no claimable arrival left, exit:
+                        // every pending arrival's claimed worker (or a
+                        // worker busy serving) will drain the queue.
+                        let claim = rt.next_claim.get().max(rt.next_arrival.get());
+                        if claim >= arrivals.len() {
+                            break;
+                        }
+                        rt.next_claim.set(claim + 1);
+                        let t0 = rt.t0.get().expect("catch_up sets t0");
+                        ctx.sleep_until(t0 + arrivals[claim]).await;
+                    }
+                })
+            }
+        }
+    }
+}
+
+/// Builds a traced [`Experiment`] that runs `spec` against the factory's
+/// service — the bridge between the serving loop and the PR 3 sweep
+/// engine. Tracing is forced on: the load analytics are reconstructed
+/// from the event trace.
+pub fn load_experiment(
+    label: impl Into<String>,
+    spec: LoadSpec,
+    cfg: PlatformConfig,
+    service: ServiceFactory,
+) -> Result<Experiment, ConfigError> {
+    Experiment::from_factory(
+        label,
+        cfg.traced(),
+        std::sync::Arc::new(move || {
+            Box::new(ServingWorkload::new(spec, service())) as Box<dyn Workload + 'static>
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::LoadReport;
+    use crate::service::{service_factory, EchoService};
+    use kus_core::prelude::{Mechanism, Platform, RunReport};
+
+    fn run(spec: LoadSpec, cfg: PlatformConfig) -> RunReport {
+        let mut w = ServingWorkload::new(spec, Box::new(EchoService::new(256)));
+        Platform::try_new(cfg.traced()).expect("valid config").run(&mut w)
+    }
+
+    fn base_cfg() -> PlatformConfig {
+        PlatformConfig::paper_default()
+            .without_replay_device()
+            .mechanism(Mechanism::Prefetch)
+            .fibers_per_core(4)
+    }
+
+    fn poisson(rate: f64, requests: usize) -> LoadSpec {
+        LoadSpec::new(ArrivalProcess::Poisson { rate_rps: rate }).requests(requests)
+    }
+
+    #[test]
+    fn open_loop_serves_every_admitted_request() {
+        let r = run(poisson(200_000.0, 300), base_cfg());
+        let report = LoadReport::from_run(&r).expect("traced run yields a report");
+        assert_eq!(report.offered, 300);
+        assert_eq!(report.completed + report.shed, report.offered);
+        assert!(report.completed > 0, "nothing served");
+        assert!(report.latency.p50 >= Span::from_ns(900), "latency below one device RTT");
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_queueing_unboundedly() {
+        // 10M rps against a single prefetch core with a 4-deep queue: the
+        // queue must overflow and shed rather than grow without bound.
+        let spec = poisson(10_000_000.0, 400).queue_capacity(4);
+        let r = run(spec, base_cfg());
+        let report = LoadReport::from_run(&r).expect("report");
+        assert!(report.shed > 0, "overload must shed");
+        assert_eq!(report.completed + report.shed, 400);
+        assert!(report.queue_depth_max <= 4, "depth {} exceeds capacity", report.queue_depth_max);
+    }
+
+    #[test]
+    fn same_seed_reproduces_trace_and_report() {
+        let go = |seed: u64| {
+            let r = run(poisson(500_000.0, 200), base_cfg().seed(seed));
+            let t = r.trace.as_ref().expect("traced").hash;
+            let report = LoadReport::from_run(&r).expect("report");
+            (t, report.to_json())
+        };
+        assert_eq!(go(11), go(11), "same seed must reproduce run + report");
+        assert_ne!(go(11).0, go(12).0, "distinct seeds must produce distinct traces");
+    }
+
+    #[test]
+    fn closed_loop_completes_all_users() {
+        let spec = LoadSpec::new(ArrivalProcess::ClosedLoop {
+            users: 4,
+            think: Span::from_us(2),
+        })
+        .requests(25);
+        let r = run(spec, base_cfg());
+        let report = LoadReport::from_run(&r).expect("report");
+        assert_eq!(report.completed, 100, "4 users x 25 requests");
+        assert_eq!(report.shed, 0, "closed loop never sheds");
+    }
+
+    #[test]
+    fn record_replay_phases_reset_the_dispatcher() {
+        // The default paper config runs a record phase then a measured
+        // replay phase; both spawn the full fiber set, so the dispatcher
+        // must reset cleanly and the measured phase must still serve the
+        // complete trace.
+        let cfg = PlatformConfig::paper_default().mechanism(Mechanism::Prefetch).fibers_per_core(4);
+        let r = run(poisson(200_000.0, 150), cfg);
+        let report = LoadReport::from_run(&r).expect("report");
+        assert_eq!(report.completed + report.shed, 150);
+    }
+
+    #[test]
+    fn load_experiment_rides_the_experiment_api() {
+        let exp = load_experiment(
+            "echo poisson",
+            poisson(300_000.0, 120),
+            base_cfg(),
+            service_factory(|| EchoService::new(64)),
+        )
+        .expect("valid");
+        let a = exp.run();
+        let b = exp.run();
+        assert_eq!(
+            a.trace.as_ref().map(|t| t.hash),
+            b.trace.as_ref().map(|t| t.hash),
+            "experiment reruns must be identical"
+        );
+        let report = LoadReport::from_run(&a).expect("report");
+        assert_eq!(report.offered, 120);
+    }
+}
+

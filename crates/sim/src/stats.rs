@@ -260,6 +260,162 @@ impl SpanHistogram {
     }
 }
 
+/// An HDR-style log-linear histogram of [`Span`] samples, precise enough
+/// for tail quantiles (p99/p999) where [`SpanHistogram`]'s log2 buckets are
+/// too coarse.
+///
+/// Values are bucketed in picoseconds: 64 exact buckets below 64 ps, then
+/// 64 linear sub-buckets per octave, so every reported quantile is an upper
+/// bound within a relative error of 1/64 (~1.6%). Buckets are fixed, which
+/// makes merging shards a bucket-wise add: merge order can never change a
+/// reported quantile.
+///
+/// # Examples
+///
+/// ```
+/// use kus_sim::stats::HdrHistogram;
+/// use kus_sim::time::Span;
+///
+/// let mut h = HdrHistogram::new();
+/// for us in 1..=1000u64 {
+///     h.record(Span::from_us(us));
+/// }
+/// let p99 = h.quantile(0.99);
+/// assert!(p99 >= Span::from_us(990) && p99 <= Span::from_us(1006));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HdrHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: Span,
+    min: Span,
+    max: Span,
+}
+
+/// Sub-bucket resolution: 2^6 linear buckets per octave.
+const HDR_SUB_BITS: u32 = 6;
+/// 64 exact buckets + 58 octaves × 64 sub-buckets (exponents 6..=63).
+const HDR_BUCKETS: usize = 64 + (64 - HDR_SUB_BITS as usize - 1) * 64;
+
+impl Default for HdrHistogram {
+    fn default() -> Self {
+        HdrHistogram::new()
+    }
+}
+
+impl HdrHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> HdrHistogram {
+        HdrHistogram {
+            buckets: vec![0; HDR_BUCKETS],
+            count: 0,
+            sum: Span::ZERO,
+            min: Span::from_ps(u64::MAX),
+            max: Span::ZERO,
+        }
+    }
+
+    fn bucket_of(ps: u64) -> usize {
+        if ps < 64 {
+            ps as usize
+        } else {
+            let exp = 63 - ps.leading_zeros();
+            let sub = ((ps >> (exp - HDR_SUB_BITS)) & 63) as usize;
+            (((exp - HDR_SUB_BITS + 1) as usize) << 6) | sub
+        }
+    }
+
+    /// The largest value a bucket contains — what quantiles report, so they
+    /// are always upper bounds.
+    fn bucket_upper(idx: usize) -> u64 {
+        if idx < 64 {
+            idx as u64
+        } else {
+            let tier = (idx >> 6) as u32;
+            let sub = (idx & 63) as u64;
+            let shift = tier - 1;
+            ((64 + sub) << shift) + (1u64 << shift) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, span: Span) {
+        self.buckets[Self::bucket_of(span.as_ps())] += 1;
+        self.count += 1;
+        self.sum += span;
+        self.min = self.min.min(span);
+        self.max = self.max.max(span);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> Span {
+        self.sum
+    }
+
+    /// Exact arithmetic mean (zero if empty).
+    pub fn mean(&self) -> Span {
+        if self.count == 0 {
+            Span::ZERO
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Smallest sample (zero if empty).
+    pub fn min(&self) -> Span {
+        if self.count == 0 {
+            Span::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Span {
+        self.max
+    }
+
+    /// Merges another histogram into this one (bucket-wise, exact).
+    pub fn merge(&mut self, other: &HdrHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// An upper bound for the `q`-quantile, within 1/64 relative error
+    /// (exact below 64 ps), clamped to the exact maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Span {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return Span::ZERO;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Span::from_ps(Self::bucket_upper(i)).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
 /// Throughput helper: events per second over a window of virtual time.
 ///
 /// # Examples
@@ -372,6 +528,120 @@ mod tests {
         a.merge(&empty);
         assert_eq!(a.count(), 3);
         assert_eq!(a.min(), Span::from_ns(10));
+    }
+
+    #[test]
+    fn hdr_bucket_upper_bounds_every_value() {
+        // Round-tripping any value through its bucket must produce an upper
+        // bound within 1/64 relative error — the histogram's accuracy claim.
+        let mut probes: Vec<u64> = vec![0, 1, 63, 64, 65, 127, 128, 1000];
+        for exp in 7..64u32 {
+            let base = 1u64 << exp;
+            probes.extend([base - 1, base, base + base / 3, base + base / 2]);
+        }
+        for &v in &probes {
+            let upper = HdrHistogram::bucket_upper(HdrHistogram::bucket_of(v));
+            assert!(upper >= v, "upper {upper} < value {v}");
+            let err = (upper - v) as f64;
+            assert!(
+                err <= v as f64 / 64.0 + 1.0,
+                "bucket error {err} too large for value {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn hdr_quantiles_match_exact_percentiles_within_error_bound() {
+        // 100k distinct microsecond-scale samples spanning several octaves;
+        // every quantile must bracket the exact order statistic from above
+        // within the per-tier relative error bound.
+        let n: u64 = 100_000;
+        let mut h = HdrHistogram::new();
+        for i in 1..=n {
+            h.record(Span::from_ns(i * 997));
+        }
+        assert_eq!(h.count(), n);
+        let exact = |q: f64| {
+            let rank = (q * n as f64).ceil().max(1.0) as u64;
+            Span::from_ns(rank * 997)
+        };
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let got = h.quantile(q);
+            let want = exact(q);
+            assert!(got >= want, "q={q}: {got} < exact {want}");
+            let rel = (got.as_ps() - want.as_ps()) as f64 / want.as_ps() as f64;
+            // 1/64 bucket width plus slack for the off-by-one between the
+            // bucketed rank and the exact order statistic.
+            assert!(rel <= 0.04, "q={q}: relative error {rel}");
+        }
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn hdr_merge_order_never_changes_percentiles() {
+        // Four shards with very different sample populations, merged in
+        // every order: all reported percentiles must be identical.
+        let shard = |lo: u64, hi: u64, step: u64| {
+            let mut h = HdrHistogram::new();
+            let mut v = lo;
+            while v < hi {
+                h.record(Span::from_ns(v));
+                v += step;
+            }
+            h
+        };
+        let shards =
+            [shard(1, 1000, 1), shard(1000, 50_000, 7), shard(100, 200, 1), shard(1_000_000, 1_002_000, 13)];
+        let orders: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2, 3],
+            vec![3, 2, 1, 0],
+            vec![2, 0, 3, 1],
+            vec![1, 3, 0, 2],
+        ];
+        let percentiles = |h: &HdrHistogram| {
+            [0.5, 0.9, 0.99, 0.999]
+                .map(|q| h.quantile(q))
+                .to_vec()
+        };
+        let mut reference: Option<(u64, Span, Vec<Span>)> = None;
+        for order in orders {
+            let mut merged = HdrHistogram::new();
+            for i in order {
+                merged.merge(&shards[i]);
+            }
+            // Associativity too: pre-merge pairs, then merge the pairs.
+            let mut left = HdrHistogram::new();
+            left.merge(&shards[0]);
+            left.merge(&shards[1]);
+            let mut right = HdrHistogram::new();
+            right.merge(&shards[2]);
+            right.merge(&shards[3]);
+            let mut paired = HdrHistogram::new();
+            paired.merge(&left);
+            paired.merge(&right);
+            let key = (merged.count(), merged.max(), percentiles(&merged));
+            assert_eq!(percentiles(&paired), key.2);
+            match &reference {
+                None => reference = Some(key),
+                Some(r) => assert_eq!(*r, key, "merge order changed a percentile"),
+            }
+        }
+    }
+
+    #[test]
+    fn hdr_empty_and_basic_stats() {
+        let h = HdrHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), Span::ZERO);
+        assert_eq!(h.mean(), Span::ZERO);
+        assert_eq!(h.min(), Span::ZERO);
+        let mut h = HdrHistogram::new();
+        h.record(Span::from_ns(10));
+        h.record(Span::from_ns(30));
+        assert_eq!(h.mean(), Span::from_ns(20));
+        assert_eq!(h.min(), Span::from_ns(10));
+        assert_eq!(h.max(), Span::from_ns(30));
+        assert_eq!(h.quantile(1.0), Span::from_ns(30));
     }
 
     #[test]

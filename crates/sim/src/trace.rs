@@ -55,6 +55,8 @@ pub enum Category {
     Fiber = 5,
     /// Executor-level recovery: deadlines, retries, failover (`kus-core`).
     Exec = 6,
+    /// Request serving: arrivals, dispatch, sheds, completions (`kus-load`).
+    Load = 7,
 }
 
 impl Category {
@@ -68,6 +70,7 @@ impl Category {
             4 => Swq,
             5 => Fiber,
             6 => Exec,
+            7 => Load,
             _ => return None,
         })
     }
@@ -82,6 +85,7 @@ impl Category {
             Category::Swq => "swq",
             Category::Fiber => "fiber",
             Category::Exec => "exec",
+            Category::Load => "load",
         }
     }
 }

@@ -203,9 +203,10 @@ mod tests {
 
     #[test]
     fn traversal_verifies_adjacency_sums() {
-        let p = Platform::new(
+        let p = Platform::try_new(
             PlatformConfig::paper_default().without_replay_device().fibers_per_core(4),
-        );
+        )
+        .expect("valid config");
         let mut w = small();
         let r = p.run(&mut w);
         assert!(r.accesses > 400, "offset + edge reads expected, got {}", r.accesses);
@@ -214,7 +215,8 @@ mod tests {
 
     #[test]
     fn baseline_runs() {
-        let p = Platform::new(PlatformConfig::paper_default().without_replay_device());
+        let p = Platform::try_new(PlatformConfig::paper_default().without_replay_device())
+            .expect("valid config");
         let mut w = small();
         let r = p.run_baseline(&mut w);
         assert!(r.accesses > 400);

@@ -82,9 +82,37 @@ impl BloomWorkload {
 
     /// The key inserted as item `j` (keys are a pure function of the build
     /// seed, so lookups can re-derive "present" keys without a side table).
-    fn present_key(seed_hint: u64, j: u64) -> u64 {
+    pub(crate) fn present_key(seed_hint: u64, j: u64) -> u64 {
         splitmix(seed_hint ^ (j.wrapping_mul(0x2545_f491_4f6c_dd1d)))
     }
+
+    /// A key that is (almost surely) absent from the filter, derived from a
+    /// request nonce.
+    pub(crate) fn absent_key(nonce: u64) -> u64 {
+        splitmix(!nonce ^ 0xdead_beef_cafe_f00d)
+    }
+
+    /// The built filter and key seed, for per-request callers
+    /// (`service::BloomService`).
+    pub(crate) fn filter_kernel(&self) -> (BitArray, u64, u64) {
+        (self.bits.expect("build before probe"), self.m, self.seed_hint)
+    }
+}
+
+/// One complete membership probe of `key`: the paper's batch of `k`
+/// independent bit-word reads, tested against the probe masks in software.
+/// This is the per-request kernel shared by the batch workload fibers and
+/// the serving adapter.
+pub(crate) async fn bloom_probe(bits: BitArray, m: u64, k: u64, key: u64, ctx: &MemCtx) -> bool {
+    let mut addrs = vec![Addr::ZERO; k as usize];
+    for (i, a) in addrs.iter_mut().enumerate() {
+        *a = bits.word_addr(probe_bit(key, i as u64, m));
+    }
+    let words = ctx.dev_read_batch(&addrs).await;
+    words
+        .iter()
+        .enumerate()
+        .all(|(i, &w)| w & BitArray::mask(probe_bit(key, i as u64, m)) != 0)
 }
 
 impl Workload for BloomWorkload {
@@ -119,21 +147,14 @@ impl Workload for BloomWorkload {
             // be present with a key that is (almost surely) absent.
             let mut positives = 0u64;
             let mut negatives = 0u64;
-            let mut addrs = vec![Addr::ZERO; cfg.k as usize];
             for q in 0..cfg.lookups_per_fiber {
                 let nonce = stripe * cfg.lookups_per_fiber + q;
                 let (key, expect_present) = if q % 2 == 0 {
                     (BloomWorkload::present_key(seed_hint, nonce % cfg.n_keys), true)
                 } else {
-                    (splitmix(!nonce ^ 0xdead_beef_cafe_f00d), false)
+                    (BloomWorkload::absent_key(nonce), false)
                 };
-                for (i, a) in addrs.iter_mut().enumerate() {
-                    *a = bits.word_addr(probe_bit(key, i as u64, m));
-                }
-                let words = ctx.dev_read_batch(&addrs).await;
-                let hit = words.iter().enumerate().all(|(i, &w)| {
-                    w & BitArray::mask(probe_bit(key, i as u64, m)) != 0
-                });
+                let hit = bloom_probe(bits, m, cfg.k, key, &ctx).await;
                 if hit {
                     positives += 1;
                 } else {
@@ -186,9 +207,10 @@ mod tests {
 
     #[test]
     fn runs_on_prefetch_and_verifies() {
-        let p = Platform::new(
+        let p = Platform::try_new(
             PlatformConfig::paper_default().without_replay_device().fibers_per_core(4),
-        );
+        )
+        .expect("valid config");
         let mut w = small();
         let r = p.run(&mut w);
         assert_eq!(r.accesses, 4 * 200 * 4, "k probes per lookup");
@@ -196,7 +218,8 @@ mod tests {
 
     #[test]
     fn baseline_runs_and_is_faster_per_access_than_device() {
-        let p = Platform::new(PlatformConfig::paper_default().without_replay_device());
+        let p = Platform::try_new(PlatformConfig::paper_default().without_replay_device())
+            .expect("valid config");
         let mut w = small();
         let dev = p.run(&mut w);
         let base = p.run_baseline(&mut w);

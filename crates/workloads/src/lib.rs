@@ -10,6 +10,8 @@
 //! - [`memcached`]: KV-store lookups (bucket probe + four value-line reads).
 //! - [`figures`]: runners that regenerate every figure of the paper's
 //!   evaluation (and the ablations DESIGN.md calls out).
+//! - [`service`]: per-request adapters exposing the Memcached and Bloom
+//!   kernels to the `kus-load` serving loop.
 //!
 //! All workloads return real data from the dataset and verify it at the
 //! end of the measured run (chains close, adjacency sums match, values
@@ -25,6 +27,7 @@ pub mod bloom;
 pub mod graph;
 pub mod memcached;
 pub mod microbench;
+pub mod service;
 pub mod trace_scenarios;
 
 pub use bfs::{BfsConfig, BfsWorkload};
@@ -33,6 +36,7 @@ pub use bloom::{BloomConfig, BloomWorkload};
 pub use graph::{kronecker_edges, CsrGraph, KroneckerConfig};
 pub use memcached::{MemcachedConfig, MemcachedWorkload};
 pub use microbench::{Microbench, MicrobenchConfig};
+pub use service::{BloomService, MemcachedService};
 pub use trace_scenarios::{
     run_trace_scenario, run_trace_scenario_opts, trace_scenario_experiment, trace_scenarios,
     TraceScenario,

@@ -47,7 +47,7 @@ impl Default for MemcachedConfig {
 
 /// The KV store's dataset layout.
 #[derive(Debug, Clone, Copy)]
-struct KvLayout {
+pub(crate) struct KvLayout {
     buckets: ArrayLayout,
     bucket_count: u64,
 }
@@ -76,14 +76,62 @@ impl MemcachedWorkload {
         self.config
     }
 
-    fn item_key(seed_hint: u64, j: u64) -> u64 {
+    pub(crate) fn item_key(seed_hint: u64, j: u64) -> u64 {
         // Tags must be non-zero (zero marks an empty slot).
         splitmix(seed_hint ^ j.wrapping_mul(0x09e6_6765_93d2_c2c9)) | 1
     }
 
-    fn value_word(key: u64, w: u64) -> u64 {
+    pub(crate) fn value_word(key: u64, w: u64) -> u64 {
         splitmix(key.wrapping_add(w.wrapping_mul(0xabcd_ef01_2345_6789)))
     }
+
+    /// The built layout and key seed, for per-request callers
+    /// (`service::MemcachedService`).
+    pub(crate) fn lookup_kernel(&self) -> (KvLayout, u64) {
+        (self.layout.expect("build before lookup"), self.seed_hint)
+    }
+}
+
+/// One complete lookup of `key`: bucket walk with software tag matching,
+/// then the paper's batched independent value reads, verified word-by-word.
+/// Returns the XOR checksum of the value words. This is the per-request
+/// kernel shared by the batch workload fibers and the serving adapter.
+pub(crate) async fn kv_lookup(kv: KvLayout, key: u64, value_lines: u64, ctx: &MemCtx) -> u64 {
+    // Bucket walk: read the bucket line, match the tag in software, follow
+    // linear probing on (rare) collisions.
+    let mut b = key % kv.bucket_count;
+    let mut value_addr = None;
+    'search: for _probe in 0..8 {
+        let line = kv.buckets.addr_of(b);
+        // One timed read fetches the line; the remaining slot words are L1
+        // hits.
+        let first = ctx.dev_read_u64(line).await;
+        let mut slot_words = vec![first];
+        for slot in 1..SLOTS_PER_BUCKET * 2 {
+            slot_words.push(ctx.l1_read_u64(line + slot * 8));
+        }
+        for slot in 0..SLOTS_PER_BUCKET as usize {
+            if slot_words[slot * 2] == key {
+                value_addr = Some(Addr::new(slot_words[slot * 2 + 1]));
+                break 'search;
+            }
+            if slot_words[slot * 2] == 0 {
+                break 'search; // empty slot: key absent
+            }
+        }
+        b = (b + 1) % kv.bucket_count;
+    }
+    let value_addr = value_addr.expect("inserted key must be found");
+    // Value retrieval: the batched independent reads.
+    let addrs: Vec<Addr> = (0..value_lines).map(|l| value_addr + l * LINE_BYTES).collect();
+    let words = ctx.dev_read_batch(&addrs).await;
+    let mut sum = 0u64;
+    for (l, w) in words.iter().enumerate() {
+        let expect = MemcachedWorkload::value_word(key, l as u64 * (LINE_BYTES / 8));
+        assert_eq!(*w, expect, "corrupt value for key {key:#x} line {l}");
+        sum ^= *w;
+    }
+    sum
 }
 
 impl Workload for MemcachedWorkload {
@@ -145,39 +193,7 @@ impl Workload for MemcachedWorkload {
             for q in 0..cfg.lookups_per_fiber {
                 let nonce = stripe * cfg.lookups_per_fiber + q;
                 let key = MemcachedWorkload::item_key(seed_hint, nonce % cfg.n_items);
-                // Bucket walk: read the bucket line, match the tag in
-                // software, follow linear probing on (rare) collisions.
-                let mut b = key % kv.bucket_count;
-                let mut value_addr = None;
-                'search: for _probe in 0..8 {
-                    let line = kv.buckets.addr_of(b);
-                    // One timed read fetches the line; the remaining slot
-                    // words are L1 hits.
-                    let first = ctx.dev_read_u64(line).await;
-                    let mut slot_words = vec![first];
-                    for slot in 1..SLOTS_PER_BUCKET * 2 {
-                        slot_words.push(ctx.l1_read_u64(line + slot * 8));
-                    }
-                    for slot in 0..SLOTS_PER_BUCKET as usize {
-                        if slot_words[slot * 2] == key {
-                            value_addr = Some(Addr::new(slot_words[slot * 2 + 1]));
-                            break 'search;
-                        }
-                        if slot_words[slot * 2] == 0 {
-                            break 'search; // empty slot: key absent
-                        }
-                    }
-                    b = (b + 1) % kv.bucket_count;
-                }
-                let value_addr = value_addr.expect("inserted key must be found");
-                // Value retrieval: the batched independent reads.
-                let addrs: Vec<Addr> =
-                    (0..cfg.value_lines).map(|l| value_addr + l * LINE_BYTES).collect();
-                let words = ctx.dev_read_batch(&addrs).await;
-                for (l, w) in words.iter().enumerate() {
-                    let expect = MemcachedWorkload::value_word(key, l as u64 * (LINE_BYTES / 8));
-                    assert_eq!(*w, expect, "corrupt value for key {key:#x} line {l}");
-                }
+                let _sum = kv_lookup(kv, key, cfg.value_lines, &ctx).await;
                 found += 1;
                 ctx.work(cfg.work_count);
             }
@@ -202,9 +218,10 @@ mod tests {
 
     #[test]
     fn lookups_verify_values_end_to_end() {
-        let p = Platform::new(
+        let p = Platform::try_new(
             PlatformConfig::paper_default().without_replay_device().fibers_per_core(4),
-        );
+        )
+        .expect("valid config");
         let mut w = small();
         let r = p.run(&mut w);
         // Each lookup: >=1 bucket read + 4 value reads.
@@ -213,7 +230,8 @@ mod tests {
 
     #[test]
     fn baseline_runs() {
-        let p = Platform::new(PlatformConfig::paper_default().without_replay_device());
+        let p = Platform::try_new(PlatformConfig::paper_default().without_replay_device())
+            .expect("valid config");
         let mut w = small();
         let r = p.run_baseline(&mut w);
         assert!(r.accesses >= 500);

@@ -174,7 +174,7 @@ mod tests {
         // A serial pointer chase to ~100 ns DRAM with small work: the
         // baseline per-access time is dominated by the access latency.
         let mut w = small(50, 1, 500);
-        let p = Platform::new(cfg());
+        let p = Platform::try_new(cfg()).expect("valid config");
         let r = p.run_baseline(&mut w);
         let per_access = r.elapsed.as_ns_f64() / r.accesses as f64;
         assert!((100.0..130.0).contains(&per_access), "per-access {per_access}ns");
@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn baseline_mlp_overlaps_in_the_window() {
         // Four independent chains overlap their DRAM accesses.
-        let p = Platform::new(cfg());
+        let p = Platform::try_new(cfg()).expect("valid config");
         let mut w1 = small(50, 1, 400);
         let mut w4 = small(50, 4, 100);
         let r1 = p.run_baseline(&mut w1);
@@ -197,7 +197,8 @@ mod tests {
 
     #[test]
     fn prefetch_ten_fibers_approach_dram_at_1us() {
-        let p = Platform::new(cfg().mechanism(Mechanism::Prefetch).fibers_per_core(10));
+        let p = Platform::try_new(cfg().mechanism(Mechanism::Prefetch).fibers_per_core(10))
+            .expect("valid config");
         let mut w = small(50, 1, 300);
         let dev = p.run(&mut w);
         let base = p.run_baseline(&mut w);
@@ -207,7 +208,8 @@ mod tests {
 
     #[test]
     fn on_demand_is_abysmal_at_small_work_counts() {
-        let p = Platform::new(cfg().mechanism(Mechanism::OnDemand));
+        let p = Platform::try_new(cfg().mechanism(Mechanism::OnDemand))
+            .expect("valid config");
         let mut w = small(200, 1, 200);
         let dev = p.run(&mut w);
         let base = p.run_baseline(&mut w);

@@ -1,0 +1,144 @@
+//! Per-request [`Service`] adapters over the application kernels.
+//!
+//! The batch workloads ([`MemcachedWorkload`], [`BloomWorkload`]) loop a
+//! fixed iteration count per fiber; these adapters expose the *same*
+//! lookup kernels — identical access patterns, identical verification —
+//! one request at a time, so `kus-load`'s dispatcher decides when each
+//! lookup runs. A request id maps deterministically onto the kernel's key
+//! space, which keeps record/replay phases and reruns byte-identical.
+
+use kus_core::prelude::{Dataset, MemCtx, Workload};
+use kus_load::service::{service_factory, ServeFuture, Service, ServiceFactory};
+
+use crate::bloom::{bloom_probe, BloomConfig, BloomWorkload};
+use crate::memcached::{kv_lookup, MemcachedConfig, MemcachedWorkload};
+
+/// The Memcached lookup path as a service: each request is one key lookup
+/// (bucket walk + batched value retrieval + verification) followed by the
+/// post-lookup work loop.
+pub struct MemcachedService {
+    inner: MemcachedWorkload,
+}
+
+impl MemcachedService {
+    /// A service over a KV store built from `config` (`lookups_per_fiber`
+    /// is ignored — the arrival process decides the request count).
+    pub fn new(config: MemcachedConfig) -> MemcachedService {
+        MemcachedService { inner: MemcachedWorkload::new(config) }
+    }
+
+    /// A [`ServiceFactory`] for sweep cells.
+    pub fn factory(config: MemcachedConfig) -> ServiceFactory {
+        service_factory(move || MemcachedService::new(config))
+    }
+}
+
+impl Service for MemcachedService {
+    fn name(&self) -> &'static str {
+        "memcached"
+    }
+
+    fn build(&mut self, data: &mut Dataset) {
+        Workload::build(&mut self.inner, data);
+    }
+
+    fn serve<'a>(&'a self, req: u64, ctx: &'a MemCtx) -> ServeFuture<'a> {
+        let cfg = self.inner.config();
+        let (kv, seed_hint) = self.inner.lookup_kernel();
+        Box::pin(async move {
+            let key = MemcachedWorkload::item_key(seed_hint, req % cfg.n_items);
+            let sum = kv_lookup(kv, key, cfg.value_lines, ctx).await;
+            ctx.work(cfg.work_count);
+            sum
+        })
+    }
+}
+
+/// The Bloom-filter probe as a service: even request ids probe a key known
+/// to be present (the response must be a hit), odd ids probe an
+/// almost-surely-absent key.
+pub struct BloomService {
+    inner: BloomWorkload,
+}
+
+impl BloomService {
+    /// A service over a filter built from `config` (`lookups_per_fiber` is
+    /// ignored — the arrival process decides the request count).
+    pub fn new(config: BloomConfig) -> BloomService {
+        BloomService { inner: BloomWorkload::new(config) }
+    }
+
+    /// A [`ServiceFactory`] for sweep cells.
+    pub fn factory(config: BloomConfig) -> ServiceFactory {
+        service_factory(move || BloomService::new(config))
+    }
+}
+
+impl Service for BloomService {
+    fn name(&self) -> &'static str {
+        "bloom"
+    }
+
+    fn build(&mut self, data: &mut Dataset) {
+        Workload::build(&mut self.inner, data);
+    }
+
+    fn serve<'a>(&'a self, req: u64, ctx: &'a MemCtx) -> ServeFuture<'a> {
+        let cfg = self.inner.config();
+        let (bits, m, seed_hint) = self.inner.filter_kernel();
+        Box::pin(async move {
+            let (key, expect_present) = if req.is_multiple_of(2) {
+                (BloomWorkload::present_key(seed_hint, req % cfg.n_keys), true)
+            } else {
+                (BloomWorkload::absent_key(req), false)
+            };
+            let hit = bloom_probe(bits, m, cfg.k, key, ctx).await;
+            assert!(!expect_present || hit, "false negative for inserted key {key:#x}");
+            ctx.work(cfg.work_count);
+            hit as u64
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kus_core::prelude::{Mechanism, Platform, PlatformConfig};
+    use kus_load::{ArrivalProcess, LoadReport, LoadSpec, ServingWorkload};
+    use kus_sim::Span;
+
+    fn serve_once(service: Box<dyn Service>) -> LoadReport {
+        let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 300_000.0 }).requests(120);
+        let cfg = PlatformConfig::paper_default()
+            .without_replay_device()
+            .mechanism(Mechanism::Prefetch)
+            .fibers_per_core(4)
+            .traced();
+        let mut w = ServingWorkload::new(spec, service);
+        let r = Platform::try_new(cfg).expect("valid config").run(&mut w);
+        LoadReport::from_run(&r).expect("traced serving run")
+    }
+
+    #[test]
+    fn memcached_service_serves_and_verifies_values() {
+        let report = serve_once(Box::new(MemcachedService::new(MemcachedConfig {
+            n_items: 2_000,
+            ..MemcachedConfig::default()
+        })));
+        assert_eq!(report.completed + report.shed, 120);
+        // A lookup is at least one bucket read plus the value batch, so the
+        // median service time must exceed one device round trip.
+        assert!(report.service.p50 >= Span::from_ns(900), "p50 {}", report.service.p50);
+    }
+
+    #[test]
+    fn bloom_service_probes_without_false_negatives() {
+        let report = serve_once(Box::new(BloomService::new(BloomConfig {
+            n_keys: 5_000,
+            lookups_per_fiber: 1,
+            ..BloomConfig::default()
+        })));
+        assert_eq!(report.completed + report.shed, 120);
+        assert!(report.completed > 0);
+    }
+}

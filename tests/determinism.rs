@@ -8,10 +8,12 @@
 //! invocations, and the foundation the golden-trace suite builds on.
 
 use kus_core::prelude::*;
+use kus_load::{ArrivalProcess, LoadReport, LoadSpec, ServingWorkload};
 use kus_sim::trace::hash_events;
 use kus_workloads::bloom::{BloomConfig, BloomWorkload};
 use kus_workloads::microbench::{Microbench, MicrobenchConfig};
 use kus_workloads::trace_scenarios::{run_trace_scenario, run_trace_scenario_opts, trace_scenarios};
+use kus_workloads::MemcachedService;
 
 /// A small traced run of `mechanism` driving `workload`, single-phase.
 fn run_traced(mechanism: Mechanism, workload: &str, seed: u64) -> RunReport {
@@ -85,6 +87,44 @@ fn canonical_scenarios_are_deterministic() {
         assert_eq!(fingerprint(&a), fingerprint(&b), "{}: nondeterministic", s.name);
         let c = run_trace_scenario(s.name, 0xC0FFEE + 1).expect("known scenario");
         assert_ne!(fingerprint(&a).0, fingerprint(&c).0, "{}: seed did not matter", s.name);
+    }
+}
+
+/// A serving scenario — open-loop Poisson traffic into the Memcached
+/// service — for the load-determinism row of the matrix.
+fn run_load_scenario(mechanism: Mechanism, seed: u64) -> RunReport {
+    let cfg = PlatformConfig::paper_default()
+        .without_replay_device()
+        .mechanism(mechanism)
+        .cores(2)
+        .fibers_per_core(4)
+        .seed(seed)
+        .traced();
+    let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 1_500_000.0 }).requests(150);
+    let mut w = ServingWorkload::new(
+        spec,
+        Box::new(MemcachedService::new(kus_workloads::MemcachedConfig::default())),
+    );
+    Platform::try_new(cfg).expect("valid config").run(&mut w)
+}
+
+/// Serving runs are as deterministic as batch runs: same seed ⇒ identical
+/// trace fingerprint AND byte-identical `LoadReport` JSON (the artifact the
+/// load sweep emits); a different seed reshuffles the arrival offsets, so
+/// the fingerprint must move.
+#[test]
+fn load_scenario_same_seed_identical_report() {
+    for mechanism in [Mechanism::OnDemand, Mechanism::Prefetch, Mechanism::SoftwareQueue] {
+        let a = run_load_scenario(mechanism, 77);
+        let b = run_load_scenario(mechanism, 77);
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{mechanism:?}: nondeterministic serving");
+        let ra = LoadReport::from_run(&a).expect("load events present");
+        let rb = LoadReport::from_run(&b).expect("load events present");
+        assert_eq!(ra.to_json(), rb.to_json(), "{mechanism:?}: LoadReport JSON diverged");
+        assert_eq!(ra.offered, 150);
+
+        let c = run_load_scenario(mechanism, 78);
+        assert_ne!(fingerprint(&a).0, fingerprint(&c).0, "{mechanism:?}: seed did not matter");
     }
 }
 

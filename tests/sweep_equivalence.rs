@@ -5,8 +5,10 @@
 //! serial `Runner::immediate` output exactly. A panicking cell must poison
 //! only its own row.
 
+use kus_bench::load::{run_load_sweep, LoadSweepSpec};
 use kus_bench::sweep::{run_cells, run_figures, run_sweep, SweepCell, SweepOptions, SweepSpec};
 use kus_core::prelude::*;
+use kus_load::{service_factory, ArrivalProcess, EchoService, LoadSpec};
 use kus_workloads::figures::{self, Quality};
 use kus_workloads::{Microbench, MicrobenchConfig};
 
@@ -73,6 +75,30 @@ fn figure_pipeline_matches_serial_runner() {
             }
         }
     }
+}
+
+/// The load sweep inherits the engine's guarantee wholesale: `--jobs 1`
+/// and `--jobs 4` over the mechanism × rate matrix emit byte-identical
+/// JSON and CSV, knees included.
+#[test]
+fn load_sweep_is_byte_identical_across_jobs() {
+    let spec = || {
+        LoadSweepSpec::new(
+            "echo",
+            service_factory(|| EchoService::new(256)),
+            LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 1.0 }).requests(80),
+            PlatformConfig::paper_default().without_replay_device().cores(2).fibers_per_core(4),
+        )
+        .mechanisms(&[Mechanism::OnDemand, Mechanism::SoftwareQueue])
+        .rates(&[500_000, 4_000_000])
+    };
+    let serial = run_load_sweep(&spec(), &SweepOptions::jobs(1));
+    let parallel = run_load_sweep(&spec(), &SweepOptions::jobs(4));
+    assert_eq!(serial.cells.len(), 4);
+    assert_eq!(serial.errors().count(), 0);
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.render_table(), parallel.render_table());
 }
 
 /// A workload that panics mid-build.
