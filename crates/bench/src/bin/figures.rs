@@ -29,6 +29,15 @@
 //!                               # hash (the determinism fingerprint) and exit
 //!   figures --scenario NAME     # select the --trace scenario
 //!
+//! Profile mode (the §4 acceptance suite: one profiled scenario per
+//! mechanism, each expected to reproduce the paper's diagnosis):
+//!   figures --profile out.json [--speedscope STEM] [--seed S] [--jobs N]
+//!   Prints each scenario's text dashboard, writes the suite's profile JSON
+//!   to out.json (byte-identical across --jobs values and repeated
+//!   same-seed runs — CI diffs it), and with --speedscope writes one
+//!   speedscope flamegraph per scenario to STEM-<scenario>.speedscope.json.
+//!   Exits non-zero when any scenario misses its expected verdict.
+//!
 //! Load mode (a serving sweep: mechanism × offered Poisson rate):
 //!   figures --load --service memcached --mech ondemand,prefetch,swq \
 //!           --rates 250k,500k,1m,2m,4m --requests 400 --queue-cap 64 \
@@ -43,6 +52,7 @@
 //! a given seed, which is what CI diffs across two invocations.
 
 use kus_bench::load::{run_load_sweep, LoadSweepSpec};
+use kus_bench::profile::run_profile_suite;
 use kus_bench::sweep::{run_figures, run_sweep, SweepOptions, SweepSpec};
 use kus_core::prelude::*;
 use kus_load::{service_factory, ArrivalProcess, EchoService, LoadSpec, SloSpec};
@@ -240,6 +250,36 @@ fn sweep_mode(args: &[String]) -> i32 {
     i32::from(results.errors().count() > 0)
 }
 
+/// `--profile` mode: the §4 acceptance suite (see the module docs).
+fn profile_mode(args: &[String]) -> i32 {
+    let path = flag_value(args, "--profile")
+        .unwrap_or_else(|| fail("--profile: expected an output path".to_string()));
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().unwrap_or_else(|_| fail(format!("--seed: bad value `{s}`"))))
+        .unwrap_or(7);
+    let opts = sweep_options(args);
+    eprintln!("# profile suite: 3 scenarios, seed={seed}, jobs={}", opts.jobs);
+    let suite = run_profile_suite(seed, &opts);
+    eprintln!("# profile suite: done in {:.2}s", suite.wall_seconds);
+    print!("{}", suite.render_dashboards());
+    if let Err(e) = std::fs::write(&path, suite.to_json()) {
+        fail(format!("--profile: cannot write {path}: {e}"));
+    }
+    eprintln!("# wrote {path} ({} scenarios)", suite.outcomes.len());
+    if let Some(stem) = flag_value(args, "--speedscope") {
+        for o in &suite.outcomes {
+            if let Ok(p) = &o.outcome {
+                let out = format!("{stem}-{}.speedscope.json", o.name);
+                if let Err(e) = std::fs::write(&out, p.to_speedscope(o.name)) {
+                    fail(format!("--speedscope: cannot write {out}: {e}"));
+                }
+                eprintln!("# wrote {out}");
+            }
+        }
+    }
+    i32::from(!suite.satisfied())
+}
+
 /// Parses an offered rate like `250000`, `250k`, or `1.5m` (requests/s).
 fn parse_rate(s: &str) -> Option<u64> {
     let s = s.trim();
@@ -338,6 +378,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "--sweep") {
         std::process::exit(sweep_mode(&args));
+    }
+    if args.iter().any(|a| a == "--profile") {
+        std::process::exit(profile_mode(&args));
     }
     if args.iter().any(|a| a == "--load") {
         std::process::exit(load_mode(&args));

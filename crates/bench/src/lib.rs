@@ -11,6 +11,9 @@
 //! - `figures --load` runs a serving [`load`] sweep — mechanism × offered
 //!   rate — and prints the throughput–latency curve with the saturation
 //!   knee per mechanism.
+//! - `figures --profile out.json` runs the [`profile`] acceptance suite —
+//!   the paper's §4 diagnoses as profiled scenarios — printing each text
+//!   dashboard and writing the byte-deterministic profile JSON.
 //! - `cargo bench -p kus-bench` runs the wall-clock benchmarks: one scaled-
 //!   down configuration per paper figure (so regressions in any modelled
 //!   path show up as timing changes) plus microbenchmarks of the simulator
@@ -20,10 +23,12 @@
 
 pub mod harness;
 pub mod load;
+pub mod profile;
 pub mod sweep;
 
 pub use kus_workloads::figures;
 pub use load::{run_load_sweep, LoadCell, LoadSweepResults, LoadSweepSpec};
+pub use profile::{profile_scenarios, run_profile_suite, ProfileOutcome, ProfileScenario, ProfileSuite};
 pub use sweep::{
     run_cells, run_figures, run_sweep, CellResult, SweepCell, SweepOptions, SweepResults,
     SweepSpec,

@@ -144,6 +144,13 @@ pub struct PlatformConfig {
     /// nothing, so default-feature and all-feature builds produce identical
     /// trace hashes unless deep tracing is explicitly requested.
     pub trace_deep: bool,
+    /// Run the cycle-accounting profiler over the measured phase: implies
+    /// tracing, additionally emits the accounting event class (`cpu.*`,
+    /// `lfb.wait`, `credit.occ`, …), and attaches a
+    /// [`ProfileReport`](kus_profile::ProfileReport) to the run report.
+    /// Like the tracer, the profiler observes and never schedules: the run
+    /// outcome is bit-identical with it on or off.
+    pub profile: bool,
 }
 
 /// Timeout, retry, and degradation knobs for the SWQ access path.
@@ -229,6 +236,7 @@ impl PlatformConfig {
             swq_recovery: SwqRecovery::disabled(),
             trace: false,
             trace_deep: false,
+            profile: false,
         }
     }
 
@@ -476,6 +484,12 @@ impl PlatformConfig {
         self
     }
 
+    /// Enables the cycle-accounting profiler for the measured phase.
+    pub fn profiled(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
     /// The DRAM-baseline twin of this configuration: same workload shape,
     /// dataset in DRAM, on-demand accesses, single fiber per core (the
     /// paper's baselines are single-threaded per core).
@@ -647,6 +661,7 @@ mod tests {
             swq_recovery: recovery,
             trace: true,
             trace_deep: true,
+            profile: true,
         };
         let got = PlatformConfig::paper_default()
             .mechanism(Mechanism::SoftwareQueue)
@@ -674,7 +689,8 @@ mod tests {
             .seed(99)
             .faults(faults)
             .swq_recovery(recovery)
-            .trace_deep();
+            .trace_deep()
+            .profiled();
         assert_eq!(format!("{want:?}"), format!("{got:?}"));
     }
 

@@ -186,6 +186,8 @@ pub(crate) struct ExecInner {
     /// round-robin rotation handed the CPU to a not-yet-ready thread; the
     /// hardware waits on the MSHR).
     parked_on: Option<FiberId>,
+    /// When the current park began (profiling: the `cpu.park` span start).
+    park_since: Option<Time>,
     live: usize,
     swq: Option<SwqState>,
     tracer: Tracer,
@@ -244,6 +246,7 @@ impl Executor {
                 hook_armed: false,
                 idle: false,
                 parked_on: None,
+                park_since: None,
                 live: 0,
                 swq: None,
                 tracer: Tracer::off(),
@@ -322,6 +325,12 @@ impl Executor {
     /// Context switches performed so far.
     pub fn switches(&self) -> u64 {
         self.inner.borrow().switches.get()
+    }
+
+    /// Times the scheduler handed the core to a not-yet-ready fiber (the
+    /// strict-rotation stalls; zero for ready-only policies like FIFO).
+    pub fn stall_handoffs(&self) -> u64 {
+        self.inner.borrow().policy.stall_handoffs()
     }
 
     /// Dataset accesses issued so far.
@@ -450,8 +459,15 @@ impl ExecInner {
             this.borrow_mut().switching = false;
             ExecInner::run_or_park(this, sim, next);
         } else {
+            let start = sim.now();
             sim.schedule_in(cost, move |sim| {
-                this2.borrow_mut().switching = false;
+                {
+                    let mut x = this2.borrow_mut();
+                    x.switching = false;
+                    if x.tracer.is_profile() {
+                        x.tracer.complete_since(Category::Cpu, "cpu.ctx", x.track, start, next as u64);
+                    }
+                }
                 ExecInner::run_or_park(&this2, sim, next);
             });
         }
@@ -470,6 +486,7 @@ impl ExecInner {
                     etrace!(sim, "park on fiber {next}");
                     x.current = Some(next);
                     x.parked_on = Some(next);
+                    x.park_since = Some(sim.now());
                     false
                 }
                 s => unreachable!("picked fiber {next} in state {s:?}"),
@@ -493,6 +510,11 @@ impl ExecInner {
                     x.fibers[id].state = FiberState::Ready;
                     if x.parked_on == Some(id) && !x.switching {
                         x.parked_on = None;
+                        if let Some(since) = x.park_since.take() {
+                            if x.tracer.is_profile() {
+                                x.tracer.complete_since(Category::Cpu, "cpu.park", x.track, since, id as u64);
+                            }
+                        }
                         resume = Some(id);
                     } else {
                         x.policy.make_ready(id);
@@ -520,6 +542,11 @@ impl ExecInner {
             let idle_here = x.idle && x.current == Some(id);
             if (parked_here || idle_here) && !x.switching {
                 x.parked_on = None;
+                if let Some(since) = x.park_since.take() {
+                    if x.tracer.is_profile() {
+                        x.tracer.complete_since(Category::Cpu, "cpu.park", x.track, since, id as u64);
+                    }
+                }
                 x.idle = false;
                 true
             } else {
@@ -585,7 +612,7 @@ impl ExecInner {
         }
         let mut real: Vec<OpId> = Vec::with_capacity(ops.len());
         for b in ops {
-            let mut op = Op { kind: b.kind, deps: Vec::new(), on_complete: b.on_complete };
+            let mut op = Op { kind: b.kind, deps: Vec::new(), on_complete: b.on_complete, profile: None };
             for d in b.deps {
                 op.deps.push(match d {
                     BufDep::Buffered(i) => real[i],
@@ -631,7 +658,7 @@ impl ExecInner {
                 swq.stale_completions.incr();
                 x.tracer.instant(Category::Swq, "swq.stale", x.track, tag, 0);
                 drop(x);
-                Core::emit(&core, sim, Op::new(OpKind::SoftWork { span: cost }));
+                Core::emit(&core, sim, Op::new(OpKind::SoftWork { span: cost }).profiled("cpu.poll"));
                 return;
             };
             // Real progress: after a quiet period, restore the optimized
@@ -650,7 +677,7 @@ impl ExecInner {
         Core::emit(
             &core,
             sim,
-            Op::new(OpKind::SoftWork { span: cost }).on_complete(move |sim| {
+            Op::new(OpKind::SoftWork { span: cost }).profiled("cpu.poll").on_complete(move |sim| {
                 slot.set(value);
                 ExecInner::wake(&this2, sim, fiber);
             }),
@@ -742,7 +769,7 @@ impl ExecInner {
             Core::emit(
                 &core,
                 sim,
-                Op::new(OpKind::SoftWork { span: cost }).on_complete(move |sim| {
+                Op::new(OpKind::SoftWork { span: cost }).profiled("cpu.poll").on_complete(move |sim| {
                     f.slot.set(f.value);
                     ExecInner::wake(&this2, sim, f.fiber);
                 }),

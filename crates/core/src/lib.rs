@@ -61,6 +61,7 @@ pub use mechanism::Mechanism;
 pub use metrics::{DeviceReport, FaultReport, LatencyBreakdown, LinkReport, RunReport, TraceReport};
 pub use platform::Platform;
 pub use workload::{FiberFuture, Workload};
+pub use kus_profile::{ProfileContext, ProfileReport, Verdict};
 
 /// Convenient glob-import of the public API.
 pub mod prelude {
@@ -73,5 +74,6 @@ pub mod prelude {
     pub use crate::platform::Platform;
     pub use crate::workload::{FiberFuture, Workload};
     pub use kus_mem::{Addr, Backing};
+    pub use kus_profile::{ProfileReport, Verdict};
     pub use kus_sim::{FaultPlan, Span, Time};
 }

@@ -247,6 +247,10 @@ pub struct RunReport {
     /// tracing never alters the simulation, so every other field is
     /// identical with tracing on or off.
     pub trace: Option<TraceReport>,
+    /// Cycle-accounting profile of the measured phase (profiled runs only):
+    /// per-core time classification, resource-pressure histograms,
+    /// critical-path blame tables, and bottleneck verdicts.
+    pub profile: Option<kus_profile::ProfileReport>,
 }
 
 impl RunReport {
@@ -279,6 +283,7 @@ impl RunReport {
             link: None,
             faults: None,
             trace: None,
+            profile: None,
         }
     }
 
@@ -351,6 +356,7 @@ mod tests {
             link: None,
             faults: None,
             trace: None,
+            profile: None,
         }
     }
 

@@ -88,9 +88,11 @@ impl Platform {
         w.prepare(self.cfg.cores * self.cfg.smt, self.cfg.fibers_per_core);
         w.build(&mut dataset);
         // Only the measured (final) phase is traced: the record phase of a
-        // two-phase run is methodology scaffolding, not a measurement.
+        // two-phase run is methodology scaffolding, not a measurement. The
+        // profiler needs the event stream, so profiling implies tracing.
+        let traced = self.cfg.trace || self.cfg.profile;
         match self.cfg.backing {
-            Backing::Dram => self.run_phase(w, &dataset, Phase::Dram, self.cfg.trace),
+            Backing::Dram => self.run_phase(w, &dataset, Phase::Dram, traced),
             Backing::Device => {
                 let trace =
                     Rc::new(RefCell::new(AccessTrace::new(self.cfg.cores * self.cfg.smt)));
@@ -98,9 +100,9 @@ impl Platform {
                     let _recording =
                         self.run_phase(w, &dataset, Phase::DeviceRecord(trace.clone()), false);
                     let traces = trace.borrow().clone().into_cores();
-                    self.run_phase(w, &dataset, Phase::DeviceReplay(traces), self.cfg.trace)
+                    self.run_phase(w, &dataset, Phase::DeviceReplay(traces), traced)
                 } else {
-                    self.run_phase(w, &dataset, Phase::DeviceRecord(trace), self.cfg.trace)
+                    self.run_phase(w, &dataset, Phase::DeviceRecord(trace), traced)
                 }
             }
         }
@@ -129,6 +131,7 @@ impl Platform {
         let tracer = if traced {
             let t = Tracer::new(sim.now_handle());
             t.set_verbose(cfg.trace_deep);
+            t.set_profile(cfg.profile);
             t
         } else {
             Tracer::off()
@@ -147,6 +150,9 @@ impl Platform {
 
         let host_dram = Station::new("host-dram", cfg.host_dram);
         let dram_credits = Rc::new(RefCell::new(CreditQueue::new("dram-path", cfg.dram_path_credits)));
+        dram_credits
+            .borrow_mut()
+            .set_tracer(tracer.clone(), kus_profile::TRACK_DRAM_CREDITS);
         let dram_fill: FillPath = {
             let hd = host_dram.clone();
             Rc::new(move |sim: &mut Sim, _core, _line, done| Station::submit(&hd, sim, done))
@@ -157,6 +163,9 @@ impl Platform {
         let mut dev_core = None;
         let device_credits =
             Rc::new(RefCell::new(CreditQueue::new("device-path", cfg.device_path_credits)));
+        device_credits
+            .borrow_mut()
+            .set_tracer(tracer.clone(), kus_profile::TRACK_DEVICE_CREDITS);
         let mut device_fill: Option<FillPath> = None;
         let fill_latency = Rc::new(RefCell::new(kus_sim::stats::SpanHistogram::new()));
         if !matches!(phase, Phase::Dram) {
@@ -444,6 +453,30 @@ impl Platform {
             fr
         });
 
+        let (trace, profile) = if traced {
+            let events = tracer.events();
+            // Profiled runs classify the measured window [t0, now] per
+            // hardware context (sum-to-wall is asserted inside build).
+            let profile = cfg.profile.then(|| {
+                let ctx = kus_profile::ProfileContext {
+                    cores: cfg.cores * cfg.smt,
+                    fibers_per_core: cfg.fibers_per_core,
+                    mechanism: cfg.mechanism.to_string(),
+                    lfb_capacity: cfg.core.lfb_count as u64,
+                    ring_capacity: cfg.swq_ring_capacity as u64,
+                    device_path_credits: cfg.device_path_credits as u64,
+                    ctx_switch: cfg.ctx_switch,
+                    window_start: t0,
+                    window_end: sim.now(),
+                    sched_stall_handoffs: execs.iter().map(|e| e.stall_handoffs()).sum(),
+                };
+                kus_profile::ProfileReport::build(&events, ctx)
+            });
+            (Some(TraceReport::build(events, sim.now())), profile)
+        } else {
+            (None, None)
+        };
+
         let report = RunReport {
             workload: w.name(),
             mechanism: cfg.mechanism,
@@ -465,7 +498,8 @@ impl Platform {
             device,
             link: link_report,
             faults,
-            trace: traced.then(|| TraceReport::build(tracer.events(), sim.now())),
+            trace,
+            profile,
         };
         report
     }

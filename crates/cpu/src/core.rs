@@ -30,6 +30,7 @@ use kus_mem::uncore::CreditQueue;
 use kus_mem::LineAddr;
 use kus_sim::event::EventFn;
 use kus_sim::stats::Counter;
+use kus_sim::trace::Category;
 use kus_sim::{Clock, Sim, Time};
 
 use crate::ops::{Op, OpId, OpKind};
@@ -91,6 +92,7 @@ struct OpState {
     dispatched: bool,
     done: bool,
     counted: bool,
+    profile: Option<&'static str>,
 }
 
 /// One modelled core.
@@ -115,6 +117,7 @@ pub struct Core {
     soft_busy_until: Time,
     pump_scheduled: bool,
     emit_hook: Option<EventFn>,
+    tracer: kus_sim::Tracer,
     /// Work-loop instructions retired.
     pub retired_work_insts: Counter,
     /// Ops retired.
@@ -185,6 +188,7 @@ impl Core {
             soft_busy_until: Time::ZERO,
             pump_scheduled: false,
             emit_hook: None,
+            tracer: kus_sim::Tracer::off(),
             retired_work_insts: Counter::default(),
             retired_ops: Counter::default(),
             loads: Counter::default(),
@@ -223,8 +227,11 @@ impl Core {
     }
 
     /// Attaches a tracer to the core's cache structures (L1 evictions and
-    /// the LFB pool), tracked under this core's id.
+    /// the LFB pool), tracked under this core's id. The core keeps a copy
+    /// for the profiler's cycle-accounting spans (`cpu.work`, `cpu.soft`,
+    /// `cpu.lfbwait`), emitted only when `Tracer::is_profile()`.
     pub fn set_tracer(&mut self, tracer: kus_sim::Tracer) {
+        self.tracer = tracer.clone();
         self.l1.set_tracer(tracer.clone(), self.id as u32);
         self.lfb.borrow_mut().set_tracer(tracer, self.id as u32);
     }
@@ -333,6 +340,7 @@ impl Core {
                     dispatched: false,
                     done: false,
                     counted: false,
+                    profile: op.profile,
                 },
             );
             c.dispatch_q.push_back(id);
@@ -427,18 +435,36 @@ impl Core {
                     c.config.clock.work(insts as u64, c.config.work_ipc)
                 };
                 let this2 = this.clone();
-                sim.schedule_in(d, move |sim| Core::complete_op(&this2, sim, id));
+                let start = sim.now();
+                sim.schedule_in(d, move |sim| {
+                    {
+                        let c = this2.borrow();
+                        if c.tracer.is_profile() {
+                            c.tracer.complete_since(Category::Cpu, "cpu.work", c.id as u32, start, insts as u64);
+                        }
+                    }
+                    Core::complete_op(&this2, sim, id);
+                });
             }
             OpKind::SoftWork { span } | OpKind::Mmio { cost: span } => {
                 // Serialize on the core's software-execution resource.
-                let done_at = {
+                let (done_at, start) = {
                     let mut c = this.borrow_mut();
                     let start = sim.now().max(c.soft_busy_until);
                     c.soft_busy_until = start + span;
-                    start + span
+                    (start + span, start)
                 };
                 let this2 = this.clone();
-                sim.schedule_at(done_at, move |sim| Core::complete_op(&this2, sim, id));
+                sim.schedule_at(done_at, move |sim| {
+                    {
+                        let c = this2.borrow();
+                        if c.tracer.is_profile() {
+                            let name = c.states.get(&id).and_then(|st| st.profile).unwrap_or("cpu.soft");
+                            c.tracer.complete_since(Category::Cpu, name, c.id as u32, start, 0);
+                        }
+                    }
+                    Core::complete_op(&this2, sim, id);
+                });
             }
             OpKind::Store { line } => {
                 // Posted: a cycle into the write buffer, then the downstream
@@ -456,13 +482,23 @@ impl Core {
                 sim.schedule_in(d, move |sim| Core::complete_op(&this2, sim, id));
             }
             OpKind::Load { line } | OpKind::Prefetch { line } => {
-                Core::execute_mem(this, sim, id, line, matches!(kind, OpKind::Prefetch { .. }));
+                Core::execute_mem(this, sim, id, line, matches!(kind, OpKind::Prefetch { .. }), None);
             }
         }
     }
 
-    /// Memory-op execution; retryable (LFB back-pressure) without recounting.
-    fn execute_mem(this: &Rc<RefCell<Core>>, sim: &mut Sim, id: OpId, line: LineAddr, is_prefetch: bool) {
+    /// Memory-op execution; retryable (LFB back-pressure) without
+    /// recounting. `waited_since` carries the instant the op first found
+    /// every LFB busy, so the profiler can charge the whole wait to
+    /// `stall_lfb_full` once a slot frees up.
+    fn execute_mem(
+        this: &Rc<RefCell<Core>>,
+        sim: &mut Sim,
+        id: OpId,
+        line: LineAddr,
+        is_prefetch: bool,
+        waited_since: Option<Time>,
+    ) {
         enum Route {
             CompleteIn(kus_sim::Span),
             CompleteNow,
@@ -497,6 +533,14 @@ impl Core {
                 Route::NeedSlot
             }
         };
+        if let Some(since) = waited_since {
+            if !matches!(route, Route::NeedSlot) {
+                let c = this.borrow();
+                if c.tracer.is_profile() {
+                    c.tracer.complete_since(Category::Cpu, "cpu.lfbwait", c.id as u32, since, line.index());
+                }
+            }
+        }
         match route {
             Route::CompleteIn(d) => {
                 let this2 = this.clone();
@@ -509,9 +553,10 @@ impl Core {
             Route::Merged => {} // completion arrives with the pending fill
             Route::NeedSlot => {
                 let this2 = this.clone();
+                let since = waited_since.unwrap_or_else(|| sim.now());
                 let lfb = this.borrow().lfb.clone();
                 lfb.borrow_mut().wait_for_slot(move |sim| {
-                    Core::execute_mem(&this2, sim, id, line, is_prefetch);
+                    Core::execute_mem(&this2, sim, id, line, is_prefetch, Some(since));
                 });
             }
             Route::Fill { prefetch_completes } => {

@@ -86,6 +86,10 @@ pub struct Op {
     /// Fired when the op completes (out of order); used to deliver load
     /// values, ring doorbells, and wake fibers.
     pub on_complete: Option<EventFn>,
+    /// Cycle-accounting label for the profiler's busy span (e.g.
+    /// `"cpu.poll"` for SWQ completion scans). `None` means the generic
+    /// `"cpu.soft"` class; `Work` ops always account as `"cpu.work"`.
+    pub profile: Option<&'static str>,
 }
 
 impl std::fmt::Debug for Op {
@@ -101,7 +105,7 @@ impl std::fmt::Debug for Op {
 impl Op {
     /// An op with no dependencies and no hook.
     pub fn new(kind: OpKind) -> Op {
-        Op { kind, deps: Vec::new(), on_complete: None }
+        Op { kind, deps: Vec::new(), on_complete: None, profile: None }
     }
 
     /// Adds dependence edges.
@@ -113,6 +117,12 @@ impl Op {
     /// Attaches a completion hook.
     pub fn on_complete(mut self, f: impl FnOnce(&mut kus_sim::Sim) + 'static) -> Op {
         self.on_complete = Some(Box::new(f));
+        self
+    }
+
+    /// Labels the op's busy span for the cycle-accounting profiler.
+    pub fn profiled(mut self, name: &'static str) -> Op {
+        self.profile = Some(name);
         self
     }
 }
@@ -164,5 +174,8 @@ mod tests {
         let op = Op::new(OpKind::Work { insts: 1 }).after([1, 2]).on_complete(|_| {});
         assert_eq!(op.deps, vec![1, 2]);
         assert!(op.on_complete.is_some());
+        assert_eq!(op.profile, None);
+        let op = Op::new(OpKind::SoftWork { span: Span::from_ns(10) }).profiled("cpu.poll");
+        assert_eq!(op.profile, Some("cpu.poll"));
     }
 }

@@ -144,8 +144,12 @@ impl DeviceCore {
         self.faults = Some(injector);
     }
 
-    /// Attaches a tracer. Datapath events land on track `200 + core`.
+    /// Attaches a tracer. Datapath events land on track `200 + core`; the
+    /// on-board DRAM stations emit occupancy counters on track 420 when
+    /// profiling is enabled.
     pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.stream_channel.borrow_mut().set_tracer(tracer.clone(), 420);
+        self.ondemand.channel().borrow_mut().set_tracer(tracer.clone(), 420);
         self.tracer = tracer;
     }
 

@@ -38,6 +38,13 @@ pub trait SchedPolicy: std::fmt::Debug {
     fn has_ready(&self) -> bool;
     /// Live (registered, unfinished) fibers.
     fn live(&self) -> usize;
+    /// Times [`pick_next`](SchedPolicy::pick_next) handed the core to a
+    /// fiber that was *not* ready — the strict-rotation stalls that cost the
+    /// prefetch mechanism its scaling. Policies that only circulate ready
+    /// fibers never stall, so the default is zero.
+    fn stall_handoffs(&self) -> u64 {
+        0
+    }
 }
 
 /// Strict round-robin over registration order — the next fiber in the ring
@@ -51,6 +58,7 @@ pub struct RoundRobin {
     ready: Vec<bool>,    // indexed by FiberId
     sleeping: Vec<bool>, // indexed by FiberId: timer-waiters skipped by rotation
     live: usize,
+    stall_handoffs: u64,
 }
 
 impl RoundRobin {
@@ -128,6 +136,9 @@ impl SchedPolicy for RoundRobin {
         for i in 0..self.ring.len() {
             let id = self.ring[(start + i) % self.ring.len()];
             if !self.is_sleeping(id) {
+                if !self.ready.get(id).copied().unwrap_or(false) {
+                    self.stall_handoffs += 1;
+                }
                 return Some(id);
             }
         }
@@ -140,6 +151,10 @@ impl SchedPolicy for RoundRobin {
 
     fn live(&self) -> usize {
         self.live
+    }
+
+    fn stall_handoffs(&self) -> u64 {
+        self.stall_handoffs
     }
 }
 
@@ -243,6 +258,24 @@ mod tests {
         assert_eq!(rr.live(), 2);
         assert_eq!(rr.pick_next(Some(0)), Some(2));
         assert_eq!(rr.pick_next(Some(2)), Some(0));
+    }
+
+    #[test]
+    fn round_robin_counts_stall_handoffs() {
+        let mut rr = RoundRobin::new();
+        for i in 0..3 {
+            rr.register(i);
+        }
+        assert_eq!(rr.pick_next(Some(0)), Some(1)); // ready: no stall
+        rr.make_blocked(2);
+        assert_eq!(rr.pick_next(Some(1)), Some(2)); // blocked: stall
+        assert_eq!(rr.stall_handoffs(), 1);
+        rr.make_blocked(0);
+        assert_eq!(rr.pick_next(Some(2)), Some(0)); // blocked: stall
+        assert_eq!(rr.stall_handoffs(), 2);
+        // Fifo never hands out non-ready fibers: default is zero.
+        let f = Fifo::new();
+        assert_eq!(f.stall_handoffs(), 0);
     }
 
     #[test]

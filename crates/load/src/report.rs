@@ -90,6 +90,17 @@ pub struct LoadReport {
     pub queue_depth_max: u64,
     /// Time-weighted mean queue depth over the window.
     pub queue_depth_avg: f64,
+    /// Completed requests whose sojourn was dominated by the admission-queue
+    /// wait (wait > service) — the argmax blame over the two segments.
+    pub blamed_queue: u64,
+    /// Completed requests whose sojourn was dominated by service time.
+    pub blamed_service: u64,
+    /// Among the slowest 1% by sojourn (exact p99 cut), those blamed on the
+    /// queue. Queueing dominating *only in the tail* is the classic
+    /// saturation signature.
+    pub tail_blamed_queue: u64,
+    /// Among the slowest 1% by sojourn, those blamed on service time.
+    pub tail_blamed_service: u64,
 }
 
 impl LoadReport {
@@ -131,13 +142,50 @@ impl LoadReport {
         let mut service: BTreeMap<u32, HdrHistogram> = BTreeMap::new();
         let mut first_arrival = Time::MAX;
         let mut last_completion = Time::ZERO;
+        // (sojourn, queue wait, service) per completed request, for the
+        // argmax blame attribution below.
+        let mut splits: Vec<(Span, Span, Span)> = Vec::with_capacity(completions.len());
         for (req, &(arrival, done, track)) in &completions {
             first_arrival = first_arrival.min(arrival);
             last_completion = last_completion.max(done);
             latency.entry(track).or_default().record(done.saturating_since(arrival));
             if let Some(&(_, dispatched, _)) = dispatches.get(req) {
-                wait.entry(track).or_default().record(dispatched.saturating_since(arrival));
-                service.entry(track).or_default().record(done.saturating_since(dispatched));
+                let w = dispatched.saturating_since(arrival);
+                let s = done.saturating_since(dispatched);
+                wait.entry(track).or_default().record(w);
+                service.entry(track).or_default().record(s);
+                splits.push((done.saturating_since(arrival), w, s));
+            }
+        }
+
+        // Argmax blame: each request charges its sojourn to whichever
+        // segment was longer (ties go to service — being served is the
+        // request's job; waiting is the anomaly worth flagging only when
+        // it strictly dominates). The tail cut is the exact p99 of the
+        // observed sojourns, not the histogram approximation, so the same
+        // requests land in the tail on every run.
+        let mut sojourns: Vec<Span> = splits.iter().map(|&(l, _, _)| l).collect();
+        sojourns.sort_unstable();
+        let tail_cut = if sojourns.is_empty() {
+            Span::from_ps(0)
+        } else {
+            sojourns[(sojourns.len() * 99).div_ceil(100) - 1]
+        };
+        let (mut blamed_queue, mut blamed_service) = (0u64, 0u64);
+        let (mut tail_blamed_queue, mut tail_blamed_service) = (0u64, 0u64);
+        for &(sojourn, w, s) in &splits {
+            let queue_dominates = w > s;
+            if queue_dominates {
+                blamed_queue += 1;
+            } else {
+                blamed_service += 1;
+            }
+            if sojourn >= tail_cut {
+                if queue_dominates {
+                    tail_blamed_queue += 1;
+                } else {
+                    tail_blamed_service += 1;
+                }
             }
         }
         let merge = |shards: BTreeMap<u32, HdrHistogram>| {
@@ -189,6 +237,10 @@ impl LoadReport {
             service: Percentiles::from_histogram(&merge(service)),
             queue_depth_max: depth_max as u64,
             queue_depth_avg,
+            blamed_queue,
+            blamed_service,
+            tail_blamed_queue,
+            tail_blamed_service,
         })
     }
 
@@ -224,8 +276,13 @@ impl LoadReport {
         self.service.json_into(&mut out);
         let _ = write!(
             out,
-            ",\"queue_depth_max\":{},\"queue_depth_avg\":{:.6}}}",
-            self.queue_depth_max, self.queue_depth_avg,
+            ",\"queue_depth_max\":{},\"queue_depth_avg\":{:.6},\"blame\":{{\"queue\":{},\"service\":{},\"tail_queue\":{},\"tail_service\":{}}}}}",
+            self.queue_depth_max,
+            self.queue_depth_avg,
+            self.blamed_queue,
+            self.blamed_service,
+            self.tail_blamed_queue,
+            self.tail_blamed_service,
         );
         out
     }
@@ -250,6 +307,11 @@ impl LoadReport {
             out,
             "queue depth: max {}  avg {:.2}",
             self.queue_depth_max, self.queue_depth_avg
+        );
+        let _ = writeln!(
+            out,
+            "blame (all): queue {}  service {}   blame (p99 tail): queue {}  service {}",
+            self.blamed_queue, self.blamed_service, self.tail_blamed_queue, self.tail_blamed_service,
         );
         let _ = writeln!(
             out,
@@ -397,6 +459,24 @@ mod tests {
         assert_eq!(r.queue_depth_max, 2);
         assert!(r.queue_depth_avg > 0.0);
         assert!((r.shed_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        // Both sojourns are service-dominated (100 ns waits vs µs service);
+        // with two samples the exact-p99 cut keeps only the slower one.
+        assert_eq!((r.blamed_queue, r.blamed_service), (0, 2));
+        assert_eq!((r.tail_blamed_queue, r.tail_blamed_service), (0, 1));
+    }
+
+    /// A queue-dominated request (3 µs wait, 1 µs service) is blamed on
+    /// the queue — in the overall table and in the tail, since its sojourn
+    /// is the worst.
+    #[test]
+    fn queue_dominated_tail_is_blamed_on_the_queue() {
+        let mut events = sample_events();
+        events.push(ev("load.dispatch", 3200, 0, 3, 200));
+        events.push(ev("load.complete", 4200, 0, 3, 200));
+        let r = LoadReport::from_events(&events).expect("events present");
+        assert_eq!((r.blamed_queue, r.blamed_service), (1, 2));
+        assert_eq!((r.tail_blamed_queue, r.tail_blamed_service), (1, 0));
+        assert!(r.to_json().contains("\"blame\":{\"queue\":1,\"service\":2,\"tail_queue\":1,\"tail_service\":0}"));
     }
 
     #[test]

@@ -213,6 +213,9 @@ impl LfbPool {
     /// in which case the caller simply re-registers.
     pub fn wait_for_slot(&mut self, f: impl FnOnce(&mut Sim) + 'static) {
         self.slot_waiters.push_back(Box::new(f));
+        if self.tracer.is_profile() {
+            self.tracer.instant(Category::Mem, "lfb.wait", self.track, 0, self.slot_waiters.len() as u64);
+        }
     }
 
     /// Number of callbacks waiting for a free buffer.

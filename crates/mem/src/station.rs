@@ -13,7 +13,8 @@ use std::rc::Rc;
 
 use kus_sim::event::EventFn;
 use kus_sim::stats::{Counter, Gauge, SpanHistogram};
-use kus_sim::{Sim, Span, Time};
+use kus_sim::trace::Category;
+use kus_sim::{Sim, Span, Time, Tracer};
 
 /// Configuration for a [`Station`].
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +76,8 @@ pub struct Station {
     in_service: usize,
     waiting: VecDeque<EventFn>,
     occupancy: Gauge,
+    tracer: Tracer,
+    track: u32,
     /// Requests accepted (served or queued).
     pub submitted: Counter,
     /// Requests completed.
@@ -108,6 +111,8 @@ impl Station {
             in_service: 0,
             waiting: VecDeque::new(),
             occupancy: Gauge::new(),
+            tracer: Tracer::off(),
+            track: 0,
             submitted: Counter::default(),
             completed: Counter::default(),
             sojourn: RefCell::new(SpanHistogram::new()),
@@ -137,6 +142,15 @@ impl Station {
     /// Time-weighted in-service occupancy.
     pub fn occupancy(&self) -> &Gauge {
         &self.occupancy
+    }
+
+    /// Attaches a tracer; `track` is the timeline row (by convention 420 for
+    /// the device's on-board DRAM — see `kus-profile`). The station emits
+    /// `station.occ` occupancy counters at each service start, only when
+    /// profiling is enabled.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: u32) {
+        self.tracer = tracer;
+        self.track = track;
     }
 
     /// Submits a request; `on_done` fires at completion time.
@@ -172,6 +186,9 @@ impl Station {
             let now = sim.now();
             let level = s.in_service as u64;
             s.occupancy.set(now, level);
+            if s.tracer.is_profile() {
+                s.tracer.counter(Category::Mem, "station.occ", s.track, level);
+            }
             let start_at = now.max(s.busy_until);
             s.busy_until = start_at + s.config.service;
             start_at + s.config.service + s.config.latency

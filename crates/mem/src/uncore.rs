@@ -11,7 +11,8 @@ use std::collections::VecDeque;
 
 use kus_sim::event::EventFn;
 use kus_sim::stats::{Counter, Gauge};
-use kus_sim::{Sim, Time};
+use kus_sim::trace::Category;
+use kus_sim::{Sim, Time, Tracer};
 
 /// A shared occupancy-limited credit pool with FIFO retry notification.
 ///
@@ -35,6 +36,8 @@ pub struct CreditQueue {
     in_use: usize,
     waiters: VecDeque<EventFn>,
     occupancy: Gauge,
+    tracer: Tracer,
+    track: u32,
     /// Successful credit grants.
     pub grants: Counter,
     /// Failed acquisition attempts.
@@ -80,9 +83,20 @@ impl CreditQueue {
             in_use: 0,
             waiters: VecDeque::new(),
             occupancy: Gauge::new(),
+            tracer: Tracer::off(),
+            track: 0,
             grants: Counter::default(),
             rejections: Counter::default(),
         }
+    }
+
+    /// Attaches a tracer; `track` is the timeline row (by convention 400
+    /// for the device path, 401 for the DRAM path — see `kus-profile`).
+    /// The queue emits `credit.occ` occupancy counters at each grant, only
+    /// when profiling is enabled.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: u32) {
+        self.tracer = tracer;
+        self.track = track;
     }
 
     /// The queue's label (for reports).
@@ -114,6 +128,9 @@ impl CreditQueue {
         self.in_use += 1;
         self.grants.incr();
         self.occupancy.set(now, self.in_use as u64);
+        if self.tracer.is_profile() {
+            self.tracer.counter(Category::Mem, "credit.occ", self.track, self.in_use as u64);
+        }
         true
     }
 

@@ -168,6 +168,15 @@ impl PcieLink {
             if replays > 0 {
                 self.tracer.instant(Category::Pcie, "tlp.replay", track, tlp.wire_bytes(), replays);
             }
+            if self.tracer.is_profile() {
+                // Time this packet will sit behind earlier traffic on the
+                // same direction before its first wire byte.
+                let queued = self.dir(dir).busy_until;
+                let now = sim.now();
+                if queued > now {
+                    self.tracer.instant(Category::Pcie, "tlp.queue", track, (queued - now).as_ps(), 0);
+                }
+            }
         }
         let at = self.dir(dir).send(sim.now(), tlp, replays);
         sim.schedule_at(at, on_arrive);

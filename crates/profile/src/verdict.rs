@@ -1,0 +1,256 @@
+//! Bottleneck verdicts: a fixed rule set over the cycle accounts, pressure
+//! counters and blame tables that emits machine-readable findings mirroring
+//! §4 of the paper — which resource is saturated, and which knob to widen.
+//!
+//! Rules are evaluated in a fixed order and several can fire at once (a
+//! saturated ring usually also shows up as queueing-dominated blame).
+//! Thresholds are deliberately coarse: verdicts answer "what should I widen
+//! next", not "what is the exact utilization".
+
+use std::fmt;
+
+use kus_sim::time::Span;
+
+use crate::account::CoreAccount;
+use crate::blame::BlameTable;
+use crate::pressure::PressureReport;
+use crate::ProfileContext;
+
+/// Context-switch share of wall time above which switching is the problem
+/// the paper's software queue removes.
+const CTX_BOUND: f64 = 0.15;
+/// Blocked-on-device share above which the core is starved for MLP.
+const BLOCKED_BOUND: f64 = 0.35;
+/// Completion-poll share above which poll batching should be revisited.
+const POLL_BOUND: f64 = 0.20;
+/// Compute share above which the run is healthily core-bound.
+const COMPUTE_BOUND: f64 = 0.60;
+/// Idle share above which the platform is simply under-offered.
+const IDLE_BOUND: f64 = 0.50;
+/// Share of blamed time in the queueing segments (doorbell_wait +
+/// ring_wait) above which the SWQ path itself is the bottleneck.
+const QUEUEING_BOUND: f64 = 0.40;
+
+/// One machine-readable finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Stable rule identifier, e.g. `lfb_saturated`.
+    pub name: &'static str,
+    /// Evidence, in fixed key order.
+    pub details: Vec<(&'static str, String)>,
+    /// The knob to widen next, e.g. `mlp_limit`.
+    pub suggest: &'static str,
+}
+
+impl fmt::Display for Verdict {
+    /// Renders as `lfb_saturated { occupancy_p99: 10/10, suggest: mlp_limit }`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {{ ", self.name)?;
+        for (k, v) in &self.details {
+            write!(f, "{k}: {v}, ")?;
+        }
+        write!(f, "suggest: {} }}", self.suggest)
+    }
+}
+
+fn pct(share: f64) -> String {
+    format!("{:.1}%", share * 100.0)
+}
+
+pub(crate) fn diagnose(
+    ctx: &ProfileContext,
+    totals: &CoreAccount,
+    wall: Span,
+    pressure: &PressureReport,
+    blame: &BlameTable,
+) -> Vec<Verdict> {
+    let mut out = Vec::new();
+    let wall_ps = wall.as_ps();
+    let share = |s: Span| if wall_ps == 0 { 0.0 } else { s.as_ps() as f64 / wall_ps as f64 };
+
+    // 1. LFB saturation: the per-core MLP window (10 on the paper's Xeon)
+    //    pinned at capacity while allocations bounce.
+    let lfb_p99 = pressure.lfb_occupancy.quantile(0.99).as_ps();
+    if pressure.lfb_occupancy.count() > 0 && lfb_p99 >= ctx.lfb_capacity && pressure.lfb_full_events > 0 {
+        out.push(Verdict {
+            name: "lfb_saturated",
+            details: vec![
+                ("occupancy_p99", format!("{lfb_p99}/{}", ctx.lfb_capacity)),
+                ("lfb_full", pressure.lfb_full_events.to_string()),
+            ],
+            suggest: "mlp_limit",
+        });
+    }
+
+    // 2. SWQ descriptor ring pinned at capacity at enqueue time.
+    let ring_p99 = pressure.ring_at_enqueue.quantile(0.99).as_ps();
+    if pressure.ring_at_enqueue.count() > 0 && ctx.ring_capacity > 0 && ring_p99 >= ctx.ring_capacity {
+        out.push(Verdict {
+            name: "ring_saturated",
+            details: vec![("occupancy_p99", format!("{ring_p99}/{}", ctx.ring_capacity))],
+            suggest: "ring_capacity",
+        });
+    }
+
+    // 3. Queueing-dominated blame: sojourns spent waiting to be fetched,
+    //    not being served.
+    let queueing = blame.share("doorbell_wait") + blame.share("ring_wait");
+    if blame.requests > 0 && queueing >= QUEUEING_BOUND {
+        out.push(Verdict {
+            name: "queueing_bound",
+            details: vec![
+                ("blame_share", pct(queueing)),
+                ("requests", blame.requests.to_string()),
+            ],
+            suggest: "fetch_burst",
+        });
+    }
+
+    // 4. Context-switch overhead — the cost the paper's SWQ removes.
+    if share(totals.ctx_switch) >= CTX_BOUND {
+        out.push(Verdict {
+            name: "context_switch_bound",
+            details: vec![
+                ("ctx_share", pct(share(totals.ctx_switch))),
+                ("switch_cost_ps", ctx.ctx_switch.as_ps().to_string()),
+            ],
+            suggest: "software_queue",
+        });
+    }
+
+    // 5. Cores starved on outstanding device accesses.
+    if share(totals.blocked_load) >= BLOCKED_BOUND {
+        out.push(Verdict {
+            name: "device_wait_bound",
+            details: vec![("blocked_share", pct(share(totals.blocked_load)))],
+            suggest: "increase_mlp",
+        });
+    }
+
+    // 6. Completion polling eating the cores.
+    if share(totals.swq_poll) >= POLL_BOUND {
+        out.push(Verdict {
+            name: "swq_poll_bound",
+            details: vec![("poll_share", pct(share(totals.swq_poll)))],
+            suggest: "completion_batching",
+        });
+    }
+
+    // 7./8. Healthy saturation vs. under-offered.
+    if share(totals.compute) >= COMPUTE_BOUND {
+        out.push(Verdict {
+            name: "compute_bound",
+            details: vec![("compute_share", pct(share(totals.compute)))],
+            suggest: "scale_cores",
+        });
+    }
+    if share(totals.idle) >= IDLE_BOUND {
+        out.push(Verdict {
+            name: "underutilized",
+            details: vec![("idle_share", pct(share(totals.idle)))],
+            suggest: "increase_load",
+        });
+    }
+
+    // 9. Fallback: nothing crossed a threshold, so no single resource is
+    //    saturated. Still name the dominant time class so every profile
+    //    carries at least one finding for dashboards and CI diffs.
+    if out.is_empty() {
+        let classes = [
+            ("compute", totals.compute),
+            ("ctx_switch", totals.ctx_switch),
+            ("swq_poll", totals.swq_poll),
+            ("stall_lfb_full", totals.stall_lfb_full),
+            ("blocked_load", totals.blocked_load),
+            ("idle", totals.idle),
+        ];
+        let (top, span) = classes
+            .iter()
+            .max_by_key(|(_, s)| s.as_ps())
+            .copied()
+            .unwrap_or(("idle", Span::ZERO));
+        out.push(Verdict {
+            name: "balanced",
+            details: vec![("top_class", top.to_string()), ("top_share", pct(share(span)))],
+            suggest: "none",
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kus_sim::time::Time;
+
+    fn ctx() -> ProfileContext {
+        ProfileContext {
+            cores: 1,
+            fibers_per_core: 4,
+            mechanism: "swq".to_string(),
+            lfb_capacity: 10,
+            ring_capacity: 8,
+            device_path_credits: 14,
+            ctx_switch: Span::from_us(2),
+            window_start: Time::ZERO,
+            window_end: Time::from_ps(1_000_000),
+            sched_stall_handoffs: 0,
+        }
+    }
+
+    #[test]
+    fn lfb_saturation_fires_and_renders() {
+        let mut pressure = PressureReport::default();
+        for _ in 0..200 {
+            pressure.lfb_occupancy.record(Span::from_ps(10));
+        }
+        pressure.lfb_full_events = 42;
+        let verdicts = diagnose(
+            &ctx(),
+            &CoreAccount::default(),
+            Span::from_ps(1_000_000),
+            &pressure,
+            &BlameTable::default(),
+        );
+        let v = verdicts.iter().find(|v| v.name == "lfb_saturated").expect("must fire");
+        assert_eq!(v.suggest, "mlp_limit");
+        assert_eq!(v.to_string(), "lfb_saturated { occupancy_p99: 10/10, lfb_full: 42, suggest: mlp_limit }");
+    }
+
+    #[test]
+    fn ctx_switch_share_fires() {
+        let totals = CoreAccount { ctx_switch: Span::from_ps(200_000), ..Default::default() };
+        let verdicts =
+            diagnose(&ctx(), &totals, Span::from_ps(1_000_000), &PressureReport::default(), &BlameTable::default());
+        assert!(verdicts.iter().any(|v| v.name == "context_switch_bound" && v.suggest == "software_queue"));
+    }
+
+    #[test]
+    fn balanced_run_falls_back_to_dominant_class() {
+        // Nothing crosses a threshold: compute 40%, idle 30%, the rest split.
+        let totals = CoreAccount {
+            compute: Span::from_ps(400_000),
+            idle: Span::from_ps(300_000),
+            ctx_switch: Span::from_ps(120_000),
+            swq_poll: Span::from_ps(180_000),
+            ..Default::default()
+        };
+        let verdicts =
+            diagnose(&ctx(), &totals, Span::from_ps(1_000_000), &PressureReport::default(), &BlameTable::default());
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].name, "balanced");
+        assert_eq!(
+            verdicts[0].to_string(),
+            "balanced { top_class: compute, top_share: 40.0%, suggest: none }"
+        );
+    }
+
+    #[test]
+    fn quiet_run_yields_underutilized_only() {
+        let totals = CoreAccount { idle: Span::from_ps(900_000), compute: Span::from_ps(100_000), ..Default::default() };
+        let verdicts =
+            diagnose(&ctx(), &totals, Span::from_ps(1_000_000), &PressureReport::default(), &BlameTable::default());
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].name, "underutilized");
+    }
+}

@@ -57,6 +57,9 @@ pub enum Category {
     Exec = 6,
     /// Request serving: arrivals, dispatch, sheds, completions (`kus-load`).
     Load = 7,
+    /// Per-core cycle accounting: compute/stall/switch/poll spans emitted
+    /// only when profiling is enabled (`kus-cpu`, `kus-core`).
+    Cpu = 8,
 }
 
 impl Category {
@@ -71,6 +74,7 @@ impl Category {
             5 => Fiber,
             6 => Exec,
             7 => Load,
+            8 => Cpu,
             _ => return None,
         })
     }
@@ -86,6 +90,7 @@ impl Category {
             Category::Fiber => "fiber",
             Category::Exec => "exec",
             Category::Load => "load",
+            Category::Cpu => "cpu",
         }
     }
 }
@@ -239,6 +244,11 @@ struct TraceState {
 struct TracerInner {
     clock: Rc<Cell<Time>>,
     state: RefCell<TraceState>,
+    /// Cycle-accounting event class ([`Category::Cpu`] spans, occupancy
+    /// counters). A *runtime* gate, unlike `verbose`: profiling changes the
+    /// event stream (and so the hash), so it is opt-in per run and off for
+    /// every golden-locked scenario.
+    profile: Cell<bool>,
     #[cfg(feature = "trace")]
     verbose: Cell<bool>,
 }
@@ -276,6 +286,7 @@ impl Tracer {
             inner: Some(Rc::new(TracerInner {
                 clock,
                 state: RefCell::new(TraceState { hash: FNV_OFFSET, count: 0, events: Vec::new() }),
+                profile: Cell::new(false),
                 #[cfg(feature = "trace")]
                 verbose: Cell::new(false),
             })),
@@ -298,6 +309,23 @@ impl Tracer {
         }
         #[cfg(not(feature = "trace"))]
         let _ = on;
+    }
+
+    /// Enables the cycle-accounting event class: per-core compute / stall /
+    /// context-switch / poll spans and resource-occupancy counters, the raw
+    /// material of `kus-profile`. A runtime flag (no cargo feature): these
+    /// events extend the stream and its hash, so profiled runs hash
+    /// differently from plain traced runs — deterministically so.
+    pub fn set_profile(&self, on: bool) {
+        if let Some(i) = &self.inner {
+            i.profile.set(on);
+        }
+    }
+
+    /// Whether cycle-accounting events should be emitted. Always false for
+    /// a disabled tracer.
+    pub fn is_profile(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.profile.get())
     }
 
     /// Whether deep per-access events should be emitted.
@@ -706,6 +734,78 @@ mod tests {
         assert!((mean - 0.8).abs() < 1e-9, "mean {mean}");
         let frac = tl.fraction_at_or_above(1);
         assert!((frac - 0.5).abs() < 1e-9, "frac {frac}");
+    }
+
+    #[test]
+    fn occupancy_timeline_empty_samples() {
+        let end = Time::ZERO + Span::from_ns(50);
+        let tl = OccupancyTimeline::from_samples(std::iter::empty(), end);
+        // No samples: the whole window is credited to the implicit level 0.
+        assert_eq!(tl.samples, 0);
+        assert_eq!(tl.max_level, 0);
+        assert_eq!(tl.time_at_level, vec![Span::from_ns(50)]);
+        assert_eq!(tl.total(), Span::from_ns(50));
+        assert_eq!(tl.mean(), 0.0);
+
+        // Degenerate window: nothing to credit at all.
+        let tl = OccupancyTimeline::from_samples(std::iter::empty(), Time::ZERO);
+        assert!(tl.time_at_level.is_empty());
+        assert_eq!(tl.total(), Span::ZERO);
+        assert_eq!(tl.mean(), 0.0);
+        assert_eq!(tl.fraction_at_or_above(0), 0.0);
+    }
+
+    #[test]
+    fn occupancy_timeline_end_before_last_sample() {
+        // Samples past `end` are clamped: the level change at 80 ns lands on
+        // the 60 ns boundary with zero duration at its new level, and the
+        // timeline still totals exactly the window.
+        let end = Time::ZERO + Span::from_ns(60);
+        let samples = vec![
+            (Time::ZERO + Span::from_ns(20), 3),
+            (Time::ZERO + Span::from_ns(80), 7),
+        ];
+        let tl = OccupancyTimeline::from_samples(samples, end);
+        assert_eq!(tl.samples, 2);
+        assert_eq!(tl.max_level, 7, "clamping must not hide the observed level");
+        assert_eq!(tl.time_at_level[0], Span::from_ns(20));
+        assert_eq!(tl.time_at_level[3], Span::from_ns(40));
+        assert_eq!(tl.total(), Span::from_ns(60), "total must equal the window despite clamping");
+        assert_eq!(tl.fraction_at_or_above(7), 0.0);
+    }
+
+    #[test]
+    fn occupancy_timeline_duplicate_timestamps() {
+        // Two level changes at the same instant: the transient middle level
+        // gets zero duration and must not be credited (no zero-width buckets),
+        // but it still counts as a sample and can set max_level.
+        let end = Time::ZERO + Span::from_ns(40);
+        let samples = vec![
+            (Time::ZERO + Span::from_ns(10), 5),
+            (Time::ZERO + Span::from_ns(10), 2),
+            (Time::ZERO + Span::from_ns(30), 0),
+        ];
+        let tl = OccupancyTimeline::from_samples(samples, end);
+        assert_eq!(tl.samples, 3);
+        assert_eq!(tl.max_level, 5);
+        assert_eq!(tl.time_at_level[0], Span::from_ns(10 + 10));
+        assert_eq!(tl.time_at_level[2], Span::from_ns(20));
+        assert!(tl.time_at_level.get(5).is_none_or(|&s| s == Span::ZERO));
+        assert_eq!(tl.total(), Span::from_ns(40));
+    }
+
+    #[test]
+    fn profile_flag_is_runtime_gated() {
+        let sim = Sim::new();
+        let t = Tracer::new(sim.now_handle());
+        assert!(!t.is_profile());
+        t.set_profile(true);
+        assert!(t.is_profile(), "profile class is a runtime flag, not a cargo feature");
+        t.set_profile(false);
+        assert!(!t.is_profile());
+        let off = Tracer::off();
+        off.set_profile(true);
+        assert!(!off.is_profile(), "disabled tracer never profiles");
     }
 
     #[test]

@@ -207,6 +207,18 @@ impl QueuePair {
     pub fn poll_completion(&mut self) -> Option<Completion> {
         self.completions.pop_front()
     }
+
+    /// Descriptors enqueued per doorbell rung — the doorbell optimization's
+    /// effectiveness (the paper's flag protocol amortizes one MMIO write over
+    /// many submissions). `1.0` when every enqueue rings; `0.0` before any
+    /// doorbell has rung.
+    pub fn doorbell_batching(&self) -> f64 {
+        let rungs = self.doorbells_rung.get();
+        if rungs == 0 {
+            return 0.0;
+        }
+        self.enqueued.get() as f64 / rungs as f64
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +245,24 @@ mod tests {
 
         assert!(q.enqueue(desc(2)).unwrap(), "parked fetcher needs doorbell");
         assert_eq!(q.doorbells_rung.get(), 2);
+    }
+
+    #[test]
+    fn doorbell_batching_factor() {
+        let mut q = QueuePair::new(16);
+        assert_eq!(q.doorbell_batching(), 0.0, "no doorbells yet");
+        for i in 0..4 {
+            q.enqueue(desc(i)).unwrap();
+        }
+        // One ring amortized over four enqueues.
+        assert_eq!(q.doorbells_rung.get(), 1);
+        assert_eq!(q.doorbell_batching(), 4.0);
+        let mut always = QueuePair::new(16);
+        always.set_doorbell_always(true);
+        for i in 0..4 {
+            always.enqueue(desc(i)).unwrap();
+        }
+        assert_eq!(always.doorbell_batching(), 1.0);
     }
 
     #[test]

@@ -92,14 +92,14 @@ fn canonical_scenarios_are_deterministic() {
 
 /// A serving scenario — open-loop Poisson traffic into the Memcached
 /// service — for the load-determinism row of the matrix.
-fn run_load_scenario(mechanism: Mechanism, seed: u64) -> RunReport {
+fn run_load_scenario(mechanism: Mechanism, seed: u64, profiled: bool) -> RunReport {
     let cfg = PlatformConfig::paper_default()
         .without_replay_device()
         .mechanism(mechanism)
         .cores(2)
         .fibers_per_core(4)
-        .seed(seed)
-        .traced();
+        .seed(seed);
+    let cfg = if profiled { cfg.profiled() } else { cfg.traced() };
     let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 1_500_000.0 }).requests(150);
     let mut w = ServingWorkload::new(
         spec,
@@ -115,17 +115,90 @@ fn run_load_scenario(mechanism: Mechanism, seed: u64) -> RunReport {
 #[test]
 fn load_scenario_same_seed_identical_report() {
     for mechanism in [Mechanism::OnDemand, Mechanism::Prefetch, Mechanism::SoftwareQueue] {
-        let a = run_load_scenario(mechanism, 77);
-        let b = run_load_scenario(mechanism, 77);
+        let a = run_load_scenario(mechanism, 77, false);
+        let b = run_load_scenario(mechanism, 77, false);
         assert_eq!(fingerprint(&a), fingerprint(&b), "{mechanism:?}: nondeterministic serving");
         let ra = LoadReport::from_run(&a).expect("load events present");
         let rb = LoadReport::from_run(&b).expect("load events present");
         assert_eq!(ra.to_json(), rb.to_json(), "{mechanism:?}: LoadReport JSON diverged");
         assert_eq!(ra.offered, 150);
 
-        let c = run_load_scenario(mechanism, 78);
+        let c = run_load_scenario(mechanism, 78, false);
         assert_ne!(fingerprint(&a).0, fingerprint(&c).0, "{mechanism:?}: seed did not matter");
     }
+}
+
+/// A profiled twin of [`run_traced`]: same scenarios, profiler on.
+fn run_profiled(mechanism: Mechanism, workload: &str, seed: u64) -> RunReport {
+    let cfg = PlatformConfig::paper_default()
+        .without_replay_device()
+        .mechanism(mechanism)
+        .fibers_per_core(4)
+        .seed(seed)
+        .profiled();
+    match workload {
+        "microbench" => {
+            let mut w = Microbench::new(MicrobenchConfig {
+                work_count: 100,
+                mlp: 2,
+                iters_per_fiber: 10,
+                writes_per_iter: 0,
+            });
+            Platform::new(cfg).run(&mut w)
+        }
+        "bloom" => {
+            let mut w = BloomWorkload::new(BloomConfig {
+                n_keys: 500,
+                lookups_per_fiber: 10,
+                ..BloomConfig::default()
+            });
+            Platform::new(cfg).run(&mut w)
+        }
+        _ => unreachable!("unknown workload {workload}"),
+    }
+}
+
+/// Same seed + same configuration ⇒ byte-identical profile JSON (the
+/// artifact `figures --profile` diffs in CI), across the mechanism ×
+/// workload matrix. Profiling implies tracing, so the trace fingerprint is
+/// covered too.
+#[test]
+fn same_seed_same_profile_json_across_matrix() {
+    for mechanism in [Mechanism::OnDemand, Mechanism::Prefetch, Mechanism::SoftwareQueue] {
+        for workload in ["microbench", "bloom"] {
+            let a = run_profiled(mechanism, workload, 11);
+            let b = run_profiled(mechanism, workload, 11);
+            let pa = a.profile.as_ref().expect("profiled run carries a ProfileReport");
+            let pb = b.profile.as_ref().expect("profiled run carries a ProfileReport");
+            assert_eq!(
+                pa.to_json(),
+                pb.to_json(),
+                "{mechanism:?}/{workload}: nondeterministic profile"
+            );
+            assert!(
+                !pa.verdicts.is_empty(),
+                "{mechanism:?}/{workload}: profiler reached no verdict"
+            );
+        }
+    }
+}
+
+/// Distinct seeds reshuffle the Poisson arrival offsets, so the SWQ blame
+/// tables — which aggregate per-request critical-path timings — must
+/// differ. (The closed-loop microbench is *timing*-invariant under reseeding
+/// — only addresses move — so the serving scenario is the sensitive probe.)
+#[test]
+fn distinct_seeds_distinct_blame_tables() {
+    let a = run_load_scenario(Mechanism::SoftwareQueue, 1, true);
+    let b = run_load_scenario(Mechanism::SoftwareQueue, 2, true);
+    let pa = a.profile.expect("profiled");
+    let pb = b.profile.expect("profiled");
+    assert!(pa.blame.requests > 0, "SWQ run produced no blamed requests");
+    assert_ne!(
+        format!("{:?}", pa.blame.rows),
+        format!("{:?}", pb.blame.rows),
+        "seed did not move the blame table"
+    );
 }
 
 /// The running hash the tracer maintains incrementally equals a one-shot

@@ -1,0 +1,63 @@
+//! Acceptance: `figures --profile` reproduces the paper's §4 diagnoses.
+//!
+//! The three fixed scenarios (see `kus_bench::profile`) must each fire the
+//! verdict the paper attributes to that configuration, and the suite's JSON
+//! artifact must be byte-identical across `--jobs` values and repeated
+//! same-seed runs — the contract CI enforces by diffing two invocations.
+
+use kus_bench::profile::run_profile_suite;
+use kus_bench::SweepOptions;
+
+/// The paper's three diagnoses, each asserted against its scenario:
+/// on-demand blames blocking on the device (§4.1), prefetch beyond the LFB
+/// window blames LFB saturation (§4.2), and an SWQ with a starved fetcher
+/// blames ring/queueing (§4.3).
+#[test]
+fn paper_diagnoses_reproduce() {
+    let suite = run_profile_suite(7, &SweepOptions::jobs(2));
+    assert_eq!(suite.outcomes.len(), 3);
+    for o in &suite.outcomes {
+        let p = o.outcome.as_ref().unwrap_or_else(|e| panic!("{}: failed: {e}", o.name));
+        assert!(
+            o.matched(),
+            "{}: expected one of {:?}, got {:?}",
+            o.name,
+            o.expect,
+            p.verdicts.iter().map(|v| v.name).collect::<Vec<_>>()
+        );
+    }
+    assert!(suite.satisfied());
+
+    // Spot-check the evidence behind each diagnosis, not just the labels.
+    let ondemand = suite.outcomes[0].outcome.as_ref().unwrap();
+    assert!(
+        ondemand.totals.blocked_load > ondemand.totals.compute,
+        "on-demand must spend more time blocked than computing"
+    );
+
+    let prefetch = suite.outcomes[1].outcome.as_ref().unwrap();
+    assert!(
+        prefetch.pressure.lfb_occupancy.max().as_ps() >= prefetch.ctx.lfb_capacity,
+        "prefetch at MLP 16 must pin the {}-entry LFB window",
+        prefetch.ctx.lfb_capacity
+    );
+    assert!(prefetch.pressure.lfb_full_events > 0, "allocations must bounce off full LFBs");
+
+    let swq = suite.outcomes[2].outcome.as_ref().unwrap();
+    assert!(swq.blame.requests > 0, "SWQ blame table must cover requests");
+    assert!(
+        swq.blame.share("doorbell_wait") + swq.blame.share("ring_wait") >= 0.4,
+        "starved fetcher must make queueing the dominant blame"
+    );
+}
+
+/// The suite artifact is a pure function of the seed: byte-identical across
+/// worker counts and repeated runs, and a different seed moves it.
+#[test]
+fn suite_json_is_jobs_and_rerun_stable() {
+    let a = run_profile_suite(7, &SweepOptions::jobs(1)).to_json();
+    let b = run_profile_suite(7, &SweepOptions::jobs(4)).to_json();
+    assert_eq!(a, b, "profile JSON diverged across --jobs values");
+    let c = run_profile_suite(7, &SweepOptions::jobs(2)).to_json();
+    assert_eq!(a, c, "profile JSON diverged across reruns");
+}

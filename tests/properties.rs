@@ -391,6 +391,74 @@ fn tracing_never_perturbs_the_run() {
     );
 }
 
+/// Profiling classifies every picosecond of every core exactly once: over
+/// a family of random platform shapes, each core's account sums to the
+/// measured window bit-exactly and the totals sum to window × cores. The
+/// hooks are also inert — a profiled run's outcome equals its unprofiled
+/// twin's — and every profile carries at least one verdict.
+#[test]
+fn profile_accounting_sums_to_wall_and_is_inert() {
+    use kus_core::{Mechanism, Platform, PlatformConfig};
+    use kus_workloads::{Microbench, MicrobenchConfig};
+    for_cases("profile-invariant", 6, |case, rng| {
+        let mechanism = match rng.next_u64() % 3 {
+            0 => Mechanism::OnDemand,
+            1 => Mechanism::Prefetch,
+            _ => Mechanism::SoftwareQueue,
+        };
+        let cores = 1 + (rng.next_u64() % 2) as usize;
+        let fibers = [2, 4, 8][(rng.next_u64() % 3) as usize];
+        let mc = MicrobenchConfig {
+            work_count: 50 + (rng.next_u64() % 400) as u32,
+            mlp: 1 + (rng.next_u64() % 4) as usize,
+            iters_per_fiber: 6 + rng.next_u64() % 6,
+            writes_per_iter: 0,
+        };
+        let seed = rng.next_u64();
+        let cfg = || {
+            PlatformConfig::paper_default()
+                .without_replay_device()
+                .mechanism(mechanism)
+                .cores(cores)
+                .fibers_per_core(fibers)
+                .seed(seed)
+        };
+        let profiled = Platform::new(cfg().profiled()).run(&mut Microbench::new(mc));
+        let plain = Platform::new(cfg()).run(&mut Microbench::new(mc));
+
+        let p = profiled
+            .profile
+            .as_ref()
+            .unwrap_or_else(|| panic!("case {case}: profiled run carries no profile"));
+        let window = p.window();
+        assert_eq!(p.timelines.len(), p.ctx.cores, "case {case}: one timeline per core");
+        for tl in &p.timelines {
+            assert_eq!(
+                tl.account.classified(),
+                window,
+                "case {case}: core {} accounting does not sum to the window",
+                tl.track
+            );
+        }
+        assert_eq!(
+            p.totals.classified().as_ps(),
+            window.as_ps() * p.ctx.cores as u64,
+            "case {case}: totals"
+        );
+        assert!(!p.verdicts.is_empty(), "case {case}: profiler reached no verdict");
+
+        assert!(plain.profile.is_none(), "case {case}: unprofiled run grew a profile");
+        assert_eq!(profiled.elapsed, plain.elapsed, "case {case}: elapsed");
+        assert_eq!(profiled.work_insts, plain.work_insts, "case {case}: work");
+        assert_eq!(profiled.accesses, plain.accesses, "case {case}: accesses");
+        assert_eq!(profiled.writes, plain.writes, "case {case}: writes");
+        assert_eq!(profiled.switches, plain.switches, "case {case}: switches");
+        assert_eq!(profiled.doorbells, plain.doorbells, "case {case}: doorbells");
+        assert_eq!(profiled.lfb_max, plain.lfb_max, "case {case}: lfb max");
+        assert_eq!(profiled.device_path_max, plain.device_path_max, "case {case}: uncore max");
+    });
+}
+
 /// Recovery without faults is also invisible in outcome (and its periodic
 /// expiry scan never fires a timeout on a healthy run).
 #[test]
