@@ -48,14 +48,30 @@
 //!   columns) and the saturation knee per mechanism; --json/--csv emit the
 //!   full per-cell LoadReports, byte-identical across --jobs values.
 //!
+//! Overload mode (a degradation sweep: admission policy × fault plan ×
+//! offered rate, plus the budgeted/unbudgeted retry pair):
+//!   figures --overload --service echo --policies static,deadline,adaptive \
+//!           --rates 1m,3m --requests 400 --queue-cap 24 --slo-p99 46us \
+//!           --jobs 4 --json overload.json --csv overload.csv \
+//!           --bench BENCH_overload.json
+//!   --policies is any of static | deadline | adaptive. Prints the
+//!   degradation matrix (goodput/shed/p99 and a graceful/brownout/collapse
+//!   verdict per cell); --json/--csv emit the full per-cell reports and
+//!   recovery analyses, byte-identical across --jobs values. --bench
+//!   writes the wall-clock/events-per-second record (not deterministic —
+//!   excluded from CI byte-diffs).
+//!
 //! `--trace`/`--trace-hash` honour `--seed`; the hash lines are stable for
 //! a given seed, which is what CI diffs across two invocations.
 
 use kus_bench::load::{run_load_sweep, LoadSweepSpec};
+use kus_bench::overload::{run_overload_sweep, OverloadSweepSpec};
 use kus_bench::profile::run_profile_suite;
 use kus_bench::sweep::{run_figures, run_sweep, SweepOptions, SweepSpec};
 use kus_core::prelude::*;
-use kus_load::{service_factory, ArrivalProcess, EchoService, LoadSpec, SloSpec};
+use kus_load::{
+    service_factory, AdmissionControl, ArrivalProcess, EchoService, LoadSpec, SloSpec,
+};
 use kus_workloads::figures::{self, Quality};
 use kus_workloads::trace_scenarios::{run_trace_scenario, trace_scenarios};
 use kus_workloads::{
@@ -371,6 +387,97 @@ fn load_mode(args: &[String]) -> i32 {
     i32::from(results.errors().count() > 0)
 }
 
+fn parse_policy(s: &str) -> Option<AdmissionControl> {
+    match s {
+        "static" => Some(AdmissionControl::Static),
+        "deadline" => Some(AdmissionControl::DeadlineAware {
+            target: Span::from_us(2),
+            interval: Span::from_us(5),
+        }),
+        "adaptive" => Some(AdmissionControl::AdaptiveConcurrency { initial: 4, max: 16, window: 16 }),
+        _ => None,
+    }
+}
+
+/// `--overload` mode: the degradation sweep (policy × fault plan × rate).
+fn overload_mode(args: &[String]) -> i32 {
+    let q = quality(args);
+    // Few fibers so queue waits (the admission signal) actually build under
+    // overload; the SLO bound sits between deadline-aware's worst drain
+    // bucket and static's, which is what the degradation matrix contrasts.
+    let mut cfg = PlatformConfig::paper_default().cores(2).fibers_per_core(4);
+    if !q.replay_device {
+        cfg = cfg.without_replay_device();
+    }
+    if let Some(seed) = q.seed {
+        cfg = cfg.seed(seed);
+    }
+    if let Some(v) = flag_value(args, "--cores") {
+        cfg = cfg.cores(v.parse().unwrap_or_else(|_| fail(format!("--cores: bad value `{v}`"))));
+    }
+    if let Some(v) = flag_value(args, "--fibers") {
+        cfg = cfg
+            .fibers_per_core(v.parse().unwrap_or_else(|_| fail(format!("--fibers: bad `{v}`"))));
+    }
+
+    let requests: usize = flag_value(args, "--requests")
+        .map(|s| s.parse().unwrap_or_else(|_| fail(format!("--requests: bad value `{s}`"))))
+        .unwrap_or(400);
+    let queue_cap: usize = flag_value(args, "--queue-cap")
+        .map(|s| s.parse().unwrap_or_else(|_| fail(format!("--queue-cap: bad value `{s}`"))))
+        .unwrap_or(24);
+    let slo_p99 = flag_value(args, "--slo-p99")
+        .map(|s| parse_span(&s).unwrap_or_else(|| fail(format!("--slo-p99: bad `{s}`"))))
+        .unwrap_or(Span::from_us(46));
+    let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 1.0 })
+        .requests(requests)
+        .queue_capacity(queue_cap)
+        .slo(SloSpec::none().p99(slo_p99));
+
+    let service = flag_value(args, "--service").unwrap_or_else(|| "echo".into());
+    let factory = match service.as_str() {
+        "echo" => service_factory(|| EchoService::new(4096)),
+        "memcached" => MemcachedService::factory(MemcachedConfig::default()),
+        "bloom" => BloomService::factory(BloomConfig::default()),
+        other => fail(format!("--service: unknown `{other}` (echo | memcached | bloom)")),
+    };
+
+    let mut sweep = OverloadSweepSpec::new(service, factory, spec, cfg);
+    let policies = list(args, "--policies", parse_policy);
+    if !policies.is_empty() {
+        sweep = sweep.policies(&policies);
+    }
+    let rates = list(args, "--rates", parse_rate);
+    if !rates.is_empty() {
+        sweep = sweep.rates(&rates);
+    }
+
+    let opts = sweep_options(args);
+    eprintln!("# overload sweep: {} cells + retry pair, jobs={}", sweep.cell_count(), opts.jobs);
+    let results = run_overload_sweep(&sweep, &opts);
+    eprintln!("# overload sweep: done in {:.2}s", results.wall_seconds);
+    print!("{}", results.render_table());
+    if let Some(path) = flag_value(args, "--json") {
+        if let Err(e) = std::fs::write(&path, results.to_json()) {
+            fail(format!("--json: cannot write {path}: {e}"));
+        }
+        eprintln!("# wrote {path} ({} cells)", results.cells.len());
+    }
+    if let Some(path) = flag_value(args, "--csv") {
+        if let Err(e) = std::fs::write(&path, results.to_csv()) {
+            fail(format!("--csv: cannot write {path}: {e}"));
+        }
+        eprintln!("# wrote {path} ({} cells)", results.cells.len());
+    }
+    if let Some(path) = flag_value(args, "--bench") {
+        if let Err(e) = std::fs::write(&path, results.bench_json()) {
+            fail(format!("--bench: cannot write {path}: {e}"));
+        }
+        eprintln!("# wrote {path}");
+    }
+    i32::from(!results.errors().is_empty())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(code) = trace_mode(&args) {
@@ -384,6 +491,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "--load") {
         std::process::exit(load_mode(&args));
+    }
+    if args.iter().any(|a| a == "--overload") {
+        std::process::exit(overload_mode(&args));
     }
 
     let ablations = args.iter().any(|a| a == "--ablations");

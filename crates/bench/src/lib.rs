@@ -11,6 +11,10 @@
 //! - `figures --load` runs a serving [`load`] sweep — mechanism × offered
 //!   rate — and prints the throughput–latency curve with the saturation
 //!   knee per mechanism.
+//! - `figures --overload` runs an [`overload`] sweep — admission policy ×
+//!   fault plan × offered rate — and prints the degradation matrix with a
+//!   graceful/brownout/collapse verdict per cell, plus the budgeted-vs-
+//!   unbudgeted retry pair.
 //! - `figures --profile out.json` runs the [`profile`] acceptance suite —
 //!   the paper's §4 diagnoses as profiled scenarios — printing each text
 //!   dashboard and writing the byte-deterministic profile JSON.
@@ -23,11 +27,15 @@
 
 pub mod harness;
 pub mod load;
+pub mod overload;
 pub mod profile;
 pub mod sweep;
 
 pub use kus_workloads::figures;
 pub use load::{run_load_sweep, LoadCell, LoadSweepResults, LoadSweepSpec};
+pub use overload::{
+    run_overload_sweep, OverloadCell, OverloadResults, OverloadSweepSpec, RetryCell,
+};
 pub use profile::{profile_scenarios, run_profile_suite, ProfileOutcome, ProfileScenario, ProfileSuite};
 pub use sweep::{
     run_cells, run_figures, run_sweep, CellResult, SweepCell, SweepOptions, SweepResults,

@@ -1,0 +1,610 @@
+//! The overload sweep: admission policy × fault plan × offered rate.
+//!
+//! Where the [`load`](crate::load) sweep asks *how fast* each mechanism
+//! serves, this sweep asks *how it fails*: every cell is a serving run
+//! under a given [`AdmissionControl`] policy, a serving-layer
+//! [`FaultPlan`] (freeze windows, fiber crashes, dispatcher stalls), and
+//! an offered Poisson rate. Each cell's [`LoadReport`] is reconstructed
+//! from the deterministic trace and judged by
+//! [`LoadReport::recovery`] into a [`DegradationVerdict`] — graceful /
+//! brownout / collapse / unstable — so the artifact is a degradation
+//! matrix, byte-identical across `--jobs` values.
+//!
+//! The sweep also carries a two-cell **retry pair**: the same closed-loop
+//! clients against a latency-spiking device, once with a budgeted
+//! [`RetryPolicy`] and once unbudgeted. The pair's retry amplification
+//! factors demonstrate the retry-storm failure mode and the budget that
+//! contains it.
+
+use std::fmt::Write as _;
+
+use kus_core::prelude::PlatformConfig;
+use kus_load::{
+    load_experiment, AdmissionControl, ArrivalProcess, DegradationVerdict, LoadReport, LoadSpec,
+    RecoveryReport, RetryPolicy, ServiceFactory,
+};
+use kus_sim::fault::FaultPlan;
+use kus_sim::Span;
+
+use crate::sweep::{csv_field, json_escape, run_cells, SweepCell, SweepOptions};
+
+/// A declarative overload sweep: one service, one base serving spec, and
+/// the policy × fault-plan × rate matrix, plus the retry pair.
+#[derive(Clone)]
+pub struct OverloadSweepSpec {
+    service_name: String,
+    service: ServiceFactory,
+    spec: LoadSpec,
+    cfg: PlatformConfig,
+    policies: Vec<AdmissionControl>,
+    plans: Vec<(String, FaultPlan)>,
+    rates: Vec<u64>,
+    retry_pair: bool,
+}
+
+impl OverloadSweepSpec {
+    /// A sweep of `service` under `spec`'s queueing/SLO parameters on the
+    /// `cfg` platform. `spec.arrival` is replaced per cell by an open-loop
+    /// Poisson process at each swept rate, and `spec.admission`/`faults`
+    /// by the swept policy and plan. The default matrix covers all three
+    /// policies under a calm plan, a freeze-window plan, and a sustained
+    /// dispatcher-stall plan, at a rate below and a rate near the serving
+    /// capacity.
+    pub fn new(
+        service_name: impl Into<String>,
+        service: ServiceFactory,
+        spec: LoadSpec,
+        cfg: PlatformConfig,
+    ) -> OverloadSweepSpec {
+        OverloadSweepSpec {
+            service_name: service_name.into(),
+            service,
+            spec,
+            cfg,
+            policies: vec![
+                AdmissionControl::Static,
+                AdmissionControl::DeadlineAware {
+                    target: Span::from_us(2),
+                    interval: Span::from_us(5),
+                },
+                AdmissionControl::AdaptiveConcurrency { initial: 4, max: 16, window: 16 },
+            ],
+            plans: vec![
+                ("calm".into(), FaultPlan::none()),
+                (
+                    "freeze".into(),
+                    FaultPlan::none().with_freeze_windows(
+                        Span::from_us(150),
+                        Span::from_us(40),
+                        Span::from_us(5),
+                    ),
+                ),
+                (
+                    "stall".into(),
+                    FaultPlan::none().with_dispatcher_stalls(0.3, Span::from_us(8)),
+                ),
+            ],
+            rates: vec![1_000_000, 3_000_000],
+            retry_pair: true,
+        }
+    }
+
+    /// Replaces the admission-policy axis.
+    pub fn policies(mut self, v: &[AdmissionControl]) -> Self {
+        self.policies = v.to_vec();
+        self
+    }
+
+    /// Replaces the fault-plan axis (`(name, plan)` pairs; the name keys
+    /// the cell labels and artifacts).
+    pub fn plans(mut self, v: &[(String, FaultPlan)]) -> Self {
+        self.plans = v.to_vec();
+        self
+    }
+
+    /// Replaces the offered-rate axis (requests/second).
+    pub fn rates(mut self, v: &[u64]) -> Self {
+        self.rates = v.to_vec();
+        self
+    }
+
+    /// Enables or disables the closed-loop retry pair.
+    pub fn with_retry_pair(mut self, on: bool) -> Self {
+        self.retry_pair = on;
+        self
+    }
+
+    /// The number of matrix cells (excluding the retry pair).
+    pub fn cell_count(&self) -> usize {
+        self.policies.len() * self.plans.len() * self.rates.len()
+    }
+
+    /// Expands the matrix in order (policy outermost, then plan, then
+    /// rate), with the retry pair appended last.
+    fn expand(&self) -> (Vec<(AdmissionControl, String, u64)>, Vec<SweepCell>) {
+        let mut keys = Vec::with_capacity(self.cell_count());
+        let mut cells = Vec::new();
+        for &policy in &self.policies {
+            for (plan_name, plan) in &self.plans {
+                for &rate in &self.rates {
+                    let label = format!(
+                        "{} policy={} plan={plan_name} rate={rate}rps",
+                        self.service_name,
+                        policy.label(),
+                    );
+                    let spec = LoadSpec {
+                        arrival: ArrivalProcess::Poisson { rate_rps: rate as f64 },
+                        admission: policy,
+                        faults: *plan,
+                        ..self.spec
+                    };
+                    let exp = load_experiment(&label, spec, self.cfg.clone(), self.service.clone())
+                        .map_err(|e| e.to_string());
+                    keys.push((policy, plan_name.clone(), rate));
+                    cells.push(SweepCell { label, exp });
+                }
+            }
+        }
+        if self.retry_pair {
+            for (name, retry) in retry_pair_policies() {
+                let label = format!("{} retry={name}", self.service_name);
+                let spec = LoadSpec {
+                    arrival: ArrivalProcess::ClosedLoop { users: 4, think: Span::from_us(2) },
+                    requests: 40,
+                    retry,
+                    ..self.spec
+                };
+                // The device, not the dispatcher, misbehaves here: latency
+                // spikes blow the client timeout and invite retries.
+                let cfg = self
+                    .cfg
+                    .clone()
+                    .faults(FaultPlan::none().with_latency_spikes(0.3, Span::from_us(40)));
+                let exp = load_experiment(&label, spec, cfg, self.service.clone())
+                    .map_err(|e| e.to_string());
+                cells.push(SweepCell { label, exp });
+            }
+        }
+        (keys, cells)
+    }
+}
+
+/// The two client configurations of the retry pair: identical timeouts
+/// and backoff, with and without the 10% retry budget.
+fn retry_pair_policies() -> [(&'static str, RetryPolicy); 2] {
+    [
+        ("budgeted", RetryPolicy::budgeted(Span::from_us(8), 4, 0.1, Span::from_us(2))),
+        ("unbudgeted", RetryPolicy::unbudgeted(Span::from_us(8), 4, Span::from_us(2))),
+    ]
+}
+
+/// One executed matrix cell, in matrix order.
+#[derive(Debug, Clone)]
+pub struct OverloadCell {
+    /// Cell index in matrix order.
+    pub index: usize,
+    /// Cell label.
+    pub label: String,
+    /// The admission policy this cell ran.
+    pub policy: AdmissionControl,
+    /// The fault-plan name this cell ran.
+    pub plan: String,
+    /// The offered Poisson rate, requests/second.
+    pub rate_rps: u64,
+    /// The load analytics and recovery verdict, or the error message.
+    pub outcome: Result<(LoadReport, RecoveryReport), String>,
+}
+
+/// One executed retry-pair cell.
+#[derive(Debug, Clone)]
+pub struct RetryCell {
+    /// Cell label.
+    pub label: String,
+    /// Whether this client carried the retry budget.
+    pub budgeted: bool,
+    /// The load analytics, or the error message.
+    pub outcome: Result<LoadReport, String>,
+}
+
+/// All results of one overload sweep, in matrix order.
+#[derive(Debug, Clone)]
+pub struct OverloadResults {
+    /// Service name the sweep ran.
+    pub service: String,
+    /// The serving spec the cells shared (modulo the swept knobs).
+    pub spec: LoadSpec,
+    /// Per-cell results, policy-major.
+    pub cells: Vec<OverloadCell>,
+    /// The retry pair (empty when disabled), budgeted first.
+    pub retry_pair: Vec<RetryCell>,
+    /// Simulator events executed across all cells (throughput numerator).
+    pub sim_events: u64,
+    /// Wall-clock seconds (never part of the deterministic emitters).
+    pub wall_seconds: f64,
+}
+
+/// Expands and executes an overload sweep on the shared pool.
+pub fn run_overload_sweep(spec: &OverloadSweepSpec, opts: &SweepOptions) -> OverloadResults {
+    let (keys, cells) = spec.expand();
+    let results = run_cells(cells, opts);
+    let mut sim_events = 0u64;
+    let mut matrix = Vec::with_capacity(keys.len());
+    let mut retry_pair = Vec::new();
+    for c in results.cells {
+        let report = c.outcome.and_then(|r| {
+            sim_events += r.sim_events;
+            LoadReport::from_run(&r).ok_or_else(|| "run produced no serving trace events".into())
+        });
+        match keys.get(c.index) {
+            Some((policy, plan, rate)) => matrix.push(OverloadCell {
+                index: c.index,
+                label: c.label,
+                policy: *policy,
+                plan: plan.clone(),
+                rate_rps: *rate,
+                outcome: report.map(|r| {
+                    let rec = r.recovery(&spec.spec.slo);
+                    (r, rec)
+                }),
+            }),
+            None => retry_pair.push(RetryCell {
+                budgeted: c.label.ends_with("retry=budgeted"),
+                label: c.label,
+                outcome: report,
+            }),
+        }
+    }
+    OverloadResults {
+        service: spec.service_name.clone(),
+        spec: spec.spec,
+        cells: matrix,
+        retry_pair,
+        sim_events,
+        wall_seconds: results.wall_seconds,
+    }
+}
+
+impl OverloadResults {
+    /// Error rows, in matrix order (retry pair included).
+    pub fn errors(&self) -> Vec<(&str, &str)> {
+        let mut out: Vec<(&str, &str)> = self
+            .cells
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().err().map(|e| (c.label.as_str(), e.as_str())))
+            .collect();
+        out.extend(
+            self.retry_pair
+                .iter()
+                .filter_map(|c| c.outcome.as_ref().err().map(|e| (c.label.as_str(), e.as_str()))),
+        );
+        out
+    }
+
+    /// The verdict of the named policy under the named plan and rate.
+    pub fn verdict_of(
+        &self,
+        policy: &str,
+        plan: &str,
+        rate: u64,
+    ) -> Option<DegradationVerdict> {
+        self.cells
+            .iter()
+            .find(|c| c.policy.label() == policy && c.plan == plan && c.rate_rps == rate)
+            .and_then(|c| c.outcome.as_ref().ok().map(|(_, rec)| rec.verdict))
+    }
+
+    /// Machine-readable JSON: one object per cell (matrix order) with the
+    /// embedded [`LoadReport`] and [`RecoveryReport`], then the retry
+    /// pair. Byte-identical for a given cell set regardless of `--jobs`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\n  \"service\": \"{}\",\n  \"cells\": [\n", json_escape(&self.service));
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"index\":{},\"label\":\"{}\",\"policy\":\"{}\",\"plan\":\"{}\",\"rate_rps\":{}",
+                c.index,
+                json_escape(&c.label),
+                c.policy.label(),
+                json_escape(&c.plan),
+                c.rate_rps,
+            );
+            match &c.outcome {
+                Ok((r, rec)) => {
+                    let _ = write!(
+                        out,
+                        ",\"ok\":true,\"verdict\":\"{}\",\"recovery\":{},\"report\":{}",
+                        rec.verdict,
+                        rec.to_json(),
+                        r.to_json(),
+                    );
+                }
+                Err(e) => {
+                    let _ = write!(out, ",\"ok\":false,\"error\":\"{}\"", json_escape(e));
+                }
+            }
+            out.push('}');
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"retry_pair\": [\n");
+        for (i, c) in self.retry_pair.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"label\":\"{}\",\"budgeted\":{}",
+                json_escape(&c.label),
+                c.budgeted,
+            );
+            match &c.outcome {
+                Ok(r) => {
+                    let _ = write!(
+                        out,
+                        ",\"ok\":true,\"retry_amplification\":{:.6},\"retries\":{},\"timeouts\":{},\"report\":{}",
+                        r.retry_amplification,
+                        r.retries,
+                        r.client_timeouts,
+                        r.to_json(),
+                    );
+                }
+                Err(e) => {
+                    let _ = write!(out, ",\"ok\":false,\"error\":\"{}\"", json_escape(e));
+                }
+            }
+            out.push('}');
+            if i + 1 < self.retry_pair.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Machine-readable CSV (header + one row per matrix cell, then the
+    /// retry pair with `policy=retry`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,label,policy,plan,rate_rps,ok,verdict,completed,shed,shed_queue_full,shed_deadline,shed_admission,goodput_rps,p99_ns,retries,retry_amplification,crashes,dispatcher_stalls,error\n",
+        );
+        for c in &self.cells {
+            match &c.outcome {
+                Ok((r, rec)) => {
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{},{},true,{},{},{},{},{},{},{:.6},{},{},{:.6},{},{},",
+                        c.index,
+                        csv_field(&c.label),
+                        c.policy.label(),
+                        csv_field(&c.plan),
+                        c.rate_rps,
+                        rec.verdict,
+                        r.completed,
+                        r.shed,
+                        r.shed_queue_full,
+                        r.shed_deadline,
+                        r.shed_admission,
+                        r.goodput_rps,
+                        r.latency.p99.as_ns(),
+                        r.retries,
+                        r.retry_amplification,
+                        r.crashes,
+                        r.dispatcher_stalls,
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{},{},false,,,,,,,,,,,,,{}",
+                        c.index,
+                        csv_field(&c.label),
+                        c.policy.label(),
+                        csv_field(&c.plan),
+                        c.rate_rps,
+                        csv_field(e),
+                    );
+                }
+            }
+        }
+        for c in &self.retry_pair {
+            match &c.outcome {
+                Ok(r) => {
+                    let _ = writeln!(
+                        out,
+                        ",{},retry,{},,true,,{},{},{},{},{},{:.6},{},{},{:.6},{},{},",
+                        csv_field(&c.label),
+                        if c.budgeted { "budgeted" } else { "unbudgeted" },
+                        r.completed,
+                        r.shed,
+                        r.shed_queue_full,
+                        r.shed_deadline,
+                        r.shed_admission,
+                        r.goodput_rps,
+                        r.latency.p99.as_ns(),
+                        r.retries,
+                        r.retry_amplification,
+                        r.crashes,
+                        r.dispatcher_stalls,
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        ",{},retry,{},,false,,,,,,,,,,,,,{}",
+                        csv_field(&c.label),
+                        if c.budgeted { "budgeted" } else { "unbudgeted" },
+                        csv_field(e),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// The degradation matrix as a text table, grouped by policy, with
+    /// the retry-pair summary at the end.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# overload sweep: service={} requests={} queue={} (verdict = recovery analysis against the spec SLO)",
+            self.service, self.spec.requests, self.spec.queue_capacity,
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:<8} {:>12} {:>12} {:>7} {:>10} {:>8} {:>7}  verdict",
+            "policy", "plan", "rate_rps", "goodput", "shed%", "p99", "crashes", "stalls"
+        );
+        let mut last: Option<&str> = None;
+        for c in &self.cells {
+            if last != Some(c.policy.label()) {
+                if last.is_some() {
+                    out.push('\n');
+                }
+                last = Some(c.policy.label());
+            }
+            match &c.outcome {
+                Ok((r, rec)) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<10} {:<8} {:>12} {:>12.0} {:>6.2}% {:>10} {:>8} {:>7}  {}",
+                        c.policy.label(),
+                        c.plan,
+                        c.rate_rps,
+                        r.goodput_rps,
+                        100.0 * r.shed_fraction(),
+                        r.latency.p99.to_string(),
+                        r.crashes,
+                        r.dispatcher_stalls,
+                        rec.verdict,
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<10} {:<8} {:>12} ERROR {e}",
+                        c.policy.label(),
+                        c.plan,
+                        c.rate_rps
+                    );
+                }
+            }
+        }
+        if !self.retry_pair.is_empty() {
+            out.push('\n');
+            for c in &self.retry_pair {
+                match &c.outcome {
+                    Ok(r) => {
+                        let _ = writeln!(
+                            out,
+                            "retry {:<10} amplification {:.3}x  retries {}  timeouts {}  p99 {}",
+                            if c.budgeted { "budgeted" } else { "unbudgeted" },
+                            r.retry_amplification,
+                            r.retries,
+                            r.client_timeouts,
+                            r.latency.p99,
+                        );
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "retry {} ERROR {e}", c.label);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `BENCH_overload.json` performance record: cell count, total
+    /// simulator events, wall-clock, and events/second. Unlike the other
+    /// emitters this is *not* byte-deterministic (it carries wall-clock);
+    /// CI excludes it from artifact diffs.
+    pub fn bench_json(&self) -> String {
+        let eps = if self.wall_seconds > 0.0 {
+            self.sim_events as f64 / self.wall_seconds
+        } else {
+            0.0
+        };
+        format!(
+            "{{\"suite\":\"overload\",\"cells\":{},\"sim_events\":{},\"wall_seconds\":{:.3},\"events_per_sec\":{:.0}}}\n",
+            self.cells.len() + self.retry_pair.len(),
+            self.sim_events,
+            self.wall_seconds,
+            eps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kus_load::{service_factory, EchoService, SloSpec};
+
+    fn tiny_sweep() -> OverloadSweepSpec {
+        let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 1.0 })
+            .requests(150)
+            .queue_capacity(32)
+            .slo(SloSpec::none().p99(Span::from_us(40)));
+        let cfg = PlatformConfig::paper_default()
+            .without_replay_device()
+            .fibers_per_core(4)
+            .dataset_bytes(1 << 20);
+        OverloadSweepSpec::new("echo", service_factory(|| EchoService::new(64)), spec, cfg)
+            .policies(&[
+                AdmissionControl::Static,
+                AdmissionControl::DeadlineAware {
+                    target: Span::from_us(2),
+                    interval: Span::from_us(5),
+                },
+            ])
+            .plans(&[
+                ("calm".into(), FaultPlan::none()),
+                (
+                    "freeze".into(),
+                    FaultPlan::none().with_freeze_windows(
+                        Span::from_us(60),
+                        Span::from_us(25),
+                        Span::from_us(20),
+                    ),
+                ),
+            ])
+            .rates(&[2_000_000])
+    }
+
+    #[test]
+    fn sweep_is_policy_major_and_deterministic_across_jobs() {
+        let spec = tiny_sweep();
+        assert_eq!(spec.cell_count(), 4);
+        let serial = run_overload_sweep(&spec, &SweepOptions::jobs(1));
+        let pooled = run_overload_sweep(&spec, &SweepOptions::jobs(4));
+        assert_eq!(serial.to_json(), pooled.to_json());
+        assert_eq!(serial.to_csv(), pooled.to_csv());
+        assert_eq!(serial.render_table(), pooled.render_table());
+        assert_eq!(serial.cells[0].policy.label(), "static");
+        assert_eq!(serial.cells[0].plan, "calm");
+        assert_eq!(serial.cells[3].policy.label(), "deadline");
+        assert_eq!(serial.cells[3].plan, "freeze");
+        assert_eq!(serial.retry_pair.len(), 2);
+        assert!(serial.retry_pair[0].budgeted && !serial.retry_pair[1].budgeted);
+        assert!(serial.errors().is_empty(), "{:?}", serial.errors());
+        assert!(serial.sim_events > 0, "throughput record needs event counts");
+    }
+
+    #[test]
+    fn budget_bounds_amplification_where_unbudgeted_amplifies() {
+        let results = run_overload_sweep(&tiny_sweep(), &SweepOptions::jobs(2));
+        let budgeted = results.retry_pair[0].outcome.as_ref().expect("ran");
+        let unbudgeted = results.retry_pair[1].outcome.as_ref().expect("ran");
+        assert!(
+            budgeted.retry_amplification < 1.2,
+            "budgeted amplification {}",
+            budgeted.retry_amplification
+        );
+        assert!(
+            unbudgeted.retry_amplification > budgeted.retry_amplification,
+            "unbudgeted {} must amplify beyond budgeted {}",
+            unbudgeted.retry_amplification,
+            budgeted.retry_amplification
+        );
+    }
+}

@@ -333,6 +333,11 @@ impl Executor {
         self.inner.borrow().policy.stall_handoffs()
     }
 
+    /// Fiber crash-and-respawns recorded by the scheduling policy.
+    pub fn fiber_crashes(&self) -> u64 {
+        self.inner.borrow().policy.crashes()
+    }
+
     /// Dataset accesses issued so far.
     pub fn accesses(&self) -> u64 {
         self.inner.borrow().accesses.get()
@@ -925,6 +930,24 @@ impl MemCtx {
             None,
         );
         self.exec.borrow_mut().fibers[self.fiber].last_serial = Some(dep);
+    }
+
+    /// Fault hook: this fiber crashes and respawns. The scheduling policy
+    /// records the crash, a [`Category::Fiber`] `fiber.crash` event marks
+    /// the instant, and the returned future resolves once the respawn
+    /// window `cost` has elapsed — the fiber sits off the run ring (as a
+    /// timer-waiter) for the duration, exactly like a worker process
+    /// being restarted. The caller re-queues whatever request the fiber
+    /// held *before* awaiting.
+    pub fn crash_respawn(&self, cost: Span) -> kus_fiber::OneShotFuture<u64> {
+        let deadline = {
+            let mut x = self.exec.borrow_mut();
+            x.policy.on_crash(self.fiber);
+            let (track, fiber) = (x.track, self.fiber as u64);
+            x.tracer.instant(Category::Fiber, "fiber.crash", track, fiber, cost.as_ps());
+            x.clock.get() + cost
+        };
+        self.sleep_until(deadline)
     }
 
     /// Issues a load without consuming its value (the out-of-order window

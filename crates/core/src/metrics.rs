@@ -83,6 +83,10 @@ pub struct FaultReport {
     pub degradations: u64,
     /// Watchdog restorations of the optimized doorbell mode.
     pub restorations: u64,
+    /// Serving fibers crashed and respawned (scheduler tally, summed over
+    /// cores). The serving layer's own injector counts the same events;
+    /// this is the platform-side cross-check.
+    pub fiber_crashes: u64,
 }
 
 /// Per-request latency decomposition for the software-queue path, derived
@@ -217,6 +221,9 @@ pub struct RunReport {
     pub clock: Clock,
     /// Measured span from workload start to last fiber completion.
     pub elapsed: Span,
+    /// Discrete events the simulator executed during the measured phase —
+    /// the denominator for events/second throughput tracking.
+    pub sim_events: u64,
     /// Work-loop instructions retired, summed over cores.
     pub work_insts: u64,
     /// Dataset accesses performed, summed over cores.
@@ -271,6 +278,7 @@ impl RunReport {
             fibers_per_core: cfg.fibers_per_core,
             clock: cfg.core.clock,
             elapsed: Span::ZERO,
+            sim_events: 0,
             work_insts: 0,
             accesses: 0,
             writes: 0,
@@ -344,6 +352,7 @@ mod tests {
             fibers_per_core: 1,
             clock: Clock::from_ghz(1.0),
             elapsed: Span::from_ns(elapsed_ns),
+            sim_events: 0,
             work_insts: work,
             accesses: 0,
             writes: 0,

@@ -440,6 +440,7 @@ impl Platform {
                 fr.tlp_replays = s.tlp_replays.get();
             }
             fr.completion_overflows = qps.iter().map(|q| q.borrow().completion_overflows.get()).sum();
+            fr.fiber_crashes = execs.iter().map(|e| e.fiber_crashes()).sum();
             for e in &execs {
                 if let Some(r) = e.swq_recovery_stats() {
                     fr.timeouts += r.timeouts;
@@ -486,6 +487,7 @@ impl Platform {
             fibers_per_core: cfg.fibers_per_core,
             clock: cfg.core.clock,
             elapsed,
+            sim_events: sim.executed(),
             work_insts,
             accesses,
             writes,

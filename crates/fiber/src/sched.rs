@@ -45,6 +45,17 @@ pub trait SchedPolicy: std::fmt::Debug {
     fn stall_handoffs(&self) -> u64 {
         0
     }
+    /// Records a fiber crash-and-respawn (fault injection): the fiber
+    /// leaves the run ring for its respawn window — the executor parks it
+    /// as a timer-waiter — and rejoins when its deadline wakes it. The
+    /// default just counts nothing; policies override to keep a tally.
+    fn on_crash(&mut self, id: FiberId) {
+        let _ = id;
+    }
+    /// Fiber crashes recorded via [`on_crash`](SchedPolicy::on_crash).
+    fn crashes(&self) -> u64 {
+        0
+    }
 }
 
 /// Strict round-robin over registration order — the next fiber in the ring
@@ -59,6 +70,7 @@ pub struct RoundRobin {
     sleeping: Vec<bool>, // indexed by FiberId: timer-waiters skipped by rotation
     live: usize,
     stall_handoffs: u64,
+    crashes: u64,
 }
 
 impl RoundRobin {
@@ -156,6 +168,14 @@ impl SchedPolicy for RoundRobin {
     fn stall_handoffs(&self) -> u64 {
         self.stall_handoffs
     }
+
+    fn on_crash(&mut self, _id: FiberId) {
+        self.crashes += 1;
+    }
+
+    fn crashes(&self) -> u64 {
+        self.crashes
+    }
 }
 
 /// FIFO ready queue: fibers run in the order they became ready.
@@ -163,6 +183,7 @@ impl SchedPolicy for RoundRobin {
 pub struct Fifo {
     queue: VecDeque<FiberId>,
     live: usize,
+    crashes: u64,
 }
 
 impl Fifo {
@@ -202,6 +223,14 @@ impl SchedPolicy for Fifo {
 
     fn live(&self) -> usize {
         self.live
+    }
+
+    fn on_crash(&mut self, _id: FiberId) {
+        self.crashes += 1;
+    }
+
+    fn crashes(&self) -> u64 {
+        self.crashes
     }
 }
 
@@ -290,6 +319,24 @@ mod tests {
         f.make_ready(0);
         assert_eq!(f.pick_next(None), Some(1));
         assert_eq!(f.pick_next(None), Some(0));
+    }
+
+    #[test]
+    fn crash_tally() {
+        let mut rr = RoundRobin::new();
+        rr.register(0);
+        rr.register(1);
+        assert_eq!(rr.crashes(), 0);
+        rr.on_crash(0);
+        rr.on_crash(1);
+        assert_eq!(rr.crashes(), 2);
+        // Crashing does not change membership: the executor parks the fiber
+        // as a timer-waiter for its respawn window separately.
+        assert_eq!(rr.live(), 2);
+        let mut f = Fifo::new();
+        f.register(0);
+        f.on_crash(0);
+        assert_eq!(f.crashes(), 1);
     }
 
     #[test]

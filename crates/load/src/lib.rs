@@ -21,16 +21,31 @@
 //!   and an [`SloSpec`] verdict, all reconstructed from the deterministic
 //!   event trace so the analytics are byte-reproducible across runs and
 //!   `--jobs` values.
+//! - [`admission`] — pluggable [`AdmissionPolicy`]: the static bounded
+//!   queue, a CoDel-style deadline-aware shedder, and an AIMD adaptive
+//!   concurrency limiter, selected per run via [`AdmissionControl`].
+//! - [`retry`] — client-side [`RetryPolicy`] for closed-loop users:
+//!   timeouts, budgeted/exponential-backoff retries, optional hedging.
+//! - Recovery analytics: [`TimelineBucket`] timelines, per-fault-window
+//!   time-to-recover, and the [`DegradationVerdict`]
+//!   (graceful / brownout / collapse / unstable).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod arrival;
 pub mod report;
+pub mod retry;
 pub mod service;
 pub mod serving;
 
+pub use admission::{AdmissionControl, AdmissionDecision, AdmissionPolicy, ShedCause};
 pub use arrival::ArrivalProcess;
-pub use report::{LoadReport, Percentiles, SloSpec, SloVerdict};
+pub use report::{
+    DegradationVerdict, DeviceDistress, LoadReport, Percentiles, RecoveryReport, SloSpec,
+    SloVerdict, TimelineBucket, WindowRecovery, BROWNOUT_DEPTH, TIMELINE_BUCKETS,
+};
+pub use retry::{HedgeWindow, RetryPolicy, HEDGE_HISTORY};
 pub use service::{service_factory, EchoService, ServeFuture, Service, ServiceFactory};
 pub use serving::{load_experiment, LoadSpec, ServingWorkload};

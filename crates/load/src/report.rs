@@ -7,6 +7,12 @@
 //! the full sojourn decomposition (queue wait + service time) can be
 //! rebuilt after the fact. Because the trace is byte-reproducible, so is
 //! every number here — including across sweep `--jobs` values.
+//!
+//! Overload runs add more event classes (per-cause sheds, client
+//! retries/timeouts/hedges, fiber crashes, dispatcher stalls, freeze-window
+//! markers), from which the report derives a windowed **recovery
+//! timeline** and a [`DegradationVerdict`] — did the system degrade
+//! gracefully, brown out, collapse, or flap?
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -14,6 +20,13 @@ use std::fmt;
 use kus_core::prelude::RunReport;
 use kus_sim::stats::{rate_per_sec, HdrHistogram};
 use kus_sim::{Category, Span, Time, TraceEvent};
+
+/// Buckets in the recovery timeline (the run window divided evenly).
+pub const TIMELINE_BUCKETS: u64 = 32;
+
+/// Brownout threshold: a fault window whose worst bucket p99 exceeds this
+/// multiple of the SLO bound is a brownout even if the system recovers.
+pub const BROWNOUT_DEPTH: f64 = 4.0;
 
 /// A percentile summary of one latency distribution, backed by the
 /// mergeable HDR histogram (≤ ~1.6% relative error per quantile).
@@ -101,13 +114,102 @@ pub struct LoadReport {
     pub tail_blamed_queue: u64,
     /// Among the slowest 1% by sojourn, those blamed on service time.
     pub tail_blamed_service: u64,
+    /// Sheds because the admission queue was full (`load.shed`).
+    pub shed_queue_full: u64,
+    /// Sheds at dispatch time for blown deadlines (`load.shed.deadline`).
+    pub shed_deadline: u64,
+    /// Sheds by admission-policy backpressure (`load.shed.admission`).
+    pub shed_admission: u64,
+    /// Client retries issued (`load.retry`).
+    pub retries: u64,
+    /// Client-side attempt timeouts (`load.timeout`).
+    pub client_timeouts: u64,
+    /// Hedged requests issued (`load.hedge`).
+    pub hedges: u64,
+    /// Serving-fiber crashes observed (`load.crash`).
+    pub crashes: u64,
+    /// Dispatcher stalls observed (`load.stall`).
+    pub dispatcher_stalls: u64,
+    /// Load amplification from the client: `(completed + retries + hedges)
+    /// / completed`. `1.0` means every completion cost exactly one serve.
+    pub retry_amplification: f64,
+    /// Goodput/p99/shed timeline: the run window split into
+    /// [`TIMELINE_BUCKETS`] equal buckets.
+    pub timeline: Vec<TimelineBucket>,
+    /// Injected fault windows as `(start_ps, end_ps)` pairs, from the
+    /// `load.window.*` markers (a window still open at run end closes at
+    /// the window's end).
+    pub fault_windows: Vec<(u64, u64)>,
+    /// Device-level distress counters, populated by
+    /// [`from_run`](LoadReport::from_run) when the run carries a
+    /// [`FaultReport`](kus_core::FaultReport) — serving-level reports
+    /// expose device pain instead of hiding it.
+    pub device: Option<DeviceDistress>,
+}
+
+/// One bucket of the recovery timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineBucket {
+    /// Bucket start, absolute picoseconds.
+    pub start_ps: u64,
+    /// Requests completed in this bucket (by completion time).
+    pub completed: u64,
+    /// Requests shed in this bucket (by shed time).
+    pub shed: u64,
+    /// Exact p99 sojourn of the bucket's completions (zero when empty).
+    pub p99: Span,
+    /// Completion rate over the bucket, requests/second.
+    pub goodput_rps: f64,
+}
+
+impl TimelineBucket {
+    /// Whether the bucket served traffic within `bound` — the recovery
+    /// criterion. Shedding alone is not unhealthy (deadline-aware
+    /// policies shed *in order to* keep latency bounded); serving nothing
+    /// or serving beyond the bound is.
+    pub fn healthy(&self, bound: Span) -> bool {
+        self.completed > 0 && self.p99 <= bound
+    }
+
+    /// Whether any traffic hit this bucket at all.
+    pub fn active(&self) -> bool {
+        self.completed + self.shed > 0
+    }
+}
+
+/// Device-level distress counters surfaced into the serving report
+/// (satellite of the PR 1 device-hardening work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceDistress {
+    /// Completion-ring overflows at the device.
+    pub completion_overflows: u64,
+    /// SWQ request deadline expirations.
+    pub timeouts: u64,
+    /// SWQ recovery retries.
+    pub retries: u64,
+    /// Requests failed over to the host-side copy.
+    pub failovers: u64,
+    /// Duplicate/late completions absorbed by dedup.
+    pub stale_completions: u64,
+    /// Serving fibers crashed and respawned (scheduler tally).
+    pub fiber_crashes: u64,
 }
 
 impl LoadReport {
-    /// Rebuilds the load analytics from a traced run. Returns `None` when
-    /// the run was untraced or its trace carries no serving events.
+    /// Rebuilds the load analytics from a traced run, folding in the
+    /// run's device-level fault counters when present. Returns `None`
+    /// when the run was untraced or its trace carries no serving events.
     pub fn from_run(run: &RunReport) -> Option<LoadReport> {
-        Self::from_events(&run.trace.as_ref()?.events)
+        let mut report = Self::from_events(&run.trace.as_ref()?.events)?;
+        report.device = run.faults.map(|f| DeviceDistress {
+            completion_overflows: f.completion_overflows,
+            timeouts: f.timeouts,
+            retries: f.retries,
+            failovers: f.failed,
+            stale_completions: f.stale_completions,
+            fiber_crashes: f.fiber_crashes,
+        });
+        Some(report)
     }
 
     /// Rebuilds the load analytics from a raw event stream (exposed for
@@ -118,7 +220,12 @@ impl LoadReport {
         // — exercising the mergeability the sweep pool relies on.
         let mut dispatches: BTreeMap<u64, (Time, Time, u32)> = BTreeMap::new();
         let mut completions: BTreeMap<u64, (Time, Time, u32)> = BTreeMap::new();
-        let mut shed = 0u64;
+        let mut shed_times: Vec<Time> = Vec::new();
+        let (mut shed_queue_full, mut shed_deadline, mut shed_admission) = (0u64, 0u64, 0u64);
+        let (mut retries, mut client_timeouts, mut hedges) = (0u64, 0u64, 0u64);
+        let (mut crashes, mut dispatcher_stalls) = (0u64, 0u64);
+        // Freeze windows keyed by index: start/end marker times in ps.
+        let mut windows: BTreeMap<u64, (Option<u64>, Option<u64>)> = BTreeMap::new();
         for ev in events.iter().filter(|e| e.cat == Category::Load) {
             let arrival = Time::from_ps(ev.a1);
             match ev.name {
@@ -128,10 +235,29 @@ impl LoadReport {
                 "load.complete" => {
                     completions.insert(ev.a0, (arrival, ev.at, ev.track));
                 }
-                "load.shed" => shed += 1,
+                "load.shed" => {
+                    shed_queue_full += 1;
+                    shed_times.push(ev.at);
+                }
+                "load.shed.deadline" => {
+                    shed_deadline += 1;
+                    shed_times.push(ev.at);
+                }
+                "load.shed.admission" => {
+                    shed_admission += 1;
+                    shed_times.push(ev.at);
+                }
+                "load.retry" => retries += 1,
+                "load.timeout" => client_timeouts += 1,
+                "load.hedge" => hedges += 1,
+                "load.crash" => crashes += 1,
+                "load.stall" => dispatcher_stalls += 1,
+                "load.window.start" => windows.entry(ev.a0).or_default().0 = Some(ev.a1),
+                "load.window.end" => windows.entry(ev.a0).or_default().1 = Some(ev.a1),
                 _ => {}
             }
         }
+        let shed = shed_queue_full + shed_deadline + shed_admission;
         if completions.is_empty() && dispatches.is_empty() && shed == 0 {
             return None;
         }
@@ -225,6 +351,63 @@ impl LoadReport {
         } else {
             Span::from_ps(0)
         };
+
+        // Recovery timeline: the observation window split into
+        // TIMELINE_BUCKETS equal buckets. Completions land by completion
+        // time (with the exact per-bucket p99, not a histogram
+        // approximation), sheds by shed time.
+        let window_ps = window.as_ps();
+        let timeline: Vec<TimelineBucket> = if window_ps == 0 {
+            Vec::new()
+        } else {
+            let origin = first_arrival.as_ps();
+            let width = window_ps.div_ceil(TIMELINE_BUCKETS).max(1);
+            let idx = |t: Time| ((t.as_ps().saturating_sub(origin) / width).min(TIMELINE_BUCKETS - 1)) as usize;
+            let mut lat_buckets: Vec<Vec<Span>> = vec![Vec::new(); TIMELINE_BUCKETS as usize];
+            for &(arrival, done, _) in completions.values() {
+                lat_buckets[idx(done)].push(done.saturating_since(arrival));
+            }
+            let mut shed_buckets = vec![0u64; TIMELINE_BUCKETS as usize];
+            for &t in &shed_times {
+                shed_buckets[idx(t)] += 1;
+            }
+            lat_buckets
+                .into_iter()
+                .zip(shed_buckets)
+                .enumerate()
+                .map(|(k, (mut lats, bucket_shed))| {
+                    lats.sort_unstable();
+                    let bucket_completed = lats.len() as u64;
+                    let p99 = if lats.is_empty() {
+                        Span::from_ps(0)
+                    } else {
+                        lats[(lats.len() * 99).div_ceil(100) - 1]
+                    };
+                    TimelineBucket {
+                        start_ps: origin + k as u64 * width,
+                        completed: bucket_completed,
+                        shed: bucket_shed,
+                        p99,
+                        goodput_rps: rate_per_sec(bucket_completed, Span::from_ps(width)),
+                    }
+                })
+                .collect()
+        };
+
+        // Fault windows from the trace markers; a window still open when
+        // the run ends closes at the end of the observation window.
+        let run_end = first_arrival.as_ps().saturating_add(window_ps);
+        let fault_windows: Vec<(u64, u64)> = windows
+            .values()
+            .filter_map(|&(start, end)| start.map(|s| (s, end.unwrap_or(run_end).max(s))))
+            .collect();
+
+        let retry_amplification = if completed > 0 {
+            (completed + retries + hedges) as f64 / completed as f64
+        } else {
+            0.0
+        };
+
         Some(LoadReport {
             offered,
             completed,
@@ -241,6 +424,18 @@ impl LoadReport {
             blamed_service,
             tail_blamed_queue,
             tail_blamed_service,
+            shed_queue_full,
+            shed_deadline,
+            shed_admission,
+            retries,
+            client_timeouts,
+            hedges,
+            crashes,
+            dispatcher_stalls,
+            retry_amplification,
+            timeline,
+            fault_windows,
+            device: None,
         })
     }
 
@@ -276,7 +471,7 @@ impl LoadReport {
         self.service.json_into(&mut out);
         let _ = write!(
             out,
-            ",\"queue_depth_max\":{},\"queue_depth_avg\":{:.6},\"blame\":{{\"queue\":{},\"service\":{},\"tail_queue\":{},\"tail_service\":{}}}}}",
+            ",\"queue_depth_max\":{},\"queue_depth_avg\":{:.6},\"blame\":{{\"queue\":{},\"service\":{},\"tail_queue\":{},\"tail_service\":{}}}",
             self.queue_depth_max,
             self.queue_depth_avg,
             self.blamed_queue,
@@ -284,6 +479,59 @@ impl LoadReport {
             self.tail_blamed_queue,
             self.tail_blamed_service,
         );
+        let _ = write!(
+            out,
+            ",\"shed_causes\":{{\"queue_full\":{},\"deadline\":{},\"admission\":{}}}",
+            self.shed_queue_full, self.shed_deadline, self.shed_admission,
+        );
+        let _ = write!(
+            out,
+            ",\"client\":{{\"retries\":{},\"timeouts\":{},\"hedges\":{},\"retry_amplification\":{:.6}}}",
+            self.retries, self.client_timeouts, self.hedges, self.retry_amplification,
+        );
+        let _ = write!(
+            out,
+            ",\"serving_faults\":{{\"crashes\":{},\"dispatcher_stalls\":{}}},\"timeline\":[",
+            self.crashes, self.dispatcher_stalls,
+        );
+        for (i, b) in self.timeline.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"start_ps\":{},\"completed\":{},\"shed\":{},\"p99_ps\":{},\"goodput_rps\":{:.6}}}",
+                b.start_ps,
+                b.completed,
+                b.shed,
+                b.p99.as_ps(),
+                b.goodput_rps,
+            );
+        }
+        out.push_str("],\"fault_windows\":[");
+        for (i, &(s, e)) in self.fault_windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{s},{e}]");
+        }
+        out.push_str("],\"device\":");
+        match &self.device {
+            None => out.push_str("null"),
+            Some(d) => {
+                let _ = write!(
+                    out,
+                    "{{\"completion_overflows\":{},\"timeouts\":{},\"retries\":{},\"failovers\":{},\"stale_completions\":{},\"fiber_crashes\":{}}}",
+                    d.completion_overflows,
+                    d.timeouts,
+                    d.retries,
+                    d.failovers,
+                    d.stale_completions,
+                    d.fiber_crashes,
+                );
+            }
+        }
+        out.push('}');
         out
     }
 
@@ -313,6 +561,36 @@ impl LoadReport {
             "blame (all): queue {}  service {}   blame (p99 tail): queue {}  service {}",
             self.blamed_queue, self.blamed_service, self.tail_blamed_queue, self.tail_blamed_service,
         );
+        if self.shed > 0 {
+            let _ = writeln!(
+                out,
+                "shed causes: queue-full {}  deadline {}  admission {}",
+                self.shed_queue_full, self.shed_deadline, self.shed_admission,
+            );
+        }
+        if self.retries + self.client_timeouts + self.hedges > 0 {
+            let _ = writeln!(
+                out,
+                "client: retries {}  timeouts {}  hedges {}  amplification {:.3}x",
+                self.retries, self.client_timeouts, self.hedges, self.retry_amplification,
+            );
+        }
+        if self.crashes + self.dispatcher_stalls > 0 || !self.fault_windows.is_empty() {
+            let _ = writeln!(
+                out,
+                "serving faults: crashes {}  dispatcher stalls {}  freeze windows {}",
+                self.crashes,
+                self.dispatcher_stalls,
+                self.fault_windows.len(),
+            );
+        }
+        if let Some(d) = &self.device {
+            let _ = writeln!(
+                out,
+                "device distress: overflows {}  timeouts {}  retries {}  failovers {}  stale {}  fiber crashes {}",
+                d.completion_overflows, d.timeouts, d.retries, d.failovers, d.stale_completions, d.fiber_crashes,
+            );
+        }
         let _ = writeln!(
             out,
             "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -335,6 +613,210 @@ impl LoadReport {
                 p.max.to_string(),
             );
         }
+        out
+    }
+
+    /// Judges how the run degraded and recovered, bucket by bucket.
+    ///
+    /// The health bound is the SLO's p99 when configured, otherwise the
+    /// run's own p99 (which trivially passes — set an SLO for a meaningful
+    /// verdict). Per injected fault window the report measures:
+    ///
+    /// * **depth** — the worst bucket p99 inside the window as a multiple
+    ///   of the bound (infinite if an active bucket completed nothing);
+    /// * **time to recover** — from the window's end to the start of the
+    ///   first subsequent healthy bucket (`None` if health never returns).
+    ///
+    /// Verdict rules, checked in order:
+    ///
+    /// 1. **Collapse** — some window never recovers, or the final active
+    ///    bucket is unhealthy (the run *ends* degraded).
+    /// 2. **Brownout** — recovery happened but some window's depth
+    ///    exceeds [`BROWNOUT_DEPTH`], or recovery took longer than the
+    ///    fault window itself lasted.
+    /// 3. **Unstable** — an active bucket is unhealthy *outside* every
+    ///    fault window and its recovery span: latency flaps without an
+    ///    injected cause.
+    /// 4. **Graceful** — everything else: faults hurt briefly, shedding
+    ///    and admission kept served latency near the bound throughout.
+    pub fn recovery(&self, slo: &SloSpec) -> RecoveryReport {
+        let bound = slo.p99.unwrap_or(self.latency.p99);
+        let bound_ps = bound.as_ps().max(1);
+        let width = match self.timeline.len() {
+            0 | 1 => self.window.as_ps().max(1),
+            _ => self.timeline[1].start_ps - self.timeline[0].start_ps,
+        };
+        let mut windows = Vec::with_capacity(self.fault_windows.len());
+        for (index, &(start_ps, end_ps)) in self.fault_windows.iter().enumerate() {
+            // Recovery must be *sustained*: a fault's damage (the backlog
+            // drain) can land buckets after the window closes, so scan the
+            // window's whole region — from its end to the next window (or
+            // run end) — and demand health after the last unhealthy
+            // bucket. No unhealthy bucket in the region means immediate
+            // recovery; an unhealthy bucket with no healthy one after it
+            // means the window never recovered.
+            let next_start = self.fault_windows.get(index + 1).map_or(u64::MAX, |&(s, _)| s);
+            let region: Vec<&TimelineBucket> = self
+                .timeline
+                .iter()
+                .filter(|b| b.start_ps + width > end_ps && b.start_ps < next_start)
+                .collect();
+            let last_bad = region.iter().rposition(|b| b.active() && !b.healthy(bound));
+            let time_to_recover = match last_bad {
+                None => Some(Span::from_ps(0)),
+                Some(i) => region[i + 1..]
+                    .iter()
+                    .find(|b| b.active() && b.healthy(bound))
+                    .map(|b| Span::from_ps(b.start_ps.saturating_sub(end_ps))),
+            };
+            // Depth covers the window *and* its damage region up to the
+            // recovery point — the brownout is however deep latency went
+            // before health returned.
+            let damage_end = last_bad.map_or(end_ps, |i| region[i].start_ps + width);
+            let mut depth = 0.0f64;
+            for b in &self.timeline {
+                let overlaps = b.start_ps < damage_end && b.start_ps + width > start_ps;
+                if overlaps && b.active() {
+                    let d = if b.completed == 0 {
+                        f64::INFINITY
+                    } else {
+                        b.p99.as_ps() as f64 / bound_ps as f64
+                    };
+                    depth = depth.max(d);
+                }
+            }
+            windows.push(WindowRecovery { index, start_ps, end_ps, time_to_recover, depth });
+        }
+
+        let final_unhealthy = self
+            .timeline
+            .iter()
+            .rev()
+            .find(|b| b.active())
+            .is_some_and(|b| !b.healthy(bound));
+        let unrecovered = windows.iter().any(|w| w.time_to_recover.is_none());
+        let too_deep = windows.iter().any(|w| w.depth > BROWNOUT_DEPTH);
+        let too_slow = windows.iter().any(|w| {
+            w.time_to_recover
+                .is_some_and(|t| t.as_ps() > w.end_ps.saturating_sub(w.start_ps))
+        });
+        // Unhealthy active buckets not explained by any fault window
+        // (each window covers through its recovery point).
+        let unexplained = self.timeline.iter().any(|b| {
+            let b_end = b.start_ps + width;
+            b.active()
+                && !b.healthy(bound)
+                && !windows.iter().any(|w| {
+                    let covered_end = w.end_ps
+                        + w.time_to_recover.map_or(u64::MAX - w.end_ps, |t| t.as_ps().saturating_add(width));
+                    b_end > w.start_ps && b.start_ps < covered_end
+                })
+        });
+        let verdict = if unrecovered || final_unhealthy {
+            DegradationVerdict::Collapse
+        } else if too_deep || too_slow {
+            DegradationVerdict::Brownout
+        } else if unexplained {
+            DegradationVerdict::Unstable
+        } else {
+            DegradationVerdict::Graceful
+        };
+        RecoveryReport { bound, windows, verdict }
+    }
+}
+
+/// Recovery measurement for one injected fault window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowRecovery {
+    /// Position in [`LoadReport::fault_windows`].
+    pub index: usize,
+    /// Window start, absolute picoseconds.
+    pub start_ps: u64,
+    /// Window end, absolute picoseconds.
+    pub end_ps: u64,
+    /// Window end → first subsequent healthy timeline bucket. `None`
+    /// when served latency never returns under the bound.
+    pub time_to_recover: Option<Span>,
+    /// Worst in-window bucket p99 as a multiple of the bound
+    /// (`f64::INFINITY` for an active bucket that completed nothing).
+    pub depth: f64,
+}
+
+/// How a run behaved under overload and injected faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationVerdict {
+    /// Latency stayed near the bound; faults were absorbed quickly.
+    Graceful,
+    /// Recovered, but degradation was deep or recovery slow.
+    Brownout,
+    /// Never recovered, or the run ended degraded.
+    Collapse,
+    /// Latency excursions with no injected cause — flapping.
+    Unstable,
+}
+
+impl DegradationVerdict {
+    /// Stable lowercase label for artifacts and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradationVerdict::Graceful => "graceful",
+            DegradationVerdict::Brownout => "brownout",
+            DegradationVerdict::Collapse => "collapse",
+            DegradationVerdict::Unstable => "unstable",
+        }
+    }
+}
+
+impl fmt::Display for DegradationVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The outcome of [`LoadReport::recovery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The p99 health bound the timeline was judged against.
+    pub bound: Span,
+    /// Per-fault-window measurements, in window order.
+    pub windows: Vec<WindowRecovery>,
+    /// The overall degradation verdict.
+    pub verdict: DegradationVerdict,
+}
+
+impl RecoveryReport {
+    /// Canonical JSON encoding (stable field order, integer picoseconds).
+    pub fn to_json(&self) -> String {
+        use fmt::Write;
+        let mut out = String::with_capacity(128);
+        let _ = write!(
+            out,
+            "{{\"verdict\":\"{}\",\"bound_ps\":{},\"windows\":[",
+            self.verdict,
+            self.bound.as_ps(),
+        );
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"start_ps\":{},\"end_ps\":{},\"time_to_recover_ps\":",
+                w.start_ps, w.end_ps,
+            );
+            match w.time_to_recover {
+                Some(t) => {
+                    let _ = write!(out, "{}", t.as_ps());
+                }
+                None => out.push_str("null"),
+            }
+            if w.depth.is_finite() {
+                let _ = write!(out, ",\"depth\":{:.6}}}", w.depth);
+            } else {
+                out.push_str(",\"depth\":null}");
+            }
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -503,6 +985,123 @@ mod tests {
             a1: 0,
         };
         assert!(LoadReport::from_events(&[foreign]).is_none(), "wrong category must not count");
+    }
+
+    #[test]
+    fn per_cause_sheds_client_counters_and_windows() {
+        let mut events = sample_events();
+        events.push(ev("load.shed.deadline", 70, 0, 3, 70));
+        events.push(ev("load.shed.admission", 80, 0, 4, 80));
+        events.push(ev("load.retry", 90, 2, 0, 1));
+        events.push(ev("load.timeout", 90, 2, 0, 1));
+        events.push(ev("load.hedge", 95, 2, 1, 1));
+        events.push(ev("load.crash", 100, 0, 5, 100));
+        events.push(ev("load.stall", 110, 0, 6, 110));
+        events.push(ev("load.window.start", 500, 0, 1, 500));
+        events.push(ev("load.window.end", 700, 0, 1, 700));
+        events.push(ev("load.window.start", 1900, 0, 2, 1900));
+        let r = LoadReport::from_events(&events).expect("events present");
+        assert_eq!(
+            (r.shed_queue_full, r.shed_deadline, r.shed_admission),
+            (1, 1, 1)
+        );
+        assert_eq!(r.shed, 3, "shed stays the sum over causes");
+        assert_eq!(r.offered, r.completed + r.shed);
+        assert_eq!((r.retries, r.client_timeouts, r.hedges), (1, 1, 1));
+        assert_eq!((r.crashes, r.dispatcher_stalls), (1, 1));
+        // 2 completions + 1 retry + 1 hedge = 4 serves for 2 answers.
+        assert!((r.retry_amplification - 2.0).abs() < 1e-12);
+        // Window 1 closed by its marker; window 2 closes at run end.
+        let run_end = r.window.as_ps();
+        assert_eq!(
+            r.fault_windows,
+            vec![
+                (Span::from_ns(500).as_ps(), Span::from_ns(700).as_ps()),
+                (Span::from_ns(1900).as_ps(), run_end)
+            ]
+        );
+        assert_eq!(r.timeline.len(), TIMELINE_BUCKETS as usize);
+        let completed: u64 = r.timeline.iter().map(|b| b.completed).sum();
+        let shed: u64 = r.timeline.iter().map(|b| b.shed).sum();
+        assert_eq!((completed, shed), (r.completed, r.shed));
+        let js = r.to_json();
+        assert!(js.contains("\"shed_causes\":{\"queue_full\":1,\"deadline\":1,\"admission\":1}"));
+        assert!(js.contains("\"client\":{\"retries\":1,\"timeouts\":1,\"hedges\":1,"));
+        assert!(js.contains("\"serving_faults\":{\"crashes\":1,\"dispatcher_stalls\":1}"));
+        assert!(js.contains("\"device\":null"));
+        assert!(js.ends_with('}'));
+    }
+
+    fn bucket(start_ps: u64, completed: u64, p99: Span) -> TimelineBucket {
+        TimelineBucket { start_ps, completed, shed: 0, p99, goodput_rps: 0.0 }
+    }
+
+    /// Exercises each verdict rule on hand-built timelines: eight
+    /// 1000-ps buckets judged against a 100 ns p99 bound.
+    #[test]
+    fn recovery_verdict_rules() {
+        let slo = SloSpec::none().p99(Span::from_ns(100));
+        let healthy = Span::from_ns(50);
+        let base = LoadReport::from_events(&sample_events()).unwrap();
+
+        // Graceful: one shallow excursion inside the fault window,
+        // healthy again in the very next bucket.
+        let mut r = base.clone();
+        r.timeline = (0..8).map(|k| bucket(k * 1000, 4, healthy)).collect();
+        r.timeline[1].p99 = Span::from_ns(150);
+        r.fault_windows = vec![(1000, 2000)];
+        let rec = r.recovery(&slo);
+        assert_eq!(rec.verdict, DegradationVerdict::Graceful);
+        assert_eq!(rec.windows[0].time_to_recover, Some(Span::from_ps(0)));
+        assert!((rec.windows[0].depth - 1.5).abs() < 1e-12);
+
+        // Brownout: recovered, but the excursion ran 5x past the bound.
+        let mut r = base.clone();
+        r.timeline = (0..8).map(|k| bucket(k * 1000, 4, healthy)).collect();
+        r.timeline[1].p99 = Span::from_ns(500);
+        r.fault_windows = vec![(1000, 2000)];
+        assert_eq!(r.recovery(&slo).verdict, DegradationVerdict::Brownout);
+
+        // Brownout: shallow but recovery (3 buckets) outlasts the window.
+        let mut r = base.clone();
+        r.timeline = (0..8).map(|k| bucket(k * 1000, 4, healthy)).collect();
+        for k in 1..5 {
+            r.timeline[k].p99 = Span::from_ns(150);
+        }
+        r.fault_windows = vec![(1000, 2000)];
+        let rec = r.recovery(&slo);
+        assert_eq!(rec.verdict, DegradationVerdict::Brownout);
+        assert_eq!(rec.windows[0].time_to_recover, Some(Span::from_ps(3000)));
+
+        // Collapse: latency never comes back under the bound.
+        let mut r = base.clone();
+        r.timeline = (0..8).map(|k| bucket(k * 1000, 4, healthy)).collect();
+        for k in 1..8 {
+            r.timeline[k].p99 = Span::from_ns(500);
+        }
+        r.fault_windows = vec![(1000, 2000)];
+        let rec = r.recovery(&slo);
+        assert_eq!(rec.verdict, DegradationVerdict::Collapse);
+        assert_eq!(rec.windows[0].time_to_recover, None);
+
+        // Collapse: a run that *ends* degraded collapses even with no
+        // fault window to blame.
+        let mut r = base.clone();
+        r.timeline = (0..8).map(|k| bucket(k * 1000, 4, healthy)).collect();
+        r.timeline[7].p99 = Span::from_ns(500);
+        r.fault_windows = vec![];
+        assert_eq!(r.recovery(&slo).verdict, DegradationVerdict::Collapse);
+
+        // Unstable: an excursion with no injected cause anywhere near it.
+        let mut r = base.clone();
+        r.timeline = (0..8).map(|k| bucket(k * 1000, 4, healthy)).collect();
+        r.timeline[4].p99 = Span::from_ns(150);
+        r.fault_windows = vec![];
+        assert_eq!(r.recovery(&slo).verdict, DegradationVerdict::Unstable);
+
+        // The JSON encoding is stable and carries the verdict label.
+        let json = r.recovery(&slo).to_json();
+        assert!(json.starts_with("{\"verdict\":\"unstable\",\"bound_ps\":"));
     }
 
     #[test]

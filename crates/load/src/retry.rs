@@ -1,0 +1,273 @@
+//! Client-side retry policy for closed-loop generators.
+//!
+//! A closed-loop user judges each attempt against a client `timeout`:
+//! attempts that come back slower are *timeouts* — the answer arrived too
+//! late to be useful — and the client may re-issue. Re-issuing under
+//! overload is exactly how retry storms amplify load, so the policy
+//! carries a **retry budget**: a global cap on the ratio of retries to
+//! first attempts (the Google SRE "retry budget" rule). Backoff between
+//! attempts is exponential with deterministic seeded jitter, so a retrying
+//! fleet both spreads out and stays bit-reproducible.
+//!
+//! Optional **hedging** models the capacity cost of tail-latency hedged
+//! requests: when an attempt runs past the client's observed latency
+//! quantile, one extra (discarded) request is issued. The model is
+//! conservative — the hedge burns service capacity and delays the user's
+//! next cycle but is never credited with a latency win — so hedging can
+//! only look *worse* here than in a real system, never better.
+//!
+//! Everything is counted in distinct trace events (`load.timeout`,
+//! `load.retry`, `load.hedge`), from which
+//! [`LoadReport`](crate::report::LoadReport) computes the retry
+//! amplification factor `(completed + retries + hedges) / completed`.
+
+use kus_sim::rng::SimRng;
+use kus_sim::Span;
+
+/// Client retry/hedging configuration for closed-loop users. The default
+/// ([`RetryPolicy::none`]) has no timeout: every attempt is accepted and
+/// the serving loop behaves exactly as before this policy existed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Client-side timeout: attempts slower than this count as failed and
+    /// may be retried. `None` disables retries entirely.
+    pub timeout: Option<Span>,
+    /// Maximum attempts per request, first try included.
+    pub max_attempts: u32,
+    /// Retry budget: global cap on retries as a fraction of first
+    /// attempts (e.g. `0.1` = at most 10% extra load from retries).
+    /// `None` means unbudgeted — retry whenever `max_attempts` allows.
+    pub budget: Option<f64>,
+    /// Base backoff before the first retry; doubles per attempt, jittered
+    /// uniformly in `[backoff/2, backoff)`.
+    pub backoff: Span,
+    /// Hedging quantile in `(0, 1)`: once the client has a latency
+    /// history, attempts slower than this quantile of it trigger one
+    /// hedged (discarded) request. `None` disables hedging.
+    pub hedge_quantile: Option<f64>,
+}
+
+/// Latency samples a client remembers for the hedging quantile.
+pub const HEDGE_HISTORY: usize = 16;
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No timeout, no retries, no hedging — the inert policy.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            timeout: None,
+            max_attempts: 1,
+            budget: None,
+            backoff: Span::ZERO,
+            hedge_quantile: None,
+        }
+    }
+
+    /// A budgeted retry policy: `timeout` per attempt, up to
+    /// `max_attempts` total, retries capped at `budget` × first attempts,
+    /// exponential backoff from `backoff`.
+    pub fn budgeted(timeout: Span, max_attempts: u32, budget: f64, backoff: Span) -> RetryPolicy {
+        RetryPolicy {
+            timeout: Some(timeout),
+            max_attempts,
+            budget: Some(budget),
+            backoff,
+            hedge_quantile: None,
+        }
+    }
+
+    /// An unbudgeted retry policy — the storm-prone configuration the
+    /// budget exists to prevent.
+    pub fn unbudgeted(timeout: Span, max_attempts: u32, backoff: Span) -> RetryPolicy {
+        RetryPolicy {
+            timeout: Some(timeout),
+            max_attempts,
+            budget: None,
+            backoff,
+            hedge_quantile: None,
+        }
+    }
+
+    /// Enables hedging at the given latency quantile.
+    pub fn hedge(mut self, quantile: f64) -> RetryPolicy {
+        self.hedge_quantile = Some(quantile);
+        self
+    }
+
+    /// True if this policy can ever retry.
+    pub fn is_active(&self) -> bool {
+        self.timeout.is_some() || self.hedge_quantile.is_some()
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("retry max_attempts must be at least 1".into());
+        }
+        if let Some(b) = self.budget {
+            if !(0.0..=10.0).contains(&b) {
+                return Err(format!("retry budget {b} outside [0, 10]"));
+            }
+        }
+        if self.timeout.is_some() && self.max_attempts > 1 && self.backoff.is_zero() {
+            return Err("retries enabled but backoff is zero".into());
+        }
+        if let Some(q) = self.hedge_quantile {
+            if !(0.0..1.0).contains(&q) || q == 0.0 {
+                return Err(format!("hedge quantile {q} outside (0, 1)"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a retry is allowed for attempt number `attempt` (1-based,
+    /// counting the try that just timed out) given the global counters.
+    pub fn may_retry(&self, attempt: u32, issued: u64, retries: u64) -> bool {
+        if attempt >= self.max_attempts {
+            return false;
+        }
+        match self.budget {
+            None => true,
+            Some(b) => (retries as f64) < b * issued as f64,
+        }
+    }
+
+    /// The jittered backoff before retry number `attempt` (1-based count
+    /// of failed attempts so far): `backoff << (attempt-1)`, jittered
+    /// uniformly into `[d/2, d)`. Deterministic given the caller's RNG
+    /// stream.
+    pub fn retry_backoff(&self, attempt: u32, rng: &mut SimRng) -> Span {
+        let d = self.backoff.as_ps().saturating_shl(attempt.saturating_sub(1));
+        if d < 2 {
+            return Span::from_ps(d);
+        }
+        let half = d / 2;
+        Span::from_ps(half + rng.below(d - half))
+    }
+}
+
+/// Saturating left shift helper for backoff doubling.
+trait SatShl {
+    fn saturating_shl(self, n: u32) -> Self;
+}
+
+impl SatShl for u64 {
+    fn saturating_shl(self, n: u32) -> u64 {
+        if n >= 64 || self.leading_zeros() < n {
+            u64::MAX
+        } else {
+            self << n
+        }
+    }
+}
+
+/// Per-user latency history ring for the hedging quantile.
+#[derive(Debug, Default)]
+pub struct HedgeWindow {
+    samples: Vec<Span>,
+    next: usize,
+}
+
+impl HedgeWindow {
+    /// Creates an empty window.
+    pub fn new() -> HedgeWindow {
+        HedgeWindow::default()
+    }
+
+    /// Records one attempt latency.
+    pub fn record(&mut self, latency: Span) {
+        if self.samples.len() < HEDGE_HISTORY {
+            self.samples.push(latency);
+        } else {
+            self.samples[self.next] = latency;
+            self.next = (self.next + 1) % HEDGE_HISTORY;
+        }
+    }
+
+    /// The hedging delay at quantile `q`, once the history is full:
+    /// the `⌈q·n⌉`-th smallest recorded latency.
+    pub fn delay(&self, q: f64) -> Option<Span> {
+        if self.samples.len() < HEDGE_HISTORY {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert_and_valid() {
+        let p = RetryPolicy::none();
+        assert!(!p.is_active());
+        assert!(p.validate().is_ok());
+        assert!(!p.may_retry(1, 100, 0), "max_attempts 1 never retries");
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let p = RetryPolicy { max_attempts: 0, ..RetryPolicy::none() };
+        assert!(p.validate().is_err());
+        let p = RetryPolicy::unbudgeted(Span::from_us(50), 3, Span::ZERO);
+        assert!(p.validate().is_err(), "retries without backoff");
+        let p = RetryPolicy::budgeted(Span::from_us(50), 3, 50.0, Span::from_us(5));
+        assert!(p.validate().is_err(), "absurd budget");
+        let p = RetryPolicy::none().hedge(1.5);
+        assert!(p.validate().is_err(), "quantile above 1");
+    }
+
+    #[test]
+    fn budget_caps_global_retry_ratio() {
+        let p = RetryPolicy::budgeted(Span::from_us(50), 4, 0.1, Span::from_us(5));
+        // Under budget: 5 retries against 100 issued is 5% < 10%.
+        assert!(p.may_retry(1, 100, 5));
+        // At budget: 10 retries against 100 issued hits the 10% cap.
+        assert!(!p.may_retry(1, 100, 10));
+        // Attempt cap binds regardless of budget.
+        assert!(!p.may_retry(4, 1000, 0));
+        // Unbudgeted only respects the attempt cap.
+        let u = RetryPolicy::unbudgeted(Span::from_us(50), 4, Span::from_us(5));
+        assert!(u.may_retry(3, 10, 1_000_000));
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_jittered() {
+        let p = RetryPolicy::budgeted(Span::from_us(50), 8, 1.0, Span::from_us(4));
+        let mut rng = SimRng::from_seed(5);
+        for attempt in 1..=4u32 {
+            let base = Span::from_us(4 << (attempt - 1) as u64);
+            for _ in 0..50 {
+                let d = p.retry_backoff(attempt, &mut rng);
+                assert!(d >= Span::from_ps(base.as_ps() / 2) && d < base, "{attempt}: {d:?}");
+            }
+        }
+        // Deterministic under the same stream.
+        let mut a = SimRng::from_seed(9);
+        let mut b = SimRng::from_seed(9);
+        assert_eq!(p.retry_backoff(2, &mut a), p.retry_backoff(2, &mut b));
+    }
+
+    #[test]
+    fn hedge_window_needs_history_then_tracks_quantile() {
+        let mut w = HedgeWindow::new();
+        assert_eq!(w.delay(0.9), None);
+        for i in 1..=HEDGE_HISTORY {
+            w.record(Span::from_us(i as u64));
+        }
+        // 16 samples 1..=16 µs: the 0.9 quantile is the ⌈14.4⌉ = 15th.
+        assert_eq!(w.delay(0.9), Some(Span::from_us(15)));
+        // The ring replaces oldest-first.
+        w.record(Span::from_us(100));
+        assert_eq!(w.delay(1.0 - 1e-9), Some(Span::from_us(100)));
+    }
+}

@@ -19,11 +19,30 @@
 //! rest re-arm. Closed-loop mode skips the queue entirely: each fiber is
 //! one user cycling think → request → response.
 //!
-//! Every request leaves three tracer events on [`Category::Load`]
-//! (`load.dispatch`, `load.complete`, with the true arrival time in `a1`,
-//! and `load.shed` for rejected arrivals), from which
+//! # Overload control
+//!
+//! Both admission and dispatch consult the spec's
+//! [`AdmissionControl`](crate::admission::AdmissionControl) policy
+//! (arrival shedding, in-flight gating, dispatch-time head drops), and
+//! closed-loop users run the spec's [`RetryPolicy`] (client timeouts,
+//! budgeted retries with jittered exponential backoff, optional hedging).
+//! The spec can also carry a serving-layer [`FaultPlan`]: fiber
+//! crash-and-respawn, dispatcher stalls, and deterministic freeze windows
+//! apply to the open-loop dispatch path, drawn from the workload's own
+//! labeled RNG streams so chaos stays bit-reproducible. With the default
+//! `Static` policy, inert retry policy, and empty fault plan, this loop
+//! is bit-for-bit the pre-policy bounded queue.
+//!
+//! Every request leaves trace events on [`Category::Load`]
+//! (`load.dispatch`, `load.complete`, with the true arrival time in `a1`;
+//! `load.shed`/`load.shed.deadline`/`load.shed.admission` per shed cause;
+//! `load.retry`/`load.timeout`/`load.hedge` from the client; `load.crash`
+//! and `load.stall` from serving faults; `load.window.start`/`.end`
+//! bracketing freeze windows), from which
 //! [`LoadReport::from_run`](crate::report::LoadReport::from_run)
-//! reconstructs the full latency decomposition.
+//! reconstructs the full latency decomposition and recovery timeline.
+//!
+//! [`Category::Load`]: kus_sim::trace::Category
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -32,15 +51,20 @@ use std::rc::Rc;
 use kus_core::prelude::{
     ConfigError, Dataset, Experiment, FiberFuture, MemCtx, PlatformConfig, Workload,
 };
+use kus_sim::fault::{FaultInjector, FaultPlan};
 use kus_sim::rng::SimRng;
 use kus_sim::{Span, Time};
 
+use crate::admission::{AdmissionControl, AdmissionDecision, AdmissionPolicy};
 use crate::arrival::ArrivalProcess;
 use crate::report::SloSpec;
+use crate::retry::{HedgeWindow, RetryPolicy};
 use crate::service::{Service, ServiceFactory, SharedService};
 
 /// A complete serving scenario: how requests arrive, how many, how much
-/// queueing the system tolerates, and what the SLO demands.
+/// queueing the system tolerates, what the SLO demands, and how the
+/// system behaves under overload (admission policy, client retries,
+/// serving-layer faults).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadSpec {
     /// The arrival process.
@@ -54,11 +78,22 @@ pub struct LoadSpec {
     pub dispatch_overhead: Span,
     /// The service-level objective the report is judged against.
     pub slo: SloSpec,
+    /// Admission/overload-control policy (default [`Static`]).
+    ///
+    /// [`Static`]: crate::admission::AdmissionControl::Static
+    pub admission: AdmissionControl,
+    /// Client-side retry policy for closed-loop users (default inert).
+    pub retry: RetryPolicy,
+    /// Serving-layer fault plan (fiber crashes, dispatcher stalls, freeze
+    /// windows — the device-level classes in this plan are ignored here;
+    /// route those through `PlatformConfig::faults`).
+    pub faults: FaultPlan,
 }
 
 impl LoadSpec {
     /// A spec with `arrival`, 1000 requests, a 64-deep admission queue,
-    /// 50 ns of dispatch software, and no SLO.
+    /// 50 ns of dispatch software, no SLO, static admission, no retries,
+    /// and no faults.
     pub fn new(arrival: ArrivalProcess) -> LoadSpec {
         LoadSpec {
             arrival,
@@ -66,6 +101,9 @@ impl LoadSpec {
             queue_capacity: 64,
             dispatch_overhead: Span::from_ns(50),
             slo: SloSpec::default(),
+            admission: AdmissionControl::Static,
+            retry: RetryPolicy::none(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -92,6 +130,34 @@ impl LoadSpec {
         self.slo = slo;
         self
     }
+
+    /// Sets the admission-control policy.
+    pub fn admission(mut self, policy: AdmissionControl) -> LoadSpec {
+        self.admission = policy;
+        self
+    }
+
+    /// Sets the client retry policy (closed-loop users).
+    pub fn retry(mut self, retry: RetryPolicy) -> LoadSpec {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the serving-layer fault plan.
+    pub fn faults(mut self, plan: FaultPlan) -> LoadSpec {
+        self.faults = plan;
+        self
+    }
+
+    /// Validates the whole spec (queue, policy, retry, fault plan).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queue_capacity == 0 {
+            return Err("queue capacity must be at least 1".into());
+        }
+        self.admission.validate()?;
+        self.retry.validate()?;
+        self.faults.validate()
+    }
 }
 
 /// Shared open-loop dispatcher state (one per run, reset per phase).
@@ -109,8 +175,23 @@ struct LoadRuntime {
     next_claim: Cell<usize>,
     /// Admitted `(request id, absolute arrival time)` pairs, FCFS.
     queue: RefCell<VecDeque<(u64, Time)>>,
-    /// Arrivals shed because the queue was full.
+    /// Arrivals shed, all causes.
     shed: Cell<u64>,
+    /// Requests currently being served (dispatched, not yet completed).
+    in_flight: Cell<usize>,
+    /// The live admission policy, rebuilt from the spec each phase.
+    policy: RefCell<Box<dyn AdmissionPolicy>>,
+    /// Serving-layer fault injector, rebuilt each phase (None when the
+    /// plan has no serving classes — inert plans draw nothing).
+    injector: RefCell<Option<FaultInjector>>,
+    /// Closed-loop first attempts issued (retry-budget denominator).
+    issued: Cell<u64>,
+    /// Closed-loop retries issued (retry-budget numerator).
+    retries: Cell<u64>,
+    /// Freeze windows whose `load.window.start` marker has been emitted.
+    windows_started: Cell<u64>,
+    /// Freeze windows whose `load.window.end` marker has been emitted.
+    windows_ended: Cell<u64>,
 }
 
 impl LoadRuntime {
@@ -121,19 +202,69 @@ impl LoadRuntime {
             next_claim: Cell::new(0),
             queue: RefCell::new(VecDeque::new()),
             shed: Cell::new(0),
+            in_flight: Cell::new(0),
+            policy: RefCell::new(Box::new(crate::admission::Static)),
+            injector: RefCell::new(None),
+            issued: Cell::new(0),
+            retries: Cell::new(0),
+            windows_started: Cell::new(0),
+            windows_ended: Cell::new(0),
         }
     }
 
-    fn reset(&self) {
+    /// Restarts all dispatcher state for a new phase: fresh policy, fresh
+    /// injector (same seed → same fault schedule in both record and
+    /// measured phases), zeroed counters.
+    fn reset(&self, spec: &LoadSpec, fault_seed: u64) {
         self.t0.set(None);
         self.next_arrival.set(0);
         self.next_claim.set(0);
         self.queue.borrow_mut().clear();
         self.shed.set(0);
+        self.in_flight.set(0);
+        *self.policy.borrow_mut() = spec.admission.build(&spec.slo);
+        *self.injector.borrow_mut() = spec
+            .faults
+            .serving_active()
+            .then(|| FaultInjector::new(spec.faults, &SimRng::from_seed(fault_seed)));
+        self.issued.set(0);
+        self.retries.set(0);
+        self.windows_started.set(0);
+        self.windows_ended.set(0);
     }
 
-    /// Admits (or sheds) every arrival with `t ≤ now`, in arrival order.
-    fn catch_up(&self, arrivals: &[Span], capacity: usize, now: Time, ctx: &MemCtx) {
+    /// Emits `load.window.start`/`load.window.end` markers for every
+    /// freeze-window boundary crossed up to `now`. The stamped times are
+    /// the *true* boundary instants (computed from the deterministic
+    /// window schedule), not the observation time, so late observation
+    /// costs nothing.
+    fn mark_windows(&self, plan: &FaultPlan, t0: Time, now: Time, ctx: &MemCtx) {
+        let period = plan.freeze_period.as_ps();
+        if period == 0 {
+            return;
+        }
+        let since = now.saturating_since(t0).as_ps();
+        let k_now = since / period;
+        let mut started = self.windows_started.get();
+        while started < k_now {
+            started += 1;
+            let at = t0 + Span::from_ps(started * period);
+            ctx.trace_instant("load.window.start", started, at.as_ps());
+        }
+        self.windows_started.set(started);
+        let len = plan.freeze_len.as_ps();
+        let mut ended = self.windows_ended.get();
+        while ended < started && since >= (ended + 1) * period + len {
+            ended += 1;
+            let at = t0 + Span::from_ps(ended * period + len);
+            ctx.trace_instant("load.window.end", ended, at.as_ps());
+        }
+        self.windows_ended.set(ended);
+    }
+
+    /// Admits (or sheds) every arrival with `t ≤ now`, in arrival order,
+    /// consulting the admission policy per arrival.
+    fn catch_up(&self, arrivals: &[Span], spec: &LoadSpec, now: Time, ctx: &MemCtx) {
         let t0 = match self.t0.get() {
             Some(t) => t,
             None => {
@@ -141,6 +272,7 @@ impl LoadRuntime {
                 now
             }
         };
+        self.mark_windows(&spec.faults, t0, now, ctx);
         let mut next = self.next_arrival.get();
         while next < arrivals.len() {
             let at = t0 + arrivals[next];
@@ -148,18 +280,22 @@ impl LoadRuntime {
                 break;
             }
             let id = next as u64;
-            let admitted = {
+            let decision = {
                 let mut q = self.queue.borrow_mut();
-                if q.len() < capacity {
+                let d = self.policy.borrow_mut().on_arrival(
+                    now,
+                    at,
+                    q.len(),
+                    spec.queue_capacity,
+                );
+                if d == AdmissionDecision::Admit {
                     q.push_back((id, at));
-                    true
-                } else {
-                    false
                 }
+                d
             };
-            if !admitted {
+            if let AdmissionDecision::Shed(cause) = decision {
                 self.shed.set(self.shed.get() + 1);
-                ctx.trace_instant("load.shed", id, at.as_ps());
+                ctx.trace_instant(cause.event_name(), id, at.as_ps());
             }
             next += 1;
         }
@@ -180,6 +316,8 @@ pub struct ServingWorkload {
     arrivals: Rc<Vec<Span>>,
     /// Seed for per-user think-time streams (closed loop).
     think_seed: u64,
+    /// Seed for the serving-layer fault injector's streams.
+    fault_seed: u64,
     /// Fibers per phase, from `prepare`; spawn resets the runtime whenever
     /// the spawn counter wraps (each record/replay phase re-spawns all).
     total_fibers: usize,
@@ -192,15 +330,18 @@ impl ServingWorkload {
     ///
     /// # Panics
     ///
-    /// Panics on a zero queue capacity.
+    /// Panics if the spec fails [`LoadSpec::validate`].
     pub fn new(spec: LoadSpec, service: Box<dyn Service>) -> ServingWorkload {
-        assert!(spec.queue_capacity > 0, "queue capacity must be at least 1");
+        if let Err(e) = spec.validate() {
+            panic!("invalid load spec: {e}");
+        }
         ServingWorkload {
             spec,
             service: Some(service),
             built: None,
             arrivals: Rc::new(Vec::new()),
             think_seed: 0,
+            fault_seed: 0,
             total_fibers: 0,
             spawn_seen: Cell::new(0),
             rt: Rc::new(LoadRuntime::new()),
@@ -227,6 +368,7 @@ impl Workload for ServingWorkload {
             self.arrivals = Rc::new(self.spec.arrival.offsets(self.spec.requests, &mut rng));
         }
         self.think_seed = data.rng("load-think").seed();
+        self.fault_seed = data.rng("serving-faults").seed();
     }
 
     fn prepare(&mut self, cores: usize, fibers_per_core: usize) {
@@ -240,7 +382,7 @@ impl Workload for ServingWorkload {
         // same admission sequence (and the measured phase starts clean).
         let seen = self.spawn_seen.get();
         if self.total_fibers > 0 && seen.is_multiple_of(self.total_fibers) {
-            self.rt.reset();
+            self.rt.reset(&self.spec, self.fault_seed);
         }
         self.spawn_seen.set(seen + 1);
 
@@ -250,6 +392,7 @@ impl Workload for ServingWorkload {
             ArrivalProcess::ClosedLoop { users, think } => {
                 let stripe = core * fibers_total + fiber;
                 let think_seed = self.think_seed;
+                let rt = self.rt.clone();
                 Box::pin(async move {
                     // Each fiber is one user; extra fibers idle. Effective
                     // concurrency is min(users, total fibers).
@@ -258,18 +401,53 @@ impl Workload for ServingWorkload {
                     }
                     let mut rng =
                         SimRng::from_seed(think_seed).split(&format!("user-{stripe}"));
+                    let retry = spec.retry;
+                    let mut hedge = HedgeWindow::new();
                     for i in 0..spec.requests {
                         let gap = ArrivalProcess::think_gap(think, &mut rng);
                         ctx.sleep_until(ctx.now() + gap).await;
                         let id = (stripe * spec.requests + i) as u64;
+                        rt.issued.set(rt.issued.get() + 1);
                         // No queue: a closed-loop request dispatches the
                         // instant its user stops thinking.
                         let start = ctx.now();
                         ctx.trace_instant("load.dispatch", id, start.as_ps());
-                        if !spec.dispatch_overhead.is_zero() {
-                            ctx.host_work(spec.dispatch_overhead);
+                        let mut attempt = 0u32;
+                        loop {
+                            attempt += 1;
+                            if !spec.dispatch_overhead.is_zero() {
+                                ctx.host_work(spec.dispatch_overhead);
+                            }
+                            let issued_at = ctx.now();
+                            let _ = service.serve(id, &ctx).await;
+                            let latency = ctx.now().saturating_since(issued_at);
+                            if let Some(q) = retry.hedge_quantile {
+                                // Judge against history *before* recording
+                                // this sample, as a live client would.
+                                if hedge.delay(q).is_some_and(|d| latency > d) {
+                                    ctx.trace_instant("load.hedge", id, attempt as u64);
+                                    // Conservative hedging model: the hedge
+                                    // costs a full extra serve and is never
+                                    // credited with a latency win.
+                                    let _ = service.serve(id, &ctx).await;
+                                }
+                                hedge.record(latency);
+                            }
+                            let Some(timeout) = retry.timeout else { break };
+                            if latency <= timeout {
+                                break;
+                            }
+                            ctx.trace_instant("load.timeout", id, attempt as u64);
+                            if !retry.may_retry(attempt, rt.issued.get(), rt.retries.get()) {
+                                // Budget or attempt cap: accept the stale
+                                // answer rather than amplify further.
+                                break;
+                            }
+                            rt.retries.set(rt.retries.get() + 1);
+                            ctx.trace_instant("load.retry", id, attempt as u64);
+                            let backoff = retry.retry_backoff(attempt, &mut rng);
+                            ctx.sleep_until(ctx.now() + backoff).await;
                         }
-                        let _ = service.serve(id, &ctx).await;
                         ctx.trace_instant("load.complete", id, start.as_ps());
                     }
                 })
@@ -280,15 +458,72 @@ impl Workload for ServingWorkload {
                 Box::pin(async move {
                     loop {
                         let now = ctx.now();
-                        rt.catch_up(&arrivals, spec.queue_capacity, now, &ctx);
-                        let popped = rt.queue.borrow_mut().pop_front();
+                        rt.catch_up(&arrivals, &spec, now, &ctx);
+                        // Concurrency gate: a closed gate leaves the queue
+                        // alone — the in-flight workers' completions will
+                        // re-open it and drain.
+                        let gated = !rt.policy.borrow_mut().allow_dispatch(rt.in_flight.get());
+                        let popped = if gated {
+                            None
+                        } else {
+                            // Pop until a request survives dispatch-time
+                            // shedding (deadline head drops).
+                            loop {
+                                let head = rt.queue.borrow_mut().pop_front();
+                                let Some((id, arrival)) = head else { break None };
+                                let cause =
+                                    rt.policy.borrow_mut().on_dispatch(now, arrival);
+                                match cause {
+                                    None => break Some((id, arrival)),
+                                    Some(c) => {
+                                        rt.shed.set(rt.shed.get() + 1);
+                                        ctx.trace_instant(c.event_name(), id, arrival.as_ps());
+                                    }
+                                }
+                            }
+                        };
                         if let Some((id, arrival)) = popped {
+                            // Serving-fault decisions, one fixed draw order
+                            // per dispatch so each site's stream advances
+                            // once per dispatch regardless of outcomes.
+                            let t0 = rt.t0.get().expect("catch_up sets t0");
+                            let (crash, stall, freeze) = match rt.injector.borrow_mut().as_mut()
+                            {
+                                None => (None, None, None),
+                                Some(inj) => (
+                                    inj.fiber_crash(),
+                                    inj.dispatcher_stall(),
+                                    inj.freeze_overhead(now.saturating_since(t0)),
+                                ),
+                            };
+                            if let Some(respawn) = crash {
+                                // The fiber dies holding the request: put it
+                                // back at the head, pay the respawn window
+                                // off the run ring, then rejoin the loop.
+                                rt.queue.borrow_mut().push_front((id, arrival));
+                                ctx.trace_instant("load.crash", id, arrival.as_ps());
+                                ctx.crash_respawn(respawn).await;
+                                continue;
+                            }
                             if !spec.dispatch_overhead.is_zero() {
                                 ctx.host_work(spec.dispatch_overhead);
                             }
+                            if let Some(extra) = stall {
+                                ctx.trace_instant("load.stall", id, extra.as_ps());
+                                ctx.host_work(extra);
+                            }
+                            if let Some(extra) = freeze {
+                                ctx.host_work(extra);
+                            }
                             ctx.trace_instant("load.dispatch", id, arrival.as_ps());
+                            rt.in_flight.set(rt.in_flight.get() + 1);
                             let _ = service.serve(id, &ctx).await;
+                            rt.in_flight.set(rt.in_flight.get() - 1);
+                            let end = ctx.now();
                             ctx.trace_instant("load.complete", id, arrival.as_ps());
+                            rt.policy
+                                .borrow_mut()
+                                .on_complete(end, end.saturating_since(arrival));
                             continue;
                         }
                         // Idle: claim the next unclaimed arrival and sleep
@@ -315,13 +550,15 @@ impl Workload for ServingWorkload {
 /// Builds a traced [`Experiment`] that runs `spec` against the factory's
 /// service — the bridge between the serving loop and the PR 3 sweep
 /// engine. Tracing is forced on: the load analytics are reconstructed
-/// from the event trace.
+/// from the event trace. Invalid specs surface as [`ConfigError`]s
+/// instead of panics.
 pub fn load_experiment(
     label: impl Into<String>,
     spec: LoadSpec,
     cfg: PlatformConfig,
     service: ServiceFactory,
 ) -> Result<Experiment, ConfigError> {
+    spec.validate().map_err(ConfigError::Fault)?;
     Experiment::from_factory(
         label,
         cfg.traced(),
@@ -374,6 +611,7 @@ mod tests {
         assert!(report.shed > 0, "overload must shed");
         assert_eq!(report.completed + report.shed, 400);
         assert!(report.queue_depth_max <= 4, "depth {} exceeds capacity", report.queue_depth_max);
+        assert_eq!(report.shed, report.shed_queue_full, "static sheds only on overflow");
     }
 
     #[test]
@@ -432,5 +670,128 @@ mod tests {
         let report = LoadReport::from_run(&a).expect("report");
         assert_eq!(report.offered, 120);
     }
-}
 
+    #[test]
+    fn default_policy_and_empty_plan_are_inert() {
+        // Spelling out the defaults explicitly must not perturb a single
+        // bit of the trace relative to a spec that never mentions them.
+        let spec = poisson(800_000.0, 250).queue_capacity(8);
+        let explicit = spec
+            .admission(AdmissionControl::Static)
+            .retry(RetryPolicy::none())
+            .faults(FaultPlan::none());
+        let a = run(spec, base_cfg().seed(21));
+        let b = run(explicit, base_cfg().seed(21));
+        assert_eq!(
+            a.trace.as_ref().map(|t| t.hash),
+            b.trace.as_ref().map(|t| t.hash),
+            "inert overload knobs must be bit-invisible"
+        );
+        let ra = LoadReport::from_run(&a).expect("report");
+        let rb = LoadReport::from_run(&b).expect("report");
+        assert_eq!(ra.to_json(), rb.to_json());
+    }
+
+    #[test]
+    fn deadline_aware_sheds_stale_heads_under_overload() {
+        let slo = SloSpec::default().p99(Span::from_us(100));
+        // 12M rps against ~5M rps of capacity: queue waits sit well above
+        // the 5 µs target for longer than the 10 µs interval.
+        let spec = poisson(12_000_000.0, 400)
+            .queue_capacity(64)
+            .slo(slo)
+            .admission(AdmissionControl::DeadlineAware {
+                target: Span::from_us(5),
+                interval: Span::from_us(10),
+            });
+        let r = run(spec, base_cfg());
+        let report = LoadReport::from_run(&r).expect("report");
+        assert!(report.shed_deadline > 0, "sustained overload must head-drop");
+        assert_eq!(report.completed + report.shed, 400);
+        assert_eq!(
+            report.shed,
+            report.shed_queue_full + report.shed_deadline + report.shed_admission,
+            "shed total is the per-cause sum"
+        );
+    }
+
+    #[test]
+    fn adaptive_concurrency_gates_in_flight() {
+        let slo = SloSpec::default().p99(Span::from_us(30));
+        let spec = poisson(5_000_000.0, 400)
+            .queue_capacity(16)
+            .slo(slo)
+            .admission(AdmissionControl::AdaptiveConcurrency {
+                initial: 4,
+                max: 8,
+                window: 8,
+            });
+        let r = run(spec, base_cfg());
+        let report = LoadReport::from_run(&r).expect("report");
+        assert_eq!(report.completed + report.shed, 400);
+        assert!(
+            report.shed_admission > 0,
+            "AIMD backpressure must reject at admission under overload"
+        );
+    }
+
+    #[test]
+    fn serving_faults_crash_and_stall_deterministically() {
+        let plan = FaultPlan::none()
+            .with_fiber_crashes(0.05, Span::from_us(20))
+            .with_dispatcher_stalls(0.05, Span::from_us(5));
+        let spec = poisson(400_000.0, 200).faults(plan);
+        let go = || {
+            let r = run(spec, base_cfg().seed(33));
+            let report = LoadReport::from_run(&r).expect("report");
+            (r.trace.as_ref().expect("traced").hash, report.to_json(), report.crashes)
+        };
+        let (ha, ja, crashes) = go();
+        let (hb, jb, _) = go();
+        assert_eq!(ha, hb, "chaos must be bit-reproducible");
+        assert_eq!(ja, jb);
+        assert!(crashes > 0, "plan must actually crash fibers");
+        // Every offered request still gets an outcome despite the chaos.
+        let r = run(spec, base_cfg().seed(33));
+        let report = LoadReport::from_run(&r).expect("report");
+        assert_eq!(report.completed + report.shed, 200);
+    }
+
+    #[test]
+    fn freeze_windows_leave_markers() {
+        let plan = FaultPlan::none().with_freeze_windows(
+            Span::from_us(300),
+            Span::from_us(100),
+            Span::from_us(30),
+        );
+        let spec = poisson(300_000.0, 400).faults(plan);
+        let r = run(spec, base_cfg());
+        let report = LoadReport::from_run(&r).expect("report");
+        assert!(!report.fault_windows.is_empty(), "freeze plan must leave window markers");
+        for (start, end) in &report.fault_windows {
+            assert!(end > start, "windows are well-formed");
+        }
+    }
+
+    #[test]
+    fn closed_loop_retries_respect_budget() {
+        // A closed loop against a latency-spiking device: the budgeted
+        // client must keep amplification bounded.
+        let chaos = FaultPlan::none().with_latency_spikes(0.3, Span::from_us(40));
+        let spec = LoadSpec::new(ArrivalProcess::ClosedLoop { users: 4, think: Span::from_us(2) })
+            .requests(40)
+            .retry(RetryPolicy::budgeted(Span::from_us(8), 4, 0.1, Span::from_us(2)));
+        let r = run(spec, base_cfg().faults(chaos).seed(5));
+        let report = LoadReport::from_run(&r).expect("report");
+        assert_eq!(report.completed, 160);
+        assert!(report.client_timeouts > 0, "spikes must blow the client timeout");
+        let cap = (0.1 * report.completed as f64).ceil();
+        assert!(
+            (report.retries as f64) <= cap + 1.0,
+            "budget must cap retries: {} > {}",
+            report.retries,
+            cap
+        );
+        assert!(report.retry_amplification < 1.2, "amplification {}", report.retry_amplification);
+    }
+}

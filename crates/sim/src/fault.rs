@@ -54,6 +54,27 @@ pub struct FaultPlan {
     /// Probability that a TLP is replayed (serialized twice) on the link,
     /// as after an LCRC error and ack-timeout.
     pub tlp_replay_prob: f64,
+    /// Probability that a serving fiber crashes at dispatch: the request
+    /// it held is re-queued and the fiber pays `fiber_respawn` before it
+    /// can serve again.
+    pub fiber_crash_prob: f64,
+    /// Respawn cost a crashed fiber pays before rejoining the run ring.
+    pub fiber_respawn: Span,
+    /// Probability that the dispatcher stalls before handing a request to
+    /// its service (e.g. a preempted dispatch thread).
+    pub dispatcher_stall_prob: f64,
+    /// Extra dispatch latency paid when a dispatcher stall fires.
+    pub dispatcher_stall: Span,
+    /// Period of deterministic core-freeze windows: window `k` covers
+    /// `[k·period, k·period + freeze_len)` for `k = 1, 2, …` relative to
+    /// the serving start. Zero disables freeze windows.
+    pub freeze_period: Span,
+    /// Length of each freeze window.
+    pub freeze_len: Span,
+    /// Extra per-dispatch overhead paid while inside a freeze window —
+    /// models the core running at a crawl (thermal throttle, noisy
+    /// neighbour) rather than stopping outright.
+    pub freeze_stall: Span,
 }
 
 impl Default for FaultPlan {
@@ -73,6 +94,13 @@ impl FaultPlan {
             dup_completion_prob: 0.0,
             drop_doorbell_prob: 0.0,
             tlp_replay_prob: 0.0,
+            fiber_crash_prob: 0.0,
+            fiber_respawn: Span::ZERO,
+            dispatcher_stall_prob: 0.0,
+            dispatcher_stall: Span::ZERO,
+            freeze_period: Span::ZERO,
+            freeze_len: Span::ZERO,
+            freeze_stall: Span::ZERO,
         }
     }
 
@@ -84,6 +112,15 @@ impl FaultPlan {
             || self.dup_completion_prob > 0.0
             || self.drop_doorbell_prob > 0.0
             || self.tlp_replay_prob > 0.0
+            || self.serving_active()
+    }
+
+    /// True if any serving-layer fault class (fiber crash, dispatcher
+    /// stall, freeze window) can fire.
+    pub fn serving_active(&self) -> bool {
+        self.fiber_crash_prob > 0.0
+            || self.dispatcher_stall_prob > 0.0
+            || !self.freeze_period.is_zero()
     }
 
     /// Checks that every probability lies in `[0, 1]` and that spike
@@ -96,6 +133,8 @@ impl FaultPlan {
             ("dup_completion_prob", self.dup_completion_prob),
             ("drop_doorbell_prob", self.drop_doorbell_prob),
             ("tlp_replay_prob", self.tlp_replay_prob),
+            ("fiber_crash_prob", self.fiber_crash_prob),
+            ("dispatcher_stall_prob", self.dispatcher_stall_prob),
         ];
         for (name, p) in probs {
             if !(0.0..=1.0).contains(&p) {
@@ -104,6 +143,24 @@ impl FaultPlan {
         }
         if self.latency_spike_prob > 0.0 && self.latency_spike.is_zero() {
             return Err("latency_spike_prob > 0 but latency_spike_ns is zero".into());
+        }
+        if self.fiber_crash_prob > 0.0 && self.fiber_respawn.is_zero() {
+            return Err("fiber_crash_prob > 0 but fiber_respawn_ns is zero".into());
+        }
+        if self.dispatcher_stall_prob > 0.0 && self.dispatcher_stall.is_zero() {
+            return Err("dispatcher_stall_prob > 0 but dispatcher_stall_ns is zero".into());
+        }
+        let freeze_on = [self.freeze_period, self.freeze_len, self.freeze_stall];
+        if freeze_on.iter().any(|s| !s.is_zero()) {
+            if freeze_on.iter().any(|s| s.is_zero()) {
+                return Err(
+                    "freeze windows need all of freeze_period_ns, freeze_len_ns, freeze_stall_ns"
+                        .into(),
+                );
+            }
+            if self.freeze_len > self.freeze_period {
+                return Err("freeze_len_ns exceeds freeze_period_ns".into());
+            }
         }
         Ok(())
     }
@@ -146,6 +203,33 @@ impl FaultPlan {
         self
     }
 
+    /// Enables serving-fiber crashes: with probability `p` per dispatch,
+    /// the fiber dies, its request is re-queued, and the fiber pays
+    /// `respawn` before serving again.
+    pub fn with_fiber_crashes(mut self, p: f64, respawn: Span) -> FaultPlan {
+        self.fiber_crash_prob = p;
+        self.fiber_respawn = respawn;
+        self
+    }
+
+    /// Enables dispatcher stalls: with probability `p` per dispatch, an
+    /// extra `stall` of latency is paid before the service runs.
+    pub fn with_dispatcher_stalls(mut self, p: f64, stall: Span) -> FaultPlan {
+        self.dispatcher_stall_prob = p;
+        self.dispatcher_stall = stall;
+        self
+    }
+
+    /// Enables deterministic freeze windows: every `period` after serving
+    /// starts, the core crawls for `len`, paying `stall` extra per
+    /// dispatch inside the window.
+    pub fn with_freeze_windows(mut self, period: Span, len: Span, stall: Span) -> FaultPlan {
+        self.freeze_period = period;
+        self.freeze_len = len;
+        self.freeze_stall = stall;
+        self
+    }
+
     /// Parses a plan from a minimal TOML subset: one `key = value` per
     /// line, `#` comments, blank lines. Probabilities are floats; the
     /// spike magnitude is `latency_spike_ns`, an integer. Unknown keys
@@ -177,19 +261,25 @@ impl FaultPlan {
                 v.parse::<f64>()
                     .map_err(|e| format!("line {}: bad number `{v}`: {e}", lineno + 1))
             };
+            let ns = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("line {}: bad integer `{v}`: {e}", lineno + 1))
+            };
             match key {
                 "latency_spike_prob" => plan.latency_spike_prob = prob(value)?,
-                "latency_spike_ns" => {
-                    let ns = value
-                        .parse::<u64>()
-                        .map_err(|e| format!("line {}: bad integer `{value}`: {e}", lineno + 1))?;
-                    plan.latency_spike = Span::from_ns(ns);
-                }
+                "latency_spike_ns" => plan.latency_spike = Span::from_ns(ns(value)?),
                 "stall_prob" => plan.stall_prob = prob(value)?,
                 "drop_completion_prob" => plan.drop_completion_prob = prob(value)?,
                 "dup_completion_prob" => plan.dup_completion_prob = prob(value)?,
                 "drop_doorbell_prob" => plan.drop_doorbell_prob = prob(value)?,
                 "tlp_replay_prob" => plan.tlp_replay_prob = prob(value)?,
+                "fiber_crash_prob" => plan.fiber_crash_prob = prob(value)?,
+                "fiber_respawn_ns" => plan.fiber_respawn = Span::from_ns(ns(value)?),
+                "dispatcher_stall_prob" => plan.dispatcher_stall_prob = prob(value)?,
+                "dispatcher_stall_ns" => plan.dispatcher_stall = Span::from_ns(ns(value)?),
+                "freeze_period_ns" => plan.freeze_period = Span::from_ns(ns(value)?),
+                "freeze_len_ns" => plan.freeze_len = Span::from_ns(ns(value)?),
+                "freeze_stall_ns" => plan.freeze_stall = Span::from_ns(ns(value)?),
                 other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
             }
         }
@@ -213,6 +303,12 @@ pub struct FaultStats {
     pub dropped_doorbells: Counter,
     /// TLPs replayed on the link.
     pub tlp_replays: Counter,
+    /// Serving fibers crashed at dispatch.
+    pub fiber_crashes: Counter,
+    /// Dispatcher stalls injected.
+    pub dispatcher_stalls: Counter,
+    /// Dispatches slowed by a freeze window.
+    pub freeze_stalls: Counter,
 }
 
 /// Turns a [`FaultPlan`] into concrete per-site decisions.
@@ -230,6 +326,8 @@ pub struct FaultInjector {
     completion_rng: SimRng,
     doorbell_rng: SimRng,
     link_rng: SimRng,
+    crash_rng: SimRng,
+    dispatch_rng: SimRng,
     /// Per-class injection counts, readable at harvest time.
     pub stats: FaultStats,
 }
@@ -249,6 +347,8 @@ impl FaultInjector {
             completion_rng: rng.split("fault-completion"),
             doorbell_rng: rng.split("fault-doorbell"),
             link_rng: rng.split("fault-link"),
+            crash_rng: rng.split("fault-fiber-crash"),
+            dispatch_rng: rng.split("fault-dispatcher"),
             stats: FaultStats::default(),
         }
     }
@@ -322,6 +422,48 @@ impl FaultInjector {
         }
         self.stats.tlp_replays.incr();
         true
+    }
+
+    /// Respawn cost if this dispatch's fiber crashes, else `None`.
+    pub fn fiber_crash(&mut self) -> Option<Span> {
+        if self.plan.fiber_crash_prob <= 0.0 || !self.crash_rng.chance(self.plan.fiber_crash_prob) {
+            return None;
+        }
+        self.stats.fiber_crashes.incr();
+        Some(self.plan.fiber_respawn)
+    }
+
+    /// Extra dispatch latency if the dispatcher stalls here, else `None`.
+    pub fn dispatcher_stall(&mut self) -> Option<Span> {
+        if self.plan.dispatcher_stall_prob <= 0.0
+            || !self.dispatch_rng.chance(self.plan.dispatcher_stall_prob)
+        {
+            return None;
+        }
+        self.stats.dispatcher_stalls.incr();
+        Some(self.plan.dispatcher_stall)
+    }
+
+    /// Extra per-dispatch overhead if `since_start` falls inside a freeze
+    /// window, else `None`. Freeze windows are purely deterministic —
+    /// window `k` covers `[k·period, k·period + len)` for `k ≥ 1` — so no
+    /// RNG stream is consumed.
+    pub fn freeze_overhead(&mut self, since_start: Span) -> Option<Span> {
+        self.freeze_window(since_start)?;
+        self.stats.freeze_stalls.incr();
+        Some(self.plan.freeze_stall)
+    }
+
+    /// The index of the freeze window covering `since_start`, if any
+    /// (`1` for the first window). Does not count as an injection.
+    pub fn freeze_window(&self, since_start: Span) -> Option<u64> {
+        let period = self.plan.freeze_period.as_ps();
+        if period == 0 {
+            return None;
+        }
+        let k = since_start.as_ps() / period;
+        let into = since_start.as_ps() - k * period;
+        (k >= 1 && into < self.plan.freeze_len.as_ps()).then_some(k)
     }
 }
 
@@ -446,5 +588,81 @@ mod tests {
         assert!(FaultPlan::parse_toml("stall_prob 0.1\n").is_err());
         assert!(FaultPlan::parse_toml("stall_prob = lots\n").is_err());
         assert!(FaultPlan::parse_toml("stall_prob = 2.0\n").is_err(), "validated");
+    }
+
+    #[test]
+    fn serving_classes_validate() {
+        // Probabilities without magnitudes are rejected.
+        let p = FaultPlan { fiber_crash_prob: 0.1, ..FaultPlan::none() };
+        assert!(p.validate().is_err());
+        let p = FaultPlan { dispatcher_stall_prob: 0.1, ..FaultPlan::none() };
+        assert!(p.validate().is_err());
+        // Freeze fields are all-or-nothing, with len bounded by period.
+        let p = FaultPlan { freeze_period: Span::from_us(500), ..FaultPlan::none() };
+        assert!(p.validate().is_err());
+        let p = FaultPlan::none().with_freeze_windows(
+            Span::from_us(100),
+            Span::from_us(200),
+            Span::from_us(5),
+        );
+        assert!(p.validate().is_err(), "len > period");
+        let ok = FaultPlan::none()
+            .with_fiber_crashes(0.01, Span::from_us(50))
+            .with_dispatcher_stalls(0.02, Span::from_us(10))
+            .with_freeze_windows(Span::from_us(500), Span::from_us(100), Span::from_us(20));
+        assert!(ok.validate().is_ok());
+        assert!(ok.is_active() && ok.serving_active());
+    }
+
+    #[test]
+    fn serving_classes_parse_toml() {
+        let text = "fiber_crash_prob = 0.01\nfiber_respawn_ns = 50000\n\
+                    dispatcher_stall_prob = 0.02\ndispatcher_stall_ns = 10000\n\
+                    freeze_period_ns = 500000\nfreeze_len_ns = 100000\nfreeze_stall_ns = 20000\n";
+        let plan = FaultPlan::parse_toml(text).unwrap();
+        assert_eq!(plan.fiber_crash_prob, 0.01);
+        assert_eq!(plan.fiber_respawn, Span::from_us(50));
+        assert_eq!(plan.dispatcher_stall, Span::from_us(10));
+        assert_eq!(plan.freeze_period, Span::from_us(500));
+        assert_eq!(plan.freeze_len, Span::from_us(100));
+        assert_eq!(plan.freeze_stall, Span::from_us(20));
+    }
+
+    #[test]
+    fn freeze_windows_are_deterministic_and_skip_warmup() {
+        let plan =
+            FaultPlan::none().with_freeze_windows(Span::from_us(500), Span::from_us(100), Span::from_us(20));
+        let mut inj = FaultInjector::new(plan, &SimRng::from_seed(1));
+        // Window 0 (warmup) never freezes.
+        assert_eq!(inj.freeze_window(Span::from_us(50)), None);
+        assert_eq!(inj.freeze_window(Span::from_us(499)), None);
+        // Window 1: [500, 600) µs.
+        assert_eq!(inj.freeze_window(Span::from_us(500)), Some(1));
+        assert_eq!(inj.freeze_window(Span::from_us(599)), Some(1));
+        assert_eq!(inj.freeze_window(Span::from_us(600)), None);
+        assert_eq!(inj.freeze_window(Span::from_us(1001)), Some(2));
+        assert_eq!(inj.freeze_overhead(Span::from_us(550)), Some(Span::from_us(20)));
+        assert_eq!(inj.freeze_overhead(Span::from_us(650)), None);
+        assert_eq!(inj.stats.freeze_stalls.get(), 1);
+    }
+
+    #[test]
+    fn serving_sites_are_independent_streams() {
+        let plan = chaotic_plan()
+            .with_fiber_crashes(0.2, Span::from_us(50))
+            .with_dispatcher_stalls(0.2, Span::from_us(10));
+        let root = SimRng::from_seed(13);
+        let mut a = FaultInjector::new(plan, &root);
+        let mut b = FaultInjector::new(plan, &root);
+        let crashes_a: Vec<_> = (0..200).map(|_| a.fiber_crash()).collect();
+        let crashes_b: Vec<_> = (0..200)
+            .map(|_| {
+                let _ = b.latency_spike();
+                let _ = b.dispatcher_stall();
+                b.fiber_crash()
+            })
+            .collect();
+        assert_eq!(crashes_a, crashes_b, "crash stream unaffected by other sites");
+        assert!(a.stats.fiber_crashes.get() > 0);
     }
 }

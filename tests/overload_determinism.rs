@@ -1,0 +1,123 @@
+//! Overload-control guarantees that hold the whole subsystem together:
+//!
+//! 1. **Chaos determinism** — an AdaptiveConcurrency sweep under a
+//!    serving-layer chaos plan (freeze windows + fiber crashes +
+//!    dispatcher stalls) emits byte-identical JSON/CSV artifacts at
+//!    `--jobs 1` and `--jobs 4`, and the same seed reproduces the same
+//!    trace fingerprint run-to-run.
+//! 2. **Inertness** — a spec that explicitly selects the overload-control
+//!    defaults (`Static` admission, inert retry policy, empty fault plan)
+//!    is bitwise-indistinguishable from a spec that never mentions them:
+//!    same trace fingerprint, same event count, same report JSON. The
+//!    overload machinery costs nothing unless it is asked for.
+
+use kus_bench::overload::{run_overload_sweep, OverloadSweepSpec};
+use kus_bench::sweep::SweepOptions;
+use kus_core::prelude::*;
+use kus_load::{
+    load_experiment, service_factory, AdmissionControl, ArrivalProcess, EchoService, LoadReport,
+    LoadSpec, RetryPolicy, SloSpec,
+};
+use kus_sim::fault::FaultPlan;
+use kus_sim::Span;
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_freeze_windows(Span::from_us(60), Span::from_us(25), Span::from_us(20))
+        .with_fiber_crashes(0.02, Span::from_us(3))
+        .with_dispatcher_stalls(0.05, Span::from_us(5))
+}
+
+fn chaos_sweep() -> OverloadSweepSpec {
+    let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 1.0 })
+        .requests(150)
+        .queue_capacity(32)
+        .slo(SloSpec::none().p99(Span::from_us(40)));
+    let cfg = PlatformConfig::paper_default()
+        .without_replay_device()
+        .cores(2)
+        .fibers_per_core(4)
+        .seed(11);
+    OverloadSweepSpec::new(
+        "echo",
+        service_factory(|| EchoService::new(256)),
+        spec,
+        cfg,
+    )
+    .policies(&[AdmissionControl::AdaptiveConcurrency { initial: 4, max: 16, window: 16 }])
+    .plans(&[("chaos".into(), chaos_plan())])
+    .rates(&[2_000_000])
+}
+
+/// Same seed, same chaos, any `--jobs`: the artifacts are byte-identical.
+#[test]
+fn adaptive_chaos_sweep_is_byte_identical_across_jobs() {
+    let serial = run_overload_sweep(&chaos_sweep(), &SweepOptions::jobs(1));
+    let parallel = run_overload_sweep(&chaos_sweep(), &SweepOptions::jobs(4));
+    assert!(serial.errors().is_empty(), "{:?}", serial.errors());
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    // The chaos really bit: crashes and stalls are in the artifact.
+    let (report, _) = serial.cells[0].outcome.as_ref().unwrap();
+    assert!(report.crashes + report.dispatcher_stalls > 0, "chaos plan was a no-op");
+    assert!(!report.fault_windows.is_empty(), "freeze windows missing from the trace");
+}
+
+/// Same seed, two fresh runs: identical trace fingerprint under chaos.
+#[test]
+fn chaos_run_fingerprint_is_reproducible() {
+    let run = || {
+        let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 2_000_000.0 })
+            .requests(150)
+            .queue_capacity(32)
+            .admission(AdmissionControl::AdaptiveConcurrency { initial: 4, max: 16, window: 16 })
+            .faults(chaos_plan());
+        let cfg = PlatformConfig::paper_default()
+            .without_replay_device()
+            .fibers_per_core(4)
+            .seed(11)
+            .traced();
+        load_experiment("chaos", spec, cfg, service_factory(|| EchoService::new(256)))
+            .expect("valid spec")
+            .run()
+    };
+    let (a, b) = (run(), run());
+    let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
+    assert_eq!(ta.hash, tb.hash);
+    assert_eq!(ta.count, tb.count);
+}
+
+/// Explicit defaults are bitwise-inert: selecting `Static` + no retries +
+/// an empty fault plan reproduces the untouched spec exactly — trace
+/// fingerprint, event count, and report JSON.
+#[test]
+fn explicit_overload_defaults_are_bitwise_inert() {
+    let run = |configured: bool| {
+        let mut spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 2_000_000.0 })
+            .requests(200)
+            .queue_capacity(32);
+        if configured {
+            spec = spec
+                .admission(AdmissionControl::Static)
+                .retry(RetryPolicy::none())
+                .faults(FaultPlan::none());
+        }
+        let cfg = PlatformConfig::paper_default()
+            .without_replay_device()
+            .fibers_per_core(4)
+            .seed(7)
+            .traced();
+        load_experiment("inert", spec, cfg, service_factory(|| EchoService::new(256)))
+            .expect("valid spec")
+            .run()
+    };
+    let (plain, explicit) = (run(false), run(true));
+    let (tp, te) = (plain.trace.as_ref().unwrap(), explicit.trace.as_ref().unwrap());
+    assert_eq!(tp.hash, te.hash, "explicit overload defaults perturbed the trace");
+    assert_eq!(tp.count, te.count);
+    let (rp, re) =
+        (LoadReport::from_run(&plain).unwrap(), LoadReport::from_run(&explicit).unwrap());
+    assert_eq!(rp.to_json(), re.to_json());
+    assert_eq!(rp.shed, rp.shed_queue_full + rp.shed_deadline + rp.shed_admission);
+    assert_eq!((rp.retries, rp.crashes, rp.dispatcher_stalls), (0, 0, 0));
+}

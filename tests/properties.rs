@@ -473,3 +473,52 @@ fn recovery_on_healthy_run_is_quiet() {
     let f = r.faults.expect("recovery enabled: report present");
     assert_eq!(f, kus_core::FaultReport::default(), "healthy run must not trip recovery");
 }
+
+/// The overload-control machinery is inert by default: across a seeded
+/// family of serving shapes (rate, queue depth, fiber count, platform
+/// seed), a spec that explicitly selects `Static` admission, the inert
+/// retry policy, and an empty serving fault plan produces a run
+/// bit-identical to one that never mentions overload control — same trace
+/// fingerprint, same event count, same report JSON, and no sheds charged
+/// to the new causes.
+#[test]
+fn overload_defaults_are_inert_across_shapes() {
+    use kus_load::{
+        load_experiment, service_factory, AdmissionControl, ArrivalProcess, EchoService,
+        LoadReport, LoadSpec, RetryPolicy,
+    };
+
+    for_cases("overload-inert", 8, |case, rng| {
+        let rate = 500_000.0 * (1 + rng.below(6)) as f64;
+        let queue = 8 + rng.below(56) as usize;
+        let fibers = 2 + rng.below(7) as usize;
+        let seed = rng.below(1 << 30);
+        let run = |configured: bool| {
+            let mut spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: rate })
+                .requests(120)
+                .queue_capacity(queue);
+            if configured {
+                spec = spec
+                    .admission(AdmissionControl::Static)
+                    .retry(RetryPolicy::none())
+                    .faults(FaultPlan::none());
+            }
+            let cfg = kus_core::PlatformConfig::paper_default()
+                .without_replay_device()
+                .fibers_per_core(fibers)
+                .seed(seed)
+                .traced();
+            load_experiment("inert", spec, cfg, service_factory(|| EchoService::new(256)))
+                .expect("valid spec")
+                .run()
+        };
+        let (plain, explicit) = (run(false), run(true));
+        let (tp, te) = (plain.trace.as_ref().unwrap(), explicit.trace.as_ref().unwrap());
+        assert_eq!(tp.hash, te.hash, "case {case}: trace hash diverged");
+        assert_eq!(tp.count, te.count, "case {case}: event count diverged");
+        let (rp, re) =
+            (LoadReport::from_run(&plain).unwrap(), LoadReport::from_run(&explicit).unwrap());
+        assert_eq!(rp.to_json(), re.to_json(), "case {case}: report diverged");
+        assert_eq!((rp.shed_deadline, rp.shed_admission, rp.retries), (0, 0, 0), "case {case}");
+    });
+}
