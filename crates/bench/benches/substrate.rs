@@ -25,6 +25,25 @@ fn bench_event_queue() {
     });
 }
 
+/// Deep-pending scheduling: 256k timers resident while the budgeted run
+/// dispatches — the regime where the timing wheel's O(1) buckets beat the
+/// old heap's log-n DRAM walks. Guards the wheel rewrite's headline win.
+fn bench_event_queue_deep() {
+    bench("sim/event_queue_deep_256k", 10, || {
+        fn rearm(sim: &mut Sim, x: u64) {
+            let delta = 1_000_000 + x.wrapping_mul(2_654_435_761) % 700_000;
+            sim.schedule_fn_in(Span::from_ps(delta), rearm, x.wrapping_add(1));
+        }
+        let mut sim = Sim::with_event_capacity(1 << 18);
+        for i in 0..1u64 << 18 {
+            rearm(&mut sim, i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        sim.set_event_budget(100_000);
+        sim.run();
+        sim.executed()
+    });
+}
+
 fn bench_fiber_poll() {
     bench("fiber/yield_poll_1k", 10, || {
         let flag = YieldFlag::new();
@@ -88,6 +107,7 @@ fn bench_platform_end_to_end() {
 
 fn main() {
     bench_event_queue();
+    bench_event_queue_deep();
     bench_fiber_poll();
     bench_lfb();
     bench_replay_window();

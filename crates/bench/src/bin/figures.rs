@@ -61,6 +61,18 @@
 //!   writes the wall-clock/events-per-second record (not deterministic —
 //!   excluded from CI byte-diffs).
 //!
+//! Simbench mode (the simulator-substrate throughput suite: the timing-
+//! wheel event core vs the retained heap reference, measured live):
+//!   figures --simbench [--samples N] [--label wheel-slab] \
+//!           [--bench artifacts/simbench/BENCH_simbench.json] \
+//!           [--check artifacts/simbench/simbench_check.json]
+//!   Prints the per-scenario events/sec table. --bench writes the
+//!   wall-clock record with the trajectory history (an existing file's
+//!   history is extended, not overwritten); --check writes the
+//!   byte-deterministic equivalence artifact that CI diffs across two
+//!   invocations. Exits non-zero if the cores diverge (that assertion
+//!   panics first).
+//!
 //! `--trace`/`--trace-hash` honour `--seed`; the hash lines are stable for
 //! a given seed, which is what CI diffs across two invocations.
 
@@ -478,10 +490,41 @@ fn overload_mode(args: &[String]) -> i32 {
     i32::from(!results.errors().is_empty())
 }
 
+/// `--simbench` mode: the simulator-substrate throughput suite.
+fn simbench_mode(args: &[String]) -> i32 {
+    let samples: u32 = flag_value(args, "--samples")
+        .map(|s| s.parse().unwrap_or_else(|_| fail(format!("--samples: bad value `{s}`"))))
+        .unwrap_or(3);
+    let label = flag_value(args, "--label").unwrap_or_else(|| "wheel-slab".into());
+    eprintln!("# simbench: {samples} samples per scenario per core");
+    let results = kus_bench::simbench::run_simbench(samples);
+    eprintln!("# simbench: done in {:.2}s", results.wall_seconds);
+    print!("{}", results.render_table());
+    if let Some(path) = flag_value(args, "--bench") {
+        // Extend a previously committed trajectory instead of restarting it.
+        let history = std::fs::read_to_string(&path).unwrap_or_default();
+        let history = kus_bench::simbench::extract_history(&history).to_string();
+        if let Err(e) = std::fs::write(&path, results.bench_json(&label, &history)) {
+            fail(format!("--bench: cannot write {path}: {e}"));
+        }
+        eprintln!("# wrote {path}");
+    }
+    if let Some(path) = flag_value(args, "--check") {
+        if let Err(e) = std::fs::write(&path, results.check_json()) {
+            fail(format!("--check: cannot write {path}: {e}"));
+        }
+        eprintln!("# wrote {path}");
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(code) = trace_mode(&args) {
         std::process::exit(code);
+    }
+    if args.iter().any(|a| a == "--simbench") {
+        std::process::exit(simbench_mode(&args));
     }
     if args.iter().any(|a| a == "--sweep") {
         std::process::exit(sweep_mode(&args));

@@ -15,6 +15,10 @@
 //!   fault plan × offered rate — and prints the degradation matrix with a
 //!   graceful/brownout/collapse verdict per cell, plus the budgeted-vs-
 //!   unbudgeted retry pair.
+//! - `figures --simbench` runs the [`simbench`] suite — event-core
+//!   throughput scenarios on the timing-wheel simulator core vs the
+//!   retained heap reference — writing the events/sec trajectory record
+//!   and a byte-deterministic equivalence check artifact.
 //! - `figures --profile out.json` runs the [`profile`] acceptance suite —
 //!   the paper's §4 diagnoses as profiled scenarios — printing each text
 //!   dashboard and writing the byte-deterministic profile JSON.
@@ -29,6 +33,7 @@ pub mod harness;
 pub mod load;
 pub mod overload;
 pub mod profile;
+pub mod simbench;
 pub mod sweep;
 
 pub use kus_workloads::figures;
@@ -37,6 +42,7 @@ pub use overload::{
     run_overload_sweep, OverloadCell, OverloadResults, OverloadSweepSpec, RetryCell,
 };
 pub use profile::{profile_scenarios, run_profile_suite, ProfileOutcome, ProfileScenario, ProfileSuite};
+pub use simbench::{run_simbench, ScenarioResult, SimbenchResults};
 pub use sweep::{
     run_cells, run_figures, run_sweep, CellResult, SweepCell, SweepOptions, SweepResults,
     SweepSpec,

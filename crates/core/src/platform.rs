@@ -122,7 +122,12 @@ impl Platform {
         traced: bool,
     ) -> RunReport {
         let cfg = &self.cfg;
-        let mut sim = Sim::new();
+        // Pre-size the event slab for the platform's steady state: every
+        // hardware context keeps a handful of events in flight (fiber step,
+        // fill completion, timer). A pure performance hint — results are
+        // bit-identical for any value.
+        let contexts = cfg.cores * cfg.smt * cfg.fibers_per_core;
+        let mut sim = Sim::with_event_capacity(contexts.saturating_mul(4).max(64));
         let store = dataset.store();
 
         // The tracer observes through a shared clock handle; it never

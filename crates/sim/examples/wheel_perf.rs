@@ -1,0 +1,137 @@
+//! Scratch perf harness comparing the wheel core against the heap reference
+//! on a platform-like pattern: a small in-flight window of closure events at
+//! microsecond-scale deltas.
+
+use std::time::Instant;
+
+use kus_sim::heap_ref::RefSim;
+use kus_sim::time::{Span, Time};
+use kus_sim::Sim;
+
+fn window() -> u64 {
+    std::env::var("WINDOW").ok().and_then(|s| s.parse().ok()).unwrap_or(32)
+}
+const EVENTS: u64 = 1_000_000;
+
+fn wheel_closures() -> u64 {
+    let mut sim = Sim::new();
+    fn rearm(sim: &mut Sim, x: u64) {
+        let delta = 1_000_000 + (x * 2_654_435_761) % 700_000; // ~1-1.7us
+        sim.schedule_in(Span::from_ps(delta), move |s| rearm(s, x.wrapping_add(1)));
+    }
+    for i in 0..window() {
+        rearm(&mut sim, i);
+    }
+    sim.set_event_budget(EVENTS);
+    sim.run();
+    sim.executed()
+}
+
+fn heap_closures() -> u64 {
+    let mut sim = RefSim::new();
+    fn rearm(sim: &mut RefSim, x: u64) {
+        let delta = 1_000_000 + (x * 2_654_435_761) % 700_000;
+        sim.schedule_in(Span::from_ps(delta), move |s| rearm(s, x.wrapping_add(1)));
+    }
+    for i in 0..window() {
+        rearm(&mut sim, i);
+    }
+    sim.set_event_budget(EVENTS);
+    sim.run();
+    sim.executed()
+}
+
+fn wheel_fnarg() -> u64 {
+    let mut sim = Sim::new();
+    fn rearm(sim: &mut Sim, x: u64) {
+        let delta = 1_000_000 + (x * 2_654_435_761) % 700_000;
+        sim.schedule_fn_in(Span::from_ps(delta), rearm, x.wrapping_add(1));
+    }
+    for i in 0..window() {
+        rearm(&mut sim, i);
+    }
+    sim.set_event_budget(EVENTS);
+    sim.run();
+    sim.executed()
+}
+
+fn time_it(name: &str, f: fn() -> u64) {
+    let _ = f();
+    let start = Instant::now();
+    let n = f();
+    let el = start.elapsed();
+    let _ = Time::ZERO;
+    println!(
+        "{name}: {:?} for {n} events = {:.1} M ev/s",
+        el,
+        n as f64 / el.as_secs_f64() / 1e6
+    );
+}
+
+fn wheel_burst() -> u64 {
+    let mut sim = Sim::new();
+    fn burst(sim: &mut Sim, x: u64) {
+        fn nop(_: &mut Sim, _: u64) {}
+        let at = sim.now() + Span::from_ps(1_000_000 + x % 777);
+        for i in 0..4096 {
+            sim.schedule_fn_at(at, nop, i);
+        }
+        sim.schedule_fn_at(at, burst, x.wrapping_mul(48271).wrapping_add(1));
+    }
+    burst(&mut sim, 1);
+    sim.set_event_budget(EVENTS);
+    sim.run();
+    sim.executed()
+}
+
+fn heap_burst() -> u64 {
+    let mut sim = RefSim::new();
+    fn burst(sim: &mut RefSim, x: u64) {
+        let at = sim.now() + Span::from_ps(1_000_000 + x % 777);
+        for _ in 0..4096 {
+            sim.schedule_at(at, |_| {});
+        }
+        sim.schedule_at(at, move |s| burst(s, x.wrapping_mul(48271).wrapping_add(1)));
+    }
+    burst(&mut sim, 1);
+    sim.set_event_budget(EVENTS);
+    sim.run();
+    sim.executed()
+}
+
+fn wheel_openloop() -> u64 {
+    let mut sim = Sim::new();
+    fn nop(_: &mut Sim, _: u64) {}
+    let mut t = 0u64;
+    let mut x = 1u64;
+    for _ in 0..EVENTS {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        t += x % 2_000_000;
+        sim.schedule_fn_at(Time::from_ps(t), nop, 0);
+    }
+    sim.run();
+    sim.executed()
+}
+
+fn heap_openloop() -> u64 {
+    let mut sim = RefSim::new();
+    let mut t = 0u64;
+    let mut x = 1u64;
+    for _ in 0..EVENTS {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        t += x % 2_000_000;
+        sim.schedule_at(Time::from_ps(t), |_| {});
+    }
+    sim.run();
+    sim.executed()
+}
+
+fn main() {
+    time_it("heap  closures", heap_closures);
+    time_it("wheel closures", wheel_closures);
+    time_it("wheel fn-arg  ", wheel_fnarg);
+    time_it("heap  burst   ", heap_burst);
+    time_it("wheel burst   ", wheel_burst);
+    time_it("heap  openloop", heap_openloop);
+    time_it("wheel openloop", wheel_openloop);
+}

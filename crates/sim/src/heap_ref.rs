@@ -1,0 +1,231 @@
+//! The pre-timing-wheel event core, retained as a **reference model**.
+//!
+//! This is the `BinaryHeap`-of-boxed-closures driver the workspace ran on
+//! before the timing-wheel rewrite, kept verbatim in behaviour for two jobs:
+//!
+//! 1. **Differential testing** — the property suite in [`event`](crate::event)
+//!    replays randomized schedule/cancel/same-instant workloads through both
+//!    cores and asserts the `(time, seq)` pop sequences are identical.
+//! 2. **Live baseline** — `kus-bench`'s `simbench` suite measures this core
+//!    on the same machine and the same scenarios as the production core, so
+//!    the recorded events/sec speedup is a same-run ratio rather than a
+//!    stale constant.
+//!
+//! It is **not** a production API: nothing outside tests and the benchmark
+//! harness should drive a [`RefSim`].
+//!
+//! The one deliberate change from the historical code is the comparator.
+//! The old implementation open-coded an inverted `(time, seq)` comparison
+//! inside `Ord` — `(other.at, other.seq).cmp(&(self.at, self.seq))` — a
+//! footgun where a refactor touching one side of the inversion silently
+//! flips dispatch order. The ordering is now defined once by
+//! [`Scheduled::key`] and inverted in exactly one documented place.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Span, Time};
+
+/// A boxed event callback for the reference driver.
+pub type RefEventFn = Box<dyn FnOnce(&mut RefSim)>;
+
+/// The dispatch-order key of a scheduled event: earlier deadlines first,
+/// scheduling order (`seq`) breaking same-instant ties. **This tuple is the
+/// single source of truth for event ordering** — the production wheel sorts
+/// its same-instant batches by the same `seq` component, and the golden
+/// trace fingerprints pin the resulting order.
+pub type EventKey = (Time, u64);
+
+/// A heap entry: deadline, tie-breaker, callback.
+pub struct Scheduled {
+    at: Time,
+    seq: u64,
+    f: RefEventFn,
+}
+
+impl Scheduled {
+    /// The dispatch-order key. Lexicographic `(at, seq)`: strictly earlier
+    /// deadlines always dispatch first; equal deadlines dispatch in
+    /// scheduling order. `seq` is a `u64` assigned monotonically from zero
+    /// and guarded against wraparound at the scheduling site, so the
+    /// lexicographic comparison never sees a wrapped (ambiguous) value.
+    pub fn key(&self) -> EventKey {
+        (self.at, self.seq)
+    }
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    /// `BinaryHeap` is a max-heap, so the comparison is inverted **here and
+    /// only here**: the entry with the smallest [`key`](Scheduled::key) is
+    /// the heap maximum and pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+/// The reference discrete-event driver: identical observable semantics to
+/// [`Sim`](crate::Sim), built on a binary heap of boxed closures.
+#[derive(Default)]
+pub struct RefSim {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    executed: u64,
+    horizon: Time,
+    budget: u64,
+}
+
+impl RefSim {
+    /// An empty reference simulation at time zero.
+    pub fn new() -> RefSim {
+        RefSim {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+            horizon: Time::MAX,
+            budget: u64::MAX,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops [`run`](RefSim::run) once virtual time would pass `t`.
+    pub fn set_horizon(&mut self, t: Time) {
+        self.horizon = t;
+    }
+
+    /// Stops [`run`](RefSim::run) after `n` further events.
+    pub fn set_event_budget(&mut self, n: u64) {
+        self.budget = n;
+    }
+
+    /// Schedules `f` at absolute time `at`. Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: Time, f: impl FnOnce(&mut RefSim) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let seq = self.seq;
+        self.seq = self.seq.checked_add(1).expect("event sequence wrapped");
+        self.queue.push(Scheduled { at, seq, f: Box::new(f) });
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Span, f: impl FnOnce(&mut RefSim) + 'static) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedules `f` at the current instant, after events already scheduled
+    /// for this instant.
+    pub fn schedule_now(&mut self, f: impl FnOnce(&mut RefSim) + 'static) {
+        self.schedule_at(self.now, f);
+    }
+
+    /// Executes one event if one is pending within the horizon.
+    pub fn step(&mut self) -> bool {
+        match self.queue.peek() {
+            Some(ev) if ev.at <= self.horizon => {}
+            _ => return false,
+        }
+        let ev = self.queue.pop().expect("peeked event vanished");
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        self.executed += 1;
+        (ev.f)(self);
+        true
+    }
+
+    /// Runs until drained, horizon, or budget; returns whether it drained.
+    pub fn run(&mut self) -> bool {
+        let mut remaining = self.budget;
+        while remaining > 0 && self.step() {
+            remaining -= 1;
+        }
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(at_ps: u64, seq: u64) -> Scheduled {
+        Scheduled { at: Time::from_ps(at_ps), seq, f: Box::new(|_| {}) }
+    }
+
+    #[test]
+    fn key_is_lexicographic_time_then_seq() {
+        assert!(entry(5, 100).key() < entry(6, 0).key(), "time dominates seq");
+        assert!(entry(5, 1).key() < entry(5, 2).key(), "seq breaks ties");
+        assert_eq!(entry(5, 1).key(), entry(5, 1).key());
+        // Extremes: the largest representable deadline and seq still order
+        // strictly after everything smaller — no wrap, no saturation.
+        assert!(entry(u64::MAX - 1, u64::MAX).key() < entry(u64::MAX, 0).key());
+        assert!(entry(u64::MAX, u64::MAX - 1).key() < entry(u64::MAX, u64::MAX).key());
+    }
+
+    #[test]
+    fn heap_order_is_inverted_key_order() {
+        // Smaller key == greater heap entry (max-heap pops smallest key).
+        assert_eq!(entry(1, 0).cmp(&entry(2, 0)), Ordering::Greater);
+        assert_eq!(entry(2, 0).cmp(&entry(1, 0)), Ordering::Less);
+        assert_eq!(entry(7, 3).cmp(&entry(7, 4)), Ordering::Greater);
+        assert_eq!(entry(7, 3).cmp(&entry(7, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn equal_times_pop_in_scheduling_order_at_seq_extremes() {
+        let mut q = BinaryHeap::new();
+        for seq in [u64::MAX, 0, u64::MAX - 1, 1] {
+            q.push(entry(9, seq));
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.key().1)).collect();
+        assert_eq!(popped, vec![0, 1, u64::MAX - 1, u64::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event sequence wrapped")]
+    fn seq_wraparound_is_guarded_not_silent() {
+        let mut sim = RefSim::new();
+        sim.seq = u64::MAX;
+        sim.schedule_now(|_| {});
+    }
+
+    #[test]
+    fn ref_sim_basic_semantics() {
+        let mut sim = RefSim::new();
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for (delay, v) in [(30u64, 3u32), (10, 1), (20, 2)] {
+            let l = log.clone();
+            sim.schedule_in(Span::from_ns(delay), move |_| l.borrow_mut().push(v));
+        }
+        assert!(sim.run());
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(sim.now(), Time::ZERO + Span::from_ns(30));
+        assert_eq!(sim.executed(), 3);
+    }
+}

@@ -6,8 +6,11 @@
 //!
 //! - [`time`]: integer-picosecond [`Time`]/[`Span`] newtypes and a cycle
 //!   [`Clock`](time::Clock).
-//! - [`event`]: the [`Sim`] driver — a priority queue of `FnOnce(&mut Sim)`
-//!   closures with deterministic same-instant ordering.
+//! - [`event`]: the [`Sim`] driver — a hierarchical timing-wheel scheduler
+//!   ([`wheel`]) over slab-allocated events ([`slab`]) with batched
+//!   same-instant dispatch and deterministic `(time, seq)` ordering.
+//! - [`heap_ref`]: the pre-wheel `BinaryHeap` core, retained as the
+//!   reference model for differential tests and benchmark baselines.
 //! - [`rng`]: seeded, label-splittable random streams.
 //! - [`stats`]: counters, occupancy gauges, span histograms, rate helpers.
 //! - [`fault`]: deterministic fault injection ([`FaultPlan`] /
@@ -36,10 +39,13 @@
 
 pub mod event;
 pub mod fault;
+pub mod heap_ref;
 pub mod rng;
+mod slab;
 pub mod stats;
 pub mod time;
 pub mod trace;
+mod wheel;
 
 pub use event::{RunOutcome, Sim};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};

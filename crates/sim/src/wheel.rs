@@ -1,0 +1,251 @@
+//! Hierarchical timing wheel over the picosecond [`Time`](crate::time::Time)
+//! domain.
+//!
+//! The wheel quantizes deadlines to **ticks** of `2^GRAIN_BITS` ps (65 ns —
+//! coarse enough that microsecond-scale deadlines land in level 0 and never
+//! cascade; dispatch order stays exact regardless, see below). Eight levels
+//! of 64 slots cover the entire tick domain (`64^8 = 2^48` ticks = the full
+//! `u64` ps range), so there is no separate overflow structure: the top
+//! level doubles as the far-future calendar, holding multi-second (and
+//! `Time::MAX`) deadlines in coarse buckets that cascade down as the clock
+//! approaches them. Level `l` slots span `64^l` ticks; an event lands at the
+//! level whose span covers the highest bit in which its deadline tick
+//! differs from the wheel's `elapsed` cursor — O(1) insert.
+//!
+//! Buckets are flat `Vec`s of [`Ready`] entries (deadline, seq, slab id),
+//! not intrusive lists: inserting is a 24-byte append, and cascading or
+//! draining a bucket streams a contiguous array instead of pointer-chasing
+//! through the event slab — the difference between L1 bandwidth and a DRAM
+//! miss per event once millions of events are pending. Bucket capacity is
+//! recycled across revolutions, so steady-state scheduling does not
+//! allocate.
+//!
+//! # Determinism argument
+//!
+//! The wheel reproduces the exact `(time, seq)` total order of a binary
+//! heap:
+//!
+//! - Quantization never reorders: [`next_slot`](Wheel::next_slot) drains one
+//!   level-0 slot (one tick) at a time and **sorts the drained events by
+//!   their exact `(time, seq)` key** before the driver dispatches them, and
+//!   the driver merges any event scheduled *into* the tick currently being
+//!   dispatched at its exact sorted position.
+//! - Bucket-internal order is therefore irrelevant — cascades may
+//!   interleave events arbitrarily without affecting dispatch order.
+//! - Cascading only relocates events; it never fires them, so it is
+//!   invisible to the simulation.
+//!
+//! The differential suite in `event.rs` checks this order against the
+//! retained [`heap_ref`](crate::heap_ref) model on randomized workloads.
+//!
+//! # Cursor invariants
+//!
+//! `elapsed` is the wheel's clock lower bound, in ticks. Invariants
+//! maintained: every pending deadline tick is `>= elapsed`; within each
+//! level all occupied slots sit at indices `>=` the level cursor in the
+//! cursor's revolution (so a one-word occupancy bitmap + `trailing_zeros`
+//! finds the next non-empty slot in O(1)); a deadline tick exactly equal to
+//! `elapsed` can only sit in the level-0 cursor slot. `next_slot` may
+//! advance `elapsed` past the driver's `now` while cascading toward a far
+//! next event; if the driver then schedules between `now` and `elapsed`
+//! (only possible after a horizon-limited peek), [`Wheel::rewind`] rebuilds
+//! the wheel at the earlier cursor — a rare O(pending) fallback, exercised
+//! directly by the unit tests.
+
+use crate::slab::Ready;
+
+/// log2 of the tick width in picoseconds: deadlines are bucketed at
+/// 65,536 ps ≈ 65 ns granularity (dispatch order stays exact — see above).
+/// Sized so that the level-0 revolution (64 ticks ≈ 4.2 µs) covers typical
+/// microsecond-scale reschedule deltas: the hot paths then never cascade.
+pub(crate) const GRAIN_BITS: u32 = 16;
+/// log2 of the slots per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Levels needed so that `64^LEVELS` covers the full tick domain.
+const LEVELS: usize = 8;
+
+/// Hierarchical timing wheel holding `(deadline, seq, slab id)` entries in
+/// flat per-slot buckets.
+pub(crate) struct Wheel {
+    /// Clock lower bound, in ticks. See the module docs for the invariants.
+    elapsed: u64,
+    /// Per-level occupancy bitmap: bit `i` set iff slot `i` is non-empty.
+    occupied: [u64; LEVELS],
+    /// Bucket storage, `LEVELS * SLOTS`, flattened level-major. Entry order
+    /// inside a bucket is insignificant (see the determinism argument).
+    bucket: Vec<Vec<Ready>>,
+    /// Recycled scratch buffer for cascades (holds the capacity of the
+    /// largest bucket cascaded so far).
+    spare: Vec<Ready>,
+    /// Pending events across all buckets.
+    len: usize,
+}
+
+impl Wheel {
+    pub(crate) fn new() -> Wheel {
+        Wheel {
+            elapsed: 0,
+            occupied: [0; LEVELS],
+            bucket: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            spare: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The cursor, in ticks.
+    pub(crate) fn elapsed(&self) -> u64 {
+        self.elapsed
+    }
+
+    /// The level an event at tick distance-pattern `x` belongs to.
+    #[inline]
+    fn level_of(x: u64) -> usize {
+        debug_assert!(x != 0);
+        ((63 - x.leading_zeros()) / LEVEL_BITS) as usize
+    }
+
+    /// Appends an entry to its bucket. The deadline's tick must be
+    /// `>= elapsed` (callers route earlier ones through
+    /// [`rewind`](Wheel::rewind) first).
+    #[inline]
+    pub(crate) fn insert(&mut self, e: Ready) {
+        self.len += 1;
+        self.insert_inner(e);
+    }
+
+    #[inline]
+    fn insert_inner(&mut self, e: Ready) {
+        let tick = e.at >> GRAIN_BITS;
+        debug_assert!(tick >= self.elapsed, "wheel insert behind cursor");
+        let x = tick ^ self.elapsed;
+        let level = if x == 0 { 0 } else { Self::level_of(x) };
+        let shift = LEVEL_BITS * level as u32;
+        let idx = ((tick >> shift) & (SLOTS as u64 - 1)) as usize;
+        self.bucket[level * SLOTS + idx].push(e);
+        self.occupied[level] |= 1 << idx;
+    }
+
+    /// The occupied slot with the smallest start tick among levels `1..`,
+    /// as `(level, idx, slot_start_tick)`. Ties prefer the *higher* level,
+    /// which forces coarse buckets to cascade before an aligned finer bucket
+    /// at the same start dispatches. Must only be called when level 0 is
+    /// empty but the wheel is not (level 0, when occupied, is always
+    /// strictly earliest — see [`next_slot`](Wheel::next_slot)).
+    #[cold]
+    fn earliest_upper(&self) -> (usize, usize, u64) {
+        let mut best = (usize::MAX, 0usize, u64::MAX);
+        for level in 1..LEVELS {
+            let occ = self.occupied[level];
+            if occ == 0 {
+                continue;
+            }
+            let shift = LEVEL_BITS * level as u32;
+            let cursor = ((self.elapsed >> shift) & (SLOTS as u64 - 1)) as u32;
+            let rel = occ >> cursor;
+            debug_assert!(rel != 0, "occupied slot behind the level cursor");
+            let idx = cursor + rel.trailing_zeros();
+            let above = shift + LEVEL_BITS;
+            let page = if above >= 64 { 0 } else { (self.elapsed >> above) << above };
+            let start = page | ((idx as u64) << shift);
+            if start <= best.2 {
+                best = (level, idx as usize, start);
+            }
+        }
+        debug_assert!(best.0 != usize::MAX);
+        best
+    }
+
+    /// Extracts the next non-empty tick with `tick <= horizon_tick`,
+    /// appending its events to `out` **sorted by the exact `(time, seq)`
+    /// key**, and leaves the cursor on that tick. Returns whether a tick was
+    /// extracted (`out` is left empty otherwise — wheel empty, or nothing
+    /// due within the horizon).
+    ///
+    /// Cascading performed on the way is behaviorally invisible, but may
+    /// leave `elapsed` beyond the caller's clock when `false` is returned —
+    /// the caller handles later inserts behind `elapsed` via `rewind`.
+    #[inline]
+    pub(crate) fn next_slot(&mut self, horizon_tick: u64, out: &mut Vec<Ready>) -> bool {
+        debug_assert!(out.is_empty());
+        if self.len == 0 {
+            return false;
+        }
+        loop {
+            // Fast path: any occupied level-0 slot at/after the cursor is
+            // *strictly* the earliest work — upper-level buckets in the
+            // current rotation always start at or beyond the next level-0
+            // revolution boundary (their slot index differs from the level
+            // cursor, so their start has a higher-order bit above the whole
+            // level-0 page). No level scan needed.
+            let c0 = (self.elapsed & (SLOTS as u64 - 1)) as u32;
+            let rel0 = self.occupied[0] >> c0;
+            if rel0 != 0 {
+                let idx = (c0 + rel0.trailing_zeros()) as usize;
+                let start = (self.elapsed & !(SLOTS as u64 - 1)) | idx as u64;
+                if start > horizon_tick {
+                    return false;
+                }
+                self.elapsed = start;
+                self.occupied[0] &= !(1 << idx);
+                let b = &mut self.bucket[idx];
+                debug_assert!(b.iter().all(|e| e.at >> GRAIN_BITS == start));
+                self.len -= b.len();
+                out.append(b);
+                if out.len() > 1 {
+                    out.sort_unstable_by_key(|e| (e.at, e.seq));
+                }
+                return true;
+            }
+            let (level, idx, start) = self.earliest_upper();
+            if start > horizon_tick {
+                // The true next deadline is >= start, so nothing is due.
+                return false;
+            }
+            // Cascade the coarse bucket: advance the cursor to the bucket's
+            // start and re-bucket its events one or more levels finer. An
+            // entry never lands back in the same bucket (relative to the new
+            // cursor its distance pattern is strictly below this level), so
+            // streaming from the detached buffer is safe.
+            self.elapsed = self.elapsed.max(start);
+            self.occupied[level] &= !(1 << idx);
+            let mut list = std::mem::replace(
+                &mut self.bucket[level * SLOTS + idx],
+                std::mem::take(&mut self.spare),
+            );
+            for &e in &list {
+                self.insert_inner(e);
+            }
+            list.clear();
+            self.spare = list;
+        }
+    }
+
+    /// Moves the cursor *backwards* to `tick` (which must still cover
+    /// deadlines `>=` the driver's clock), re-bucketing every pending event
+    /// relative to the new cursor. Only reachable when a horizon-limited
+    /// peek cascaded ahead and the driver then scheduled into the gap —
+    /// rare, and O(pending).
+    pub(crate) fn rewind(&mut self, tick: u64) {
+        debug_assert!(tick < self.elapsed);
+        let mut all = Vec::with_capacity(self.len);
+        for level in 0..LEVELS {
+            let mut occ = self.occupied[level];
+            self.occupied[level] = 0;
+            while occ != 0 {
+                let idx = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                all.append(&mut self.bucket[level * SLOTS + idx]);
+            }
+        }
+        self.elapsed = tick;
+        for e in all {
+            self.insert_inner(e);
+        }
+    }
+}

@@ -50,6 +50,34 @@ fn fingerprint(r: &RunReport) -> (u64, u64) {
     (t.hash, t.count)
 }
 
+/// The platform matrix's fingerprints, pinned in source: reproducibility
+/// within one build (the test above) is not enough — the stream must also
+/// survive *rewrites of the machinery underneath* — the timing-wheel core
+/// reproduces the exact streams the original heap core produced (the
+/// committed goldens predate the rewrite and still pass), and these
+/// constants hold future cores to it. Changing them requires editing this test — do
+/// so only for an intentional instrumentation change, never for a
+/// scheduler/allocator change (those must be invisible).
+#[test]
+fn platform_matrix_fingerprints_pinned_in_source() {
+    const PINNED: &[(Mechanism, &str, u64, u64)] = &[
+        (Mechanism::OnDemand, "microbench", 802992426659715233, 564),
+        (Mechanism::Prefetch, "microbench", 17982647613069471200, 684),
+        (Mechanism::SoftwareQueue, "microbench", 15950434745468732729, 1080),
+        (Mechanism::OnDemand, "bloom", 14957599567877767745, 160),
+        (Mechanism::Prefetch, "bloom", 1290797045534035190, 164),
+        (Mechanism::SoftwareQueue, "bloom", 14037018213632149953, 2011),
+    ];
+    let mut diverged = Vec::new();
+    for &(mechanism, workload, hash, count) in PINNED {
+        let r = run_traced(mechanism, workload, 1);
+        if fingerprint(&r) != (hash, count) {
+            diverged.push(format!("{mechanism:?}/{workload}: {:?}", fingerprint(&r)));
+        }
+    }
+    assert!(diverged.is_empty(), "fingerprints diverged from source-pinned values:\n{}", diverged.join("\n"));
+}
+
 /// Same seed + same configuration ⇒ identical trace hash and event count,
 /// across the full mechanism × workload matrix.
 #[test]

@@ -107,6 +107,30 @@ fn golden_chaos_stalls() {
     check_scenario("chaos-stalls");
 }
 
+/// The committed fingerprints, pinned in *source* as well as in the golden
+/// files. The golden files can be re-blessed with one environment variable;
+/// these constants cannot — changing them requires editing this test, so an
+/// unintentional event-stream change (e.g. from a scheduler rewrite) fails
+/// even if the goldens were blindly regenerated. Update both together, on
+/// purpose.
+#[test]
+fn golden_fingerprints_pinned_in_source() {
+    const PINNED: &[(&str, u64, u64)] = &[
+        ("ondemand-baseline", 0x440dedf29d4e87c9, 676),
+        ("swq-optimized", 0x1e0aea9385dfef96, 4407),
+        ("chaos-stalls", 0x9f24373df863c08a, 2787),
+    ];
+    for &(name, hash, count) in PINNED {
+        let r = run_trace_scenario(name, SEED).expect("canonical scenario");
+        let t = r.trace.expect("traced run");
+        assert_eq!(
+            (t.hash, t.count),
+            (hash, count),
+            "{name}: trace fingerprint diverged from the source-pinned golden"
+        );
+    }
+}
+
 /// Every canonical scenario has a golden test above — fail loudly if a new
 /// scenario is added without pinning it.
 #[test]
