@@ -100,7 +100,7 @@ fn bench_platform_end_to_end() {
             iters_per_fiber: 500,
             writes_per_iter: 0,
         });
-        let r = Platform::new(cfg).run(&mut w);
+        let r = Platform::try_new(cfg).expect("valid config").run(&mut w);
         r.accesses
     });
 }

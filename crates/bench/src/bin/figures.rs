@@ -1,20 +1,23 @@
 //! Regenerates the figures of the paper's evaluation as text tables, and
 //! runs ad-hoc configuration sweeps, through the parallel sweep engine.
 //!
-//! Figure mode:
+//! Usage is subcommand-first; the shared flags `--jobs N` (worker
+//! threads, 0 = one per hardware thread; output is byte-identical for any
+//! N), `--seed S`, `--json PATH`, and `--csv PATH` are parsed in one
+//! place and accepted by every mode that runs cells. The pre-subcommand
+//! flag spellings (`--sweep`, `--load`, `--overload`, `--trace PATH`,
+//! `--trace-hash`, `--profile PATH`, `--simbench`) remain hidden aliases
+//! for one release.
+//!
+//! Figure mode (the default, or explicitly `figures figures`):
 //!   figures                 # all figures, fast quality (idealized device)
 //!   figures --full          # record/replay device, longer loops
 //!   figures --fig fig3      # one figure (or a prefix, e.g. --fig fig10)
 //!   figures --ablations     # the ablation studies as well
 //!   figures --faults plan.toml  # inject the given fault plan into every run
-//!   figures --seed 42       # override the platform RNG seed
-//!   figures --jobs N        # worker threads (0 = one per hardware thread;
-//!                           # default 0). Output is byte-identical for any N.
-//!   figures --json out.json # also write the raw cell results as JSON
-//!   figures --csv out.csv   # also write the raw cell results as CSV
 //!
-//! Sweep mode (a declarative matrix over the microbenchmark):
-//!   figures --sweep --mech swq,prefetch --lat 1us,4us --fibers 1,8,24 \
+//! `figures sweep` (a declarative matrix over the microbenchmark):
+//!   figures sweep --mech swq,prefetch --lat 1us,4us --fibers 1,8,24 \
 //!           --cores 1,4 --seeds 1,2 --jobs 4 --json out.json
 //!   Axis flags: --mech --lat --cores --fibers --smt --lfbs --credits
 //!   --ring --burst --ctx --seeds (comma-separated lists; omitted axes keep
@@ -22,24 +25,26 @@
 //!   Cells print as `index label work_ipc` lines; --json/--csv emit the full
 //!   machine-readable results (byte-identical across --jobs values).
 //!
-//! Trace mode:
-//!   figures --trace out.json    # write a Chrome trace of a canonical
-//!                               # scenario (default swq-optimized) and exit
-//!   figures --trace-hash        # print each canonical scenario's trace
-//!                               # hash (the determinism fingerprint) and exit
-//!   figures --scenario NAME     # select the --trace scenario
+//! `figures trace` (Chrome traces and determinism hashes):
+//!   figures trace --out out.json [--canonical NAME]  # write a Chrome
+//!                               # trace of a canonical run (default
+//!                               # swq-optimized) and exit
+//!   figures trace --hash        # print each canonical run's trace hash
+//!                               # (the determinism fingerprint) and exit
+//!   Honours --seed; the hash lines are stable for a given seed, which is
+//!   what CI diffs across two invocations.
 //!
-//! Profile mode (the §4 acceptance suite: one profiled scenario per
+//! `figures profile` (the §4 acceptance suite: one profiled run per
 //! mechanism, each expected to reproduce the paper's diagnosis):
-//!   figures --profile out.json [--speedscope STEM] [--seed S] [--jobs N]
-//!   Prints each scenario's text dashboard, writes the suite's profile JSON
+//!   figures profile --out out.json [--speedscope STEM] [--seed S] [--jobs N]
+//!   Prints each run's text dashboard, writes the suite's profile JSON
 //!   to out.json (byte-identical across --jobs values and repeated
 //!   same-seed runs — CI diffs it), and with --speedscope writes one
-//!   speedscope flamegraph per scenario to STEM-<scenario>.speedscope.json.
-//!   Exits non-zero when any scenario misses its expected verdict.
+//!   speedscope flamegraph per run to STEM-<name>.speedscope.json.
+//!   Exits non-zero when any run misses its expected verdict.
 //!
-//! Load mode (a serving sweep: mechanism × offered Poisson rate):
-//!   figures --load --service memcached --mech ondemand,prefetch,swq \
+//! `figures load` (a serving sweep: mechanism × offered Poisson rate):
+//!   figures load --service memcached --mech ondemand,prefetch,swq \
 //!           --rates 250k,500k,1m,2m,4m --requests 400 --queue-cap 64 \
 //!           --cores 2 --fibers 8 --jobs 4 --json load.json --csv load.csv
 //!   --service is echo | memcached | bloom (default memcached). --slo-p99 /
@@ -48,9 +53,9 @@
 //!   columns) and the saturation knee per mechanism; --json/--csv emit the
 //!   full per-cell LoadReports, byte-identical across --jobs values.
 //!
-//! Overload mode (a degradation sweep: admission policy × fault plan ×
-//! offered rate, plus the budgeted/unbudgeted retry pair):
-//!   figures --overload --service echo --policies static,deadline,adaptive \
+//! `figures overload` (a degradation sweep: admission policy × fault plan
+//! × offered rate, plus the budgeted/unbudgeted retry pair):
+//!   figures overload --service echo --policies static,deadline,adaptive \
 //!           --rates 1m,3m --requests 400 --queue-cap 24 --slo-p99 46us \
 //!           --jobs 4 --json overload.json --csv overload.csv \
 //!           --bench BENCH_overload.json
@@ -61,9 +66,9 @@
 //!   writes the wall-clock/events-per-second record (not deterministic —
 //!   excluded from CI byte-diffs).
 //!
-//! Simbench mode (the simulator-substrate throughput suite: the timing-
-//! wheel event core vs the retained heap reference, measured live):
-//!   figures --simbench [--samples N] [--label wheel-slab] \
+//! `figures simbench` (the simulator-substrate throughput suite: the
+//! timing-wheel event core vs the retained heap reference, measured live):
+//!   figures simbench [--samples N] [--label wheel-slab] \
 //!           [--bench artifacts/simbench/BENCH_simbench.json] \
 //!           [--check artifacts/simbench/simbench_check.json]
 //!   Prints the per-scenario events/sec table. --bench writes the
@@ -73,14 +78,29 @@
 //!   invocations. Exits non-zero if the cores diverge (that assertion
 //!   panics first).
 //!
-//! `--trace`/`--trace-hash` honour `--seed`; the hash lines are stable for
-//! a given seed, which is what CI diffs across two invocations.
+//! `figures scenario` (one declarative TOML world, compiled and run):
+//!   figures scenario scenarios/calm-poisson.toml [--jobs N] \
+//!           [--json out.json] [--csv out.csv] [--bench BENCH.json]
+//!   Compiles the file through kus-scenario and runs it. A scenario
+//!   carrying a `[matrix]` section runs the full overload matrix (policy ×
+//!   plan × rate) and emits exactly the `figures overload` artifacts; a
+//!   plain scenario runs once and prints its LoadReport (--json emits it).
+//!
+//! `figures scenario-matrix` (score every mechanism across the corpus):
+//!   figures scenario-matrix [--dir scenarios] [--mech ondemand,swq] \
+//!           [--jobs N] [--json out.json] [--csv out.csv]
+//!   Compiles every *.toml in the corpus directory (sorted by filename; a
+//!   file that no longer parses fails the run), runs every scenario under
+//!   every mechanism, and prints the scoreboard. Artifacts are
+//!   byte-identical across --jobs values.
 
 use kus_bench::load::{run_load_sweep, LoadSweepSpec};
 use kus_bench::overload::{run_overload_sweep, OverloadSweepSpec};
 use kus_bench::profile::run_profile_suite;
+use kus_bench::scenario::{load_scenario_dir, run_scenario_matrix, ScenarioMatrixSpec};
 use kus_bench::sweep::{run_figures, run_sweep, SweepOptions, SweepSpec};
 use kus_core::prelude::*;
+use kus_scenario::Scenario;
 use kus_load::{
     service_factory, AdmissionControl, ArrivalProcess, EchoService, LoadSpec, SloSpec,
 };
@@ -97,6 +117,44 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 fn fail(msg: String) -> ! {
     eprintln!("{msg}");
     std::process::exit(2);
+}
+
+/// The flags shared by every mode, parsed in exactly one place: `--jobs`
+/// (worker threads), `--seed` (platform RNG override), and the `--json` /
+/// `--csv` artifact paths.
+struct Common {
+    jobs: usize,
+    seed: Option<u64>,
+    json: Option<String>,
+    csv: Option<String>,
+}
+
+fn common(args: &[String]) -> Common {
+    let jobs = match flag_value(args, "--jobs") {
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| fail(format!("--jobs: expected an unsigned integer, got `{s}`"))),
+        None => 0,
+    };
+    let seed = flag_value(args, "--seed").map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| fail(format!("--seed: expected an unsigned integer, got `{s}`")))
+    });
+    Common { jobs, seed, json: flag_value(args, "--json"), csv: flag_value(args, "--csv") }
+}
+
+impl Common {
+    fn opts(&self) -> SweepOptions {
+        SweepOptions { jobs: self.jobs, progress: true }
+    }
+}
+
+/// Writes an artifact, logging the path and a cell count.
+fn write_artifact(flag: &str, path: &str, content: &str, cells: usize) {
+    if let Err(e) = std::fs::write(path, content) {
+        fail(format!("{flag}: cannot write {path}: {e}"));
+    }
+    eprintln!("# wrote {path} ({cells} cells)");
 }
 
 /// Parses `--flag a,b,c` into a vector via `parse`, exiting on bad input.
@@ -134,57 +192,68 @@ fn parse_mech(s: &str) -> Option<Mechanism> {
 
 const TRACE_SEED: u64 = 0xC0FFEE;
 
+/// Legacy spellings: `--trace PATH` / `--trace-hash` with no subcommand.
 fn trace_mode(args: &[String]) -> Option<i32> {
     let out = flag_value(args, "--trace");
     let hash_only = args.iter().any(|a| a == "--trace-hash");
     if out.is_none() && !hash_only {
         return None;
     }
-    let seed = match flag_value(args, "--seed") {
-        Some(s) => match s.parse() {
-            Ok(v) => v,
-            Err(_) => {
-                eprintln!("--seed: expected an unsigned integer, got `{s}`");
-                return Some(2);
-            }
-        },
-        None => TRACE_SEED,
-    };
+    Some(trace_mode_run(args, out, hash_only))
+}
+
+/// `figures trace`: `--out PATH` writes a Chrome trace, `--hash` prints
+/// the canonical determinism hashes.
+fn trace_sub(args: &[String]) -> i32 {
+    let out = flag_value(args, "--out").or_else(|| flag_value(args, "--trace"));
+    let hash_only = args.iter().any(|a| a == "--hash" || a == "--trace-hash");
+    if out.is_none() && !hash_only {
+        fail("trace: expected --out PATH or --hash".into());
+    }
+    trace_mode_run(args, out, hash_only)
+}
+
+fn trace_mode_run(args: &[String], out: Option<String>, hash_only: bool) -> i32 {
+    let seed = common(args).seed.unwrap_or(TRACE_SEED);
     if hash_only {
-        // One line per canonical scenario: `name hash event-count`.
+        // One line per canonical run: `name hash event-count`.
         for s in trace_scenarios() {
             let r = run_trace_scenario(s.name, seed).expect("canonical scenario");
             let t = r.trace.expect("traced run");
             println!("{} {:016x} {}", s.name, t.hash, t.count);
         }
-        return Some(0);
+        return 0;
     }
-    let path = out.expect("checked above");
-    let scenario = flag_value(args, "--scenario").unwrap_or_else(|| "swq-optimized".into());
-    let Some(r) = run_trace_scenario(&scenario, seed) else {
+    let path = out.expect("checked by both callers");
+    // `--scenario` was this flag's pre-subcommand spelling; the scenario
+    // subcommand owns that word now.
+    let canonical = flag_value(args, "--canonical")
+        .or_else(|| flag_value(args, "--scenario"))
+        .unwrap_or_else(|| "swq-optimized".into());
+    let Some(r) = run_trace_scenario(&canonical, seed) else {
         eprintln!(
-            "--scenario: unknown `{scenario}`; available: {}",
+            "--canonical: unknown `{canonical}`; available: {}",
             trace_scenarios().iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
         );
-        return Some(2);
+        return 2;
     };
     let t = r.trace.as_ref().expect("traced run");
     let json = kus_sim::trace::chrome_json(&t.events);
     if let Err(e) = std::fs::write(&path, json) {
-        eprintln!("--trace: cannot write {path}: {e}");
-        return Some(2);
+        eprintln!("--out: cannot write {path}: {e}");
+        return 2;
     }
     eprintln!(
-        "# {scenario}: {} events, hash {:016x}, {} -> {path}",
+        "# {canonical}: {} events, hash {:016x}, {} -> {path}",
         t.count,
         t.hash,
         r.summary()
     );
-    Some(0)
+    0
 }
 
 /// Builds the quality (and thus base config) from the shared CLI flags.
-fn quality(args: &[String]) -> Quality {
+fn quality(args: &[String], com: &Common) -> Quality {
     let mut q = if args.iter().any(|a| a == "--full") { Quality::full() } else { Quality::fast() };
     if let Some(path) = flag_value(args, "--faults") {
         let text = std::fs::read_to_string(&path)
@@ -192,42 +261,23 @@ fn quality(args: &[String]) -> Quality {
         q.faults = FaultPlan::parse_toml(&text)
             .unwrap_or_else(|e| fail(format!("--faults: invalid plan in {path}: {e}")));
     }
-    if let Some(seed) = flag_value(args, "--seed") {
-        q.seed = Some(seed.parse().unwrap_or_else(|_| {
-            fail(format!("--seed: expected an unsigned integer, got `{seed}`"))
-        }));
-    }
+    q.seed = com.seed.or(q.seed);
     q
 }
 
-fn sweep_options(args: &[String]) -> SweepOptions {
-    let jobs = match flag_value(args, "--jobs") {
-        Some(s) => s
-            .parse()
-            .unwrap_or_else(|_| fail(format!("--jobs: expected an unsigned integer, got `{s}`"))),
-        None => 0,
-    };
-    SweepOptions { jobs, progress: true }
-}
-
-fn write_artifacts(args: &[String], results: &kus_bench::SweepResults) {
-    if let Some(path) = flag_value(args, "--json") {
-        if let Err(e) = std::fs::write(&path, results.to_json()) {
-            fail(format!("--json: cannot write {path}: {e}"));
-        }
-        eprintln!("# wrote {path} ({} cells)", results.cells.len());
+fn write_artifacts(com: &Common, results: &kus_bench::SweepResults) {
+    if let Some(path) = &com.json {
+        write_artifact("--json", path, &results.to_json(), results.cells.len());
     }
-    if let Some(path) = flag_value(args, "--csv") {
-        if let Err(e) = std::fs::write(&path, results.to_csv()) {
-            fail(format!("--csv: cannot write {path}: {e}"));
-        }
-        eprintln!("# wrote {path} ({} cells)", results.cells.len());
+    if let Some(path) = &com.csv {
+        write_artifact("--csv", path, &results.to_csv(), results.cells.len());
     }
 }
 
-/// `--sweep` mode: a declarative matrix over the microbenchmark.
+/// `figures sweep`: a declarative matrix over the microbenchmark.
 fn sweep_mode(args: &[String]) -> i32 {
-    let q = quality(args);
+    let com = common(args);
+    let q = quality(args, &com);
     let mut cfg = PlatformConfig::paper_default();
     if !q.replay_device {
         cfg = cfg.without_replay_device();
@@ -264,7 +314,7 @@ fn sweep_mode(args: &[String]) -> i32 {
         .ctx_switches(&list(args, "--ctx", parse_span))
         .seeds(&list(args, "--seeds", |s| s.parse().ok()));
 
-    let opts = sweep_options(args);
+    let opts = com.opts();
     eprintln!("# sweep: {} cells, jobs={}", spec.cell_count(), opts.jobs);
     let results = run_sweep(&spec, &opts);
     eprintln!("# sweep: done in {:.2}s", results.wall_seconds);
@@ -274,24 +324,25 @@ fn sweep_mode(args: &[String]) -> i32 {
             Err(e) => println!("{} {} ERROR {e}", c.index, c.label),
         }
     }
-    write_artifacts(args, &results);
+    write_artifacts(&com, &results);
     i32::from(results.errors().count() > 0)
 }
 
-/// `--profile` mode: the §4 acceptance suite (see the module docs).
-fn profile_mode(args: &[String]) -> i32 {
-    let path = flag_value(args, "--profile")
-        .unwrap_or_else(|| fail("--profile: expected an output path".to_string()));
-    let seed: u64 = flag_value(args, "--seed")
-        .map(|s| s.parse().unwrap_or_else(|_| fail(format!("--seed: bad value `{s}`"))))
-        .unwrap_or(7);
-    let opts = sweep_options(args);
+/// `figures profile`: the §4 acceptance suite (see the module docs).
+/// `path_flag` is `--out` for the subcommand, `--profile` for the legacy
+/// spelling.
+fn profile_mode(args: &[String], path_flag: &str) -> i32 {
+    let path = flag_value(args, path_flag)
+        .unwrap_or_else(|| fail(format!("{path_flag}: expected an output path")));
+    let com = common(args);
+    let seed: u64 = com.seed.unwrap_or(7);
+    let opts = com.opts();
     eprintln!("# profile suite: 3 scenarios, seed={seed}, jobs={}", opts.jobs);
     let suite = run_profile_suite(seed, &opts);
     eprintln!("# profile suite: done in {:.2}s", suite.wall_seconds);
     print!("{}", suite.render_dashboards());
     if let Err(e) = std::fs::write(&path, suite.to_json()) {
-        fail(format!("--profile: cannot write {path}: {e}"));
+        fail(format!("{path_flag}: cannot write {path}: {e}"));
     }
     eprintln!("# wrote {path} ({} scenarios)", suite.outcomes.len());
     if let Some(stem) = flag_value(args, "--speedscope") {
@@ -320,9 +371,10 @@ fn parse_rate(s: &str) -> Option<u64> {
     }
 }
 
-/// `--load` mode: a serving sweep over mechanism × offered Poisson rate.
+/// `figures load`: a serving sweep over mechanism × offered Poisson rate.
 fn load_mode(args: &[String]) -> i32 {
-    let q = quality(args);
+    let com = common(args);
+    let q = quality(args, &com);
     let mut cfg = PlatformConfig::paper_default().cores(2).fibers_per_core(8);
     if !q.replay_device {
         cfg = cfg.without_replay_device();
@@ -379,22 +431,16 @@ fn load_mode(args: &[String]) -> i32 {
         sweep = sweep.rates(&rates);
     }
 
-    let opts = sweep_options(args);
+    let opts = com.opts();
     eprintln!("# load sweep: {} cells, jobs={}", sweep.cell_count(), opts.jobs);
     let results = run_load_sweep(&sweep, &opts);
     eprintln!("# load sweep: done in {:.2}s", results.wall_seconds);
     print!("{}", results.render_table());
-    if let Some(path) = flag_value(args, "--json") {
-        if let Err(e) = std::fs::write(&path, results.to_json()) {
-            fail(format!("--json: cannot write {path}: {e}"));
-        }
-        eprintln!("# wrote {path} ({} cells)", results.cells.len());
+    if let Some(path) = &com.json {
+        write_artifact("--json", path, &results.to_json(), results.cells.len());
     }
-    if let Some(path) = flag_value(args, "--csv") {
-        if let Err(e) = std::fs::write(&path, results.to_csv()) {
-            fail(format!("--csv: cannot write {path}: {e}"));
-        }
-        eprintln!("# wrote {path} ({} cells)", results.cells.len());
+    if let Some(path) = &com.csv {
+        write_artifact("--csv", path, &results.to_csv(), results.cells.len());
     }
     i32::from(results.errors().count() > 0)
 }
@@ -411,9 +457,10 @@ fn parse_policy(s: &str) -> Option<AdmissionControl> {
     }
 }
 
-/// `--overload` mode: the degradation sweep (policy × fault plan × rate).
+/// `figures overload`: the degradation sweep (policy × fault plan × rate).
 fn overload_mode(args: &[String]) -> i32 {
-    let q = quality(args);
+    let com = common(args);
+    let q = quality(args, &com);
     // Few fibers so queue waits (the admission signal) actually build under
     // overload; the SLO bound sits between deadline-aware's worst drain
     // bucket and static's, which is what the degradation matrix contrasts.
@@ -464,22 +511,24 @@ fn overload_mode(args: &[String]) -> i32 {
         sweep = sweep.rates(&rates);
     }
 
-    let opts = sweep_options(args);
+    let opts = com.opts();
     eprintln!("# overload sweep: {} cells + retry pair, jobs={}", sweep.cell_count(), opts.jobs);
     let results = run_overload_sweep(&sweep, &opts);
     eprintln!("# overload sweep: done in {:.2}s", results.wall_seconds);
     print!("{}", results.render_table());
-    if let Some(path) = flag_value(args, "--json") {
-        if let Err(e) = std::fs::write(&path, results.to_json()) {
-            fail(format!("--json: cannot write {path}: {e}"));
-        }
-        eprintln!("# wrote {path} ({} cells)", results.cells.len());
+    emit_overload_artifacts(&com, args, &results);
+    i32::from(!results.errors().is_empty())
+}
+
+/// Writes the overload artifacts (`--json`, `--csv`, and the
+/// non-deterministic `--bench` record) — shared by `figures overload` and
+/// matrix-carrying `figures scenario` runs.
+fn emit_overload_artifacts(com: &Common, args: &[String], results: &kus_bench::OverloadResults) {
+    if let Some(path) = &com.json {
+        write_artifact("--json", path, &results.to_json(), results.cells.len());
     }
-    if let Some(path) = flag_value(args, "--csv") {
-        if let Err(e) = std::fs::write(&path, results.to_csv()) {
-            fail(format!("--csv: cannot write {path}: {e}"));
-        }
-        eprintln!("# wrote {path} ({} cells)", results.cells.len());
+    if let Some(path) = &com.csv {
+        write_artifact("--csv", path, &results.to_csv(), results.cells.len());
     }
     if let Some(path) = flag_value(args, "--bench") {
         if let Err(e) = std::fs::write(&path, results.bench_json()) {
@@ -487,10 +536,101 @@ fn overload_mode(args: &[String]) -> i32 {
         }
         eprintln!("# wrote {path}");
     }
-    i32::from(!results.errors().is_empty())
 }
 
-/// `--simbench` mode: the simulator-substrate throughput suite.
+/// `figures scenario FILE`: compile one declarative world and run it.
+fn scenario_mode(args: &[String]) -> i32 {
+    let file = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .cloned()
+        .or_else(|| flag_value(args, "--file"))
+        .unwrap_or_else(|| fail("scenario: expected a scenario .toml path".into()));
+    let com = common(args);
+    let text = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| fail(format!("scenario: cannot read {file}: {e}")));
+    let mut sc = Scenario::from_toml(&text)
+        .unwrap_or_else(|e| fail(format!("scenario: {file}: {e}")));
+    if let Some(seed) = com.seed {
+        // --seed overrides even an explicit scenario seed, matching every
+        // other mode.
+        let spec = sc.spec().clone().seed(seed);
+        sc = spec.compile().unwrap_or_else(|e| fail(format!("scenario: {file}: {e}")));
+    }
+    eprintln!(
+        "# scenario {}: service={} fingerprint={:016x}",
+        sc.name(),
+        sc.service_name(),
+        sc.fingerprint()
+    );
+
+    if let Some(m) = sc.matrix().cloned() {
+        // A matrix scenario IS an overload sweep: same engine, same
+        // artifacts, byte-for-byte.
+        let sweep = OverloadSweepSpec::new(sc.service_name(), sc.service(), sc.load(), sc.cfg().clone())
+            .policies(&m.policies)
+            .plans(&m.plans)
+            .rates(&m.rates)
+            .with_retry_pair(m.retry_pair);
+        let opts = com.opts();
+        eprintln!(
+            "# scenario matrix: {} cells + retry pair, jobs={}",
+            sweep.cell_count(),
+            opts.jobs
+        );
+        let results = run_overload_sweep(&sweep, &opts);
+        eprintln!("# scenario matrix: done in {:.2}s", results.wall_seconds);
+        print!("{}", results.render_table());
+        emit_overload_artifacts(&com, args, &results);
+        return i32::from(!results.errors().is_empty());
+    }
+
+    let exp = sc.experiment().unwrap_or_else(|e| fail(format!("scenario: {file}: {e}")));
+    let run = exp.run();
+    let Some(report) = kus_load::LoadReport::from_run(&run) else {
+        fail(format!("scenario: {file}: run produced no serving trace events"));
+    };
+    println!("{}", report.to_table());
+    let slo = sc.load().slo;
+    if slo.p99.is_some() || slo.p999.is_some() || slo.max_shed_fraction.is_some() {
+        let v = slo.verdict(&report);
+        println!("slo: {}", if v.pass { "pass" } else { "FAIL" });
+    }
+    if let Some(path) = &com.json {
+        let json = format!(
+            "{{\n  \"scenario\": \"{}\",\n  \"fingerprint\": \"{:016x}\",\n  \"report\": {}\n}}\n",
+            sc.name(),
+            sc.fingerprint(),
+            report.to_json(),
+        );
+        write_artifact("--json", path, &json, 1);
+    }
+    0
+}
+
+/// `figures scenario-matrix`: compile the corpus, score every mechanism.
+fn scenario_matrix_mode(args: &[String]) -> i32 {
+    let dir = flag_value(args, "--dir").unwrap_or_else(|| "scenarios".into());
+    let com = common(args);
+    let scenarios = load_scenario_dir(std::path::Path::new(&dir))
+        .unwrap_or_else(|e| fail(format!("scenario-matrix: {e}")));
+    eprintln!("# scenario-matrix: {} scenarios from {dir}", scenarios.len());
+    let spec = ScenarioMatrixSpec::new(scenarios).mechanisms(&list(args, "--mech", parse_mech));
+    let opts = com.opts();
+    eprintln!("# scenario-matrix: {} cells, jobs={}", spec.cell_count(), opts.jobs);
+    let results = run_scenario_matrix(&spec, &opts);
+    eprintln!("# scenario-matrix: done in {:.2}s", results.wall_seconds);
+    print!("{}", results.render_table());
+    if let Some(path) = &com.json {
+        write_artifact("--json", path, &results.to_json(), results.cells.len());
+    }
+    if let Some(path) = &com.csv {
+        write_artifact("--csv", path, &results.to_csv(), results.cells.len());
+    }
+    i32::from(results.errors().count() > 0)
+}
+
+/// `figures simbench`: the simulator-substrate throughput suite.
 fn simbench_mode(args: &[String]) -> i32 {
     let samples: u32 = flag_value(args, "--samples")
         .map(|s| s.parse().unwrap_or_else(|_| fail(format!("--samples: bad value `{s}`"))))
@@ -518,30 +658,12 @@ fn simbench_mode(args: &[String]) -> i32 {
     0
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(code) = trace_mode(&args) {
-        std::process::exit(code);
-    }
-    if args.iter().any(|a| a == "--simbench") {
-        std::process::exit(simbench_mode(&args));
-    }
-    if args.iter().any(|a| a == "--sweep") {
-        std::process::exit(sweep_mode(&args));
-    }
-    if args.iter().any(|a| a == "--profile") {
-        std::process::exit(profile_mode(&args));
-    }
-    if args.iter().any(|a| a == "--load") {
-        std::process::exit(load_mode(&args));
-    }
-    if args.iter().any(|a| a == "--overload") {
-        std::process::exit(overload_mode(&args));
-    }
-
+/// Figure mode: regenerate the paper's evaluation tables (the default).
+fn figures_mode(args: &[String]) -> i32 {
+    let com = common(args);
     let ablations = args.iter().any(|a| a == "--ablations");
-    let only: Option<String> = flag_value(&args, "--fig");
-    let q = quality(&args);
+    let only: Option<String> = flag_value(args, "--fig");
+    let q = quality(args, &com);
     eprintln!(
         "# quality: iters={} replay_device={} faults={} (use --full for the paper methodology)",
         q.iters,
@@ -562,8 +684,7 @@ fn main() {
         }
     }
 
-    let opts = sweep_options(&args);
-    let (figsets, results) = run_figures(&entries, q, &opts);
+    let (figsets, results) = run_figures(&entries, q, &com.opts());
     eprintln!(
         "# {} unique cells in {:.2}s ({} errors)",
         results.cells.len(),
@@ -576,6 +697,56 @@ fn main() {
             println!("{}", fig.render_table());
         }
     }
-    write_artifacts(&args, &results);
-    std::process::exit(i32::from(results.errors().count() > 0));
+    write_artifacts(&com, &results);
+    i32::from(results.errors().count() > 0)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Subcommand-first dispatch: the first non-flag argument names the
+    // mode. The pre-subcommand flag spellings below remain hidden aliases
+    // for one release.
+    let sub = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .cloned();
+    let code = match sub.as_deref() {
+        Some(name) => {
+            args.remove(0);
+            match name {
+                "sweep" => sweep_mode(&args),
+                "load" => load_mode(&args),
+                "overload" => overload_mode(&args),
+                "trace" => trace_sub(&args),
+                "profile" => profile_mode(&args, "--out"),
+                "simbench" => simbench_mode(&args),
+                "scenario" => scenario_mode(&args),
+                "scenario-matrix" => scenario_matrix_mode(&args),
+                "figures" => figures_mode(&args),
+                other => fail(format!(
+                    "unknown subcommand `{other}` (sweep | load | overload | trace | profile | \
+                     simbench | scenario | scenario-matrix | figures)"
+                )),
+            }
+        }
+        None => {
+            // Legacy flag spellings (hidden aliases).
+            if let Some(code) = trace_mode(&args) {
+                code
+            } else if args.iter().any(|a| a == "--simbench") {
+                simbench_mode(&args)
+            } else if args.iter().any(|a| a == "--sweep") {
+                sweep_mode(&args)
+            } else if args.iter().any(|a| a == "--profile") {
+                profile_mode(&args, "--profile")
+            } else if args.iter().any(|a| a == "--load") {
+                load_mode(&args)
+            } else if args.iter().any(|a| a == "--overload") {
+                overload_mode(&args)
+            } else {
+                figures_mode(&args)
+            }
+        }
+    };
+    std::process::exit(code);
 }

@@ -1,27 +1,36 @@
 //! # kus-bench — benchmark harness and the parallel sweep engine
 //!
-//! Three entry points:
+//! The `figures` binary is subcommand-first (the pre-subcommand flag
+//! spellings remain as hidden aliases for one release); shared
+//! `--jobs/--seed/--json/--csv` flags parse uniformly across modes:
 //!
-//! - `cargo run --release -p kus-bench --bin figures [-- --fig figN]
-//!   [--full] [--jobs N] [--json out.json]` regenerates the data series of
-//!   every figure in the paper's evaluation (and the ablations) through the
-//!   [`sweep`] engine and prints them as text tables.
-//! - `figures --sweep` runs a declarative configuration matrix from the
+//! - `cargo run --release -p kus-bench --bin figures [-- figures]
+//!   [--fig figN] [--full] [--jobs N] [--json out.json]` (the default
+//!   mode) regenerates the data series of every figure in the paper's
+//!   evaluation (and the ablations) through the [`sweep`] engine and
+//!   prints them as text tables.
+//! - `figures sweep` runs a declarative configuration matrix from the
 //!   command line (see `--help` in the binary's doc comment).
-//! - `figures --load` runs a serving [`load`] sweep — mechanism × offered
+//! - `figures load` runs a serving [`load`] sweep — mechanism × offered
 //!   rate — and prints the throughput–latency curve with the saturation
 //!   knee per mechanism.
-//! - `figures --overload` runs an [`overload`] sweep — admission policy ×
+//! - `figures overload` runs an [`overload`] sweep — admission policy ×
 //!   fault plan × offered rate — and prints the degradation matrix with a
 //!   graceful/brownout/collapse verdict per cell, plus the budgeted-vs-
 //!   unbudgeted retry pair.
-//! - `figures --simbench` runs the [`simbench`] suite — event-core
+//! - `figures scenario FILE` compiles one `kus-scenario` TOML world and
+//!   runs it (a `[matrix]` scenario expands to the full overload sweep,
+//!   byte-identical to `figures overload`'s artifacts).
+//! - `figures scenario-matrix` compiles the whole `scenarios/` corpus and
+//!   scores it across every access mechanism on the sweep engine (the
+//!   [`scenario`] module) with byte-deterministic emitters.
+//! - `figures simbench` runs the [`simbench`] suite — event-core
 //!   throughput scenarios on the timing-wheel simulator core vs the
 //!   retained heap reference — writing the events/sec trajectory record
 //!   and a byte-deterministic equivalence check artifact.
-//! - `figures --profile out.json` runs the [`profile`] acceptance suite —
-//!   the paper's §4 diagnoses as profiled scenarios — printing each text
-//!   dashboard and writing the byte-deterministic profile JSON.
+//! - `figures profile --out out.json` runs the [`profile`] acceptance
+//!   suite — the paper's §4 diagnoses as profiled scenarios — printing
+//!   each text dashboard and writing the byte-deterministic profile JSON.
 //! - `cargo bench -p kus-bench` runs the wall-clock benchmarks: one scaled-
 //!   down configuration per paper figure (so regressions in any modelled
 //!   path show up as timing changes) plus microbenchmarks of the simulator
@@ -33,6 +42,7 @@ pub mod harness;
 pub mod load;
 pub mod overload;
 pub mod profile;
+pub mod scenario;
 pub mod simbench;
 pub mod sweep;
 
@@ -40,6 +50,10 @@ pub use kus_workloads::figures;
 pub use load::{run_load_sweep, LoadCell, LoadSweepResults, LoadSweepSpec};
 pub use overload::{
     run_overload_sweep, OverloadCell, OverloadResults, OverloadSweepSpec, RetryCell,
+};
+pub use scenario::{
+    load_scenario_dir, run_scenario_matrix, ScenarioCell, ScenarioMatrixResults,
+    ScenarioMatrixSpec,
 };
 pub use profile::{profile_scenarios, run_profile_suite, ProfileOutcome, ProfileScenario, ProfileSuite};
 pub use simbench::{run_simbench, ScenarioResult, SimbenchResults};

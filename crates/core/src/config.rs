@@ -1,7 +1,7 @@
 //! Platform configuration: every knob the paper's evaluation turns.
 
 use kus_cpu::CoreConfig;
-use kus_device::{ReplayConfig, StreamerConfig};
+use kus_device::{JitterModel, ReplayConfig, StreamerConfig};
 use kus_mem::station::StationConfig;
 use kus_mem::uncore::CreditQueue;
 use kus_mem::Backing;
@@ -29,6 +29,8 @@ pub enum ConfigError {
     /// SWQ recovery is enabled with a zero timeout or scan interval, which
     /// would busy-loop the expiry scan (the offending field is named).
     Recovery(&'static str),
+    /// The device jitter model failed [`kus_device::JitterModel::validate`].
+    Jitter(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -42,6 +44,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::Recovery(field) => {
                 write!(f, "swq_recovery is enabled but `{field}` is zero")
             }
+            ConfigError::Jitter(e) => write!(f, "invalid device jitter model: {e}"),
         }
     }
 }
@@ -112,6 +115,10 @@ pub struct PlatformConfig {
     /// Mean-preserving uniform jitter on the device's response time (zero =
     /// the paper's fixed-delay emulator).
     pub device_jitter: Span,
+    /// Shape of the device jitter distribution
+    /// ([`JitterModel::Uniform`] reproduces the historical behaviour
+    /// bit-for-bit; `Bimodal` adds a rare heavy tail).
+    pub device_jitter_model: JitterModel,
     /// Device replay-window behaviour.
     pub replay: ReplayConfig,
     /// Device streamer behaviour.
@@ -226,6 +233,7 @@ impl PlatformConfig {
             swq_doorbell_every_enqueue: false,
             swq_fetch_burst: kus_swq::FETCH_BURST,
             device_jitter: Span::ZERO,
+            device_jitter_model: JitterModel::Uniform,
             replay: ReplayConfig::default(),
             streamer: StreamerConfig::default(),
             onboard: StationConfig::onboard_ddr3(),
@@ -245,9 +253,7 @@ impl PlatformConfig {
     /// The builder setters never reject their input; every structural error
     /// is collected here instead, so a sweep can construct arbitrary
     /// configuration matrices and report the broken cells rather than
-    /// panicking mid-expansion. [`Platform::new`](crate::Platform::new)
-    /// still panics on an invalid configuration (legacy behaviour, kept for
-    /// one release — see its deprecation note);
+    /// panicking mid-expansion.
     /// [`Platform::try_new`](crate::Platform::try_new) and
     /// [`Experiment`](crate::Experiment) surface the error.
     pub fn validate(&self) -> Result<(), ConfigError> {
@@ -283,6 +289,7 @@ impl PlatformConfig {
                 return Err(ConfigError::Zero("swq_fetch_burst"));
             }
         }
+        self.device_jitter_model.validate().map_err(ConfigError::Jitter)?;
         self.faults.validate().map_err(ConfigError::Fault)?;
         if self.swq_recovery.enabled {
             if self.swq_recovery.timeout.is_zero() {
@@ -405,6 +412,12 @@ impl PlatformConfig {
     /// Sets the device's response-time jitter spread.
     pub fn device_jitter(mut self, j: Span) -> Self {
         self.device_jitter = j;
+        self
+    }
+
+    /// Sets the shape of the device jitter distribution.
+    pub fn device_jitter_model(mut self, m: JitterModel) -> Self {
+        self.device_jitter_model = m;
         self
     }
 
@@ -651,6 +664,10 @@ mod tests {
             swq_doorbell_every_enqueue: true,
             swq_fetch_burst: 4,
             device_jitter: Span::from_ns(100),
+            device_jitter_model: JitterModel::Bimodal {
+                tail_prob: 0.01,
+                tail: Span::from_us(5),
+            },
             replay,
             streamer,
             onboard,
@@ -681,6 +698,10 @@ mod tests {
             .swq_doorbell_every_enqueue(true)
             .swq_fetch_burst(4)
             .device_jitter(Span::from_ns(100))
+            .device_jitter_model(JitterModel::Bimodal {
+                tail_prob: 0.01,
+                tail: Span::from_us(5),
+            })
             .replay(replay)
             .streamer(streamer)
             .onboard(onboard)

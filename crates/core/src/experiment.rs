@@ -171,7 +171,9 @@ impl Experiment {
     /// Runs the experiment and returns its report.
     pub fn run(&self) -> RunReport {
         let mut w = self.workload();
-        Platform::new(self.config.clone()).run(w.as_mut())
+        Platform::try_new(self.config.clone())
+            .expect("experiment configs are validated at construction")
+            .run(w.as_mut())
     }
 
     /// Runs the experiment's DRAM-baseline twin (same workload shape, data

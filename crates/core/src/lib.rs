@@ -36,7 +36,9 @@
 //!     .mechanism(Mechanism::Prefetch)
 //!     .fibers_per_core(4)
 //!     .without_replay_device();
-//! let report = Platform::new(cfg).run(&mut Stream { base: kus_mem::Addr::ZERO, iters: 50 });
+//! let report = Platform::try_new(cfg)
+//!     .expect("valid config")
+//!     .run(&mut Stream { base: kus_mem::Addr::ZERO, iters: 50 });
 //! assert_eq!(report.accesses, 200);
 //! ```
 
@@ -61,6 +63,7 @@ pub use mechanism::Mechanism;
 pub use metrics::{DeviceReport, FaultReport, LatencyBreakdown, LinkReport, RunReport, TraceReport};
 pub use platform::Platform;
 pub use workload::{FiberFuture, Workload};
+pub use kus_device::JitterModel;
 pub use kus_profile::{ProfileContext, ProfileReport, Verdict};
 
 /// Convenient glob-import of the public API.
@@ -73,6 +76,7 @@ pub mod prelude {
     pub use crate::metrics::{FaultReport, RunReport, TraceReport};
     pub use crate::platform::Platform;
     pub use crate::workload::{FiberFuture, Workload};
+    pub use kus_device::JitterModel;
     pub use kus_mem::{Addr, Backing};
     pub use kus_profile::{ProfileReport, Verdict};
     pub use kus_sim::{FaultPlan, Span, Time};

@@ -52,25 +52,13 @@ enum Phase {
 }
 
 impl Platform {
-    /// Creates a platform from `cfg`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cfg` fails [`PlatformConfig::validate`] (a zero count, a
-    /// software-queue run with a DRAM-backed dataset, an invalid fault
-    /// plan). **Deprecation note:** this panicking constructor is kept for
-    /// one release for callers that predate the validation API; new code
-    /// should use [`Platform::try_new`] or route runs through
-    /// [`Experiment`](crate::Experiment), both of which return the
-    /// [`ConfigError`] instead.
-    pub fn new(cfg: PlatformConfig) -> Platform {
-        match Platform::try_new(cfg) {
-            Ok(p) => p,
-            Err(e) => panic!("invalid platform configuration: {e}"),
-        }
-    }
-
-    /// Creates a platform from `cfg`, surfacing validation errors.
+    /// Creates a platform from `cfg`, surfacing validation errors
+    /// (a zero count, a software-queue run with a DRAM-backed dataset, an
+    /// invalid fault plan — anything [`PlatformConfig::validate`]
+    /// rejects). There is no panicking constructor: callers either handle
+    /// the [`ConfigError`] or route runs through
+    /// [`Experiment`](crate::Experiment), which carries it to its own
+    /// fallible entry points.
     pub fn try_new(cfg: PlatformConfig) -> Result<Platform, ConfigError> {
         cfg.validate()?;
         Ok(Platform { cfg })
@@ -111,7 +99,9 @@ impl Platform {
     /// Runs the workload on this configuration's DRAM baseline twin
     /// (single-threaded, on-demand, data in DRAM).
     pub fn run_baseline(&self, w: &mut dyn Workload) -> RunReport {
-        Platform::new(self.cfg.baseline_twin()).run(w)
+        Platform::try_new(self.cfg.baseline_twin())
+            .expect("baseline twin of a validated config is valid")
+            .run(w)
     }
 
     fn run_phase(
@@ -183,6 +173,7 @@ impl Platform {
             let dev_cfg = DeviceConfig {
                 hold,
                 jitter_spread: cfg.device_jitter,
+                jitter_model: cfg.device_jitter_model,
                 replay: cfg.replay,
                 streamer: cfg.streamer,
                 onboard: cfg.onboard,

@@ -29,6 +29,64 @@ pub type LineData = [u8; LINE_BYTES as usize];
 /// line contents.
 pub type RespondFn = Box<dyn FnOnce(&mut Sim, LineData)>;
 
+/// Stateless splitmix64 finalizer over `x` salted by `salt`.
+fn splitmix(x: u64, salt: u64) -> u64 {
+    let mut z = x.wrapping_add(salt).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The shape of the device's hold-time jitter distribution.
+///
+/// All models are mean-preserving around the configured hold (up to the
+/// heavy tail's contribution for [`JitterModel::Bimodal`]) and sampled as
+/// a pure function of (core, sequence), so record and replay phases see
+/// identical timing. [`JitterModel::Uniform`] is the historical model and
+/// is bit-identical to the pre-model behaviour; `Bimodal` with
+/// `tail_prob = 0` or a zero `tail` degenerates to `Uniform` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum JitterModel {
+    /// Uniform spread `[hold - spread/2, hold + spread/2)` — the
+    /// historical flash-class profile.
+    #[default]
+    Uniform,
+    /// Uniform near-mode plus a rare heavy tail: with probability
+    /// `tail_prob` a request additionally waits `uniform[0, tail)`,
+    /// modelling the long-tail service excursions (GC pauses, retries)
+    /// measured on real µs-scale devices.
+    Bimodal {
+        /// Probability a request lands in the tail mode, in `[0, 1]`.
+        tail_prob: f64,
+        /// Maximum extra hold for tail-mode requests.
+        tail: Span,
+    },
+}
+
+impl JitterModel {
+    /// Checks the model parameters, naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            JitterModel::Uniform => Ok(()),
+            JitterModel::Bimodal { tail_prob, .. } => {
+                if !(0.0..=1.0).contains(&tail_prob) {
+                    return Err(format!("tail_prob = {tail_prob} is outside [0, 1]"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// True when the model cannot perturb any sample — used to prove
+    /// bitwise inertness of degenerate configurations.
+    pub fn is_inert(&self) -> bool {
+        match *self {
+            JitterModel::Uniform => true,
+            JitterModel::Bimodal { tail_prob, tail } => tail_prob == 0.0 || tail.as_ps() == 0,
+        }
+    }
+}
+
 /// Configuration of the emulator internals.
 #[derive(Debug, Clone, Copy)]
 pub struct DeviceConfig {
@@ -43,6 +101,8 @@ pub struct DeviceConfig {
     /// a jittered profile. Samples are a pure function of (core, sequence),
     /// so the record and replay phases see identical timing.
     pub jitter_spread: Span,
+    /// Shape of the jitter distribution applied on top of `jitter_spread`.
+    pub jitter_model: JitterModel,
     /// Replay window behaviour.
     pub replay: ReplayConfig,
     /// Streamer burst/buffer sizing.
@@ -57,6 +117,7 @@ impl DeviceConfig {
         DeviceConfig {
             hold,
             jitter_spread: Span::ZERO,
+            jitter_model: JitterModel::Uniform,
             replay: ReplayConfig::default(),
             streamer: StreamerConfig::default(),
             onboard: StationConfig::onboard_ddr3(),
@@ -154,8 +215,40 @@ impl DeviceCore {
     }
 
     /// The hold time of request `seq` from `core`: the configured hold with
-    /// mean-preserving uniform jitter, deterministic in (core, seq).
+    /// mean-preserving jitter shaped by the configured [`JitterModel`],
+    /// deterministic in (core, seq).
     fn jittered_hold(&self, core: usize, seq: u64) -> Span {
+        let near = self.uniform_hold(core, seq);
+        match self.config.jitter_model {
+            JitterModel::Uniform => near,
+            JitterModel::Bimodal { tail_prob, tail } => {
+                let tail_ps = tail.as_ps();
+                if tail_prob == 0.0 || tail_ps == 0 {
+                    // Degenerate Bimodal is bit-identical to Uniform.
+                    return near;
+                }
+                // An independently-salted draw decides tail membership and
+                // sizes the excursion; re-salting keeps it decorrelated
+                // from the near-mode offset.
+                let z = splitmix(
+                    (core as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seq),
+                    0xb1b0_da1d_ea71_0001,
+                );
+                let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+                if u < tail_prob {
+                    let stretch = splitmix(z, 0xb1b0_da1d_ea71_0002) % tail_ps;
+                    Span::from_ps(near.as_ps() + stretch)
+                } else {
+                    near
+                }
+            }
+        }
+    }
+
+    /// The historical mean-preserving uniform jitter sample — the near mode
+    /// shared by every [`JitterModel`]. Bit-identical to the pre-model
+    /// behaviour.
+    fn uniform_hold(&self, core: usize, seq: u64) -> Span {
         // Mean preservation needs hold - spread/2 >= 0; clamp the spread to
         // the device's internal service time (the interconnect round trip
         // cannot jitter away).

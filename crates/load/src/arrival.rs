@@ -38,6 +38,53 @@ pub enum ArrivalProcess {
         /// Duration of the linear ramp.
         over: Span,
     },
+    /// Open-loop diurnal cycle: locally-exponential gaps whose
+    /// instantaneous rate follows `base_rps · (1 + amplitude · sin(2πt /
+    /// period))` — the day/night swell of production traffic compressed to
+    /// simulation scale. `amplitude = 0` is *bitwise identical* to
+    /// [`ArrivalProcess::Poisson`] at `base_rps`.
+    Diurnal {
+        /// Mean offered rate over one full cycle, requests/second.
+        base_rps: f64,
+        /// Peak-to-mean swing as a fraction of `base_rps`, in `[0, 1)`.
+        amplitude: f64,
+        /// Length of one full sinusoidal cycle.
+        period: Span,
+    },
+    /// Open-loop flash crowd: baseline Poisson at `base_rps` until `at`,
+    /// a linear climb to `spike_rps` over `rise`, a plateau of `hold`,
+    /// and a linear decay back to baseline over `fall`. `spike_rps =
+    /// base_rps` is *bitwise identical* to [`ArrivalProcess::Poisson`].
+    FlashCrowd {
+        /// Baseline offered rate, requests/second.
+        base_rps: f64,
+        /// Peak offered rate during the plateau, requests/second.
+        spike_rps: f64,
+        /// When the crowd starts arriving.
+        at: Span,
+        /// Length of the linear climb to the peak.
+        rise: Span,
+        /// Length of the peak plateau.
+        hold: Span,
+        /// Length of the linear decay back to baseline.
+        fall: Span,
+    },
+    /// Open-loop correlated bursts: a two-state rate modulation with a
+    /// deterministic phase — every `period`, the first `burst_len` is
+    /// offered at `burst_rps` and the remainder at `base_rps` (requests
+    /// cluster *together*, unlike independent Poisson thinning).
+    /// `burst_rps = base_rps` is *bitwise identical* to
+    /// [`ArrivalProcess::Poisson`].
+    Bursts {
+        /// Offered rate between bursts, requests/second.
+        base_rps: f64,
+        /// Offered rate inside each burst, requests/second.
+        burst_rps: f64,
+        /// Distance between burst starts.
+        period: Span,
+        /// Length of each burst (must not exceed `period`).
+        burst_len: Span,
+    },
     /// Closed loop: `users` concurrent users, each thinking for an
     /// exponentially-distributed time (mean `think`) between requests.
     ClosedLoop {
@@ -53,6 +100,68 @@ impl ArrivalProcess {
     /// loop users self-serve and never queue).
     pub fn is_open_loop(&self) -> bool {
         !matches!(self, ArrivalProcess::ClosedLoop { .. })
+    }
+
+    /// Checks the process parameters, naming the offending field.
+    ///
+    /// [`LoadSpec::validate`](crate::serving::LoadSpec::validate) routes
+    /// through here, so specs reaching a run never trip the assertions in
+    /// [`ArrivalProcess::offsets`].
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = |name: &str, v: f64| {
+            if v > 0.0 && v.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("{name} = {v} must be positive and finite"))
+            }
+        };
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } => positive("rate_rps", rate_rps),
+            ArrivalProcess::OnOff { rate_rps, on, .. } => {
+                positive("rate_rps", rate_rps)?;
+                if on.is_zero() {
+                    return Err("on_ns must be non-zero".into());
+                }
+                Ok(())
+            }
+            ArrivalProcess::Ramp { start_rps, end_rps, .. } => {
+                positive("start_rps", start_rps)?;
+                positive("end_rps", end_rps)
+            }
+            ArrivalProcess::Diurnal { base_rps, amplitude, period } => {
+                positive("base_rps", base_rps)?;
+                if !(0.0..1.0).contains(&amplitude) {
+                    return Err(format!(
+                        "amplitude = {amplitude} is outside [0, 1) (1 would let the rate hit zero)"
+                    ));
+                }
+                if period.is_zero() {
+                    return Err("period_ns must be non-zero".into());
+                }
+                Ok(())
+            }
+            ArrivalProcess::FlashCrowd { base_rps, spike_rps, .. } => {
+                positive("base_rps", base_rps)?;
+                positive("spike_rps", spike_rps)
+            }
+            ArrivalProcess::Bursts { base_rps, burst_rps, period, burst_len } => {
+                positive("base_rps", base_rps)?;
+                positive("burst_rps", burst_rps)?;
+                if period.is_zero() {
+                    return Err("period_ns must be non-zero".into());
+                }
+                if burst_len > period {
+                    return Err("burst_len_ns exceeds period_ns".into());
+                }
+                Ok(())
+            }
+            ArrivalProcess::ClosedLoop { users, .. } => {
+                if users == 0 {
+                    return Err("users must be non-zero".into());
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Materializes `requests` arrival offsets (relative to the start of
@@ -98,6 +207,65 @@ impl ArrivalProcess {
                     out.push(Span::from_ns_f64(t));
                 }
             }
+            ArrivalProcess::Diurnal { base_rps, amplitude, period } => {
+                assert!(base_rps > 0.0, "diurnal base rate must be positive");
+                // Instantaneous-rate evaluation, exactly like Ramp: the gap
+                // at time t is exponential at rate(t). With amplitude 0 the
+                // rate expression reduces to `base_rps` bit-for-bit, so the
+                // trace is identical to a Poisson trace of the same seed.
+                let period_ns = period.as_ns_f64().max(1.0);
+                let mut t = 0.0f64;
+                for _ in 0..requests {
+                    let phase = 2.0 * std::f64::consts::PI * t / period_ns;
+                    let rate = base_rps * (1.0 + amplitude * phase.sin());
+                    t += exp_gap_ns(rate, rng);
+                    out.push(Span::from_ns_f64(t));
+                }
+            }
+            ArrivalProcess::FlashCrowd { base_rps, spike_rps, at, rise, hold, fall } => {
+                assert!(
+                    base_rps > 0.0 && spike_rps > 0.0,
+                    "flash-crowd rates must be positive"
+                );
+                let (at_ns, hold_ns) = (at.as_ns_f64(), hold.as_ns_f64());
+                let rise_ns = rise.as_ns_f64().max(1.0);
+                let fall_ns = fall.as_ns_f64().max(1.0);
+                let mut t = 0.0f64;
+                for _ in 0..requests {
+                    // Piecewise-linear envelope. Every branch evaluates to
+                    // `base_rps` bit-for-bit when spike == base (the delta
+                    // terms multiply by exactly 0.0).
+                    let rate = if t < at_ns {
+                        base_rps
+                    } else if t < at_ns + rise_ns {
+                        base_rps + (spike_rps - base_rps) * ((t - at_ns) / rise_ns)
+                    } else if t < at_ns + rise_ns + hold_ns {
+                        spike_rps
+                    } else if t < at_ns + rise_ns + hold_ns + fall_ns {
+                        let frac = (t - at_ns - rise_ns - hold_ns) / fall_ns;
+                        spike_rps + (base_rps - spike_rps) * frac
+                    } else {
+                        base_rps
+                    };
+                    t += exp_gap_ns(rate, rng);
+                    out.push(Span::from_ns_f64(t));
+                }
+            }
+            ArrivalProcess::Bursts { base_rps, burst_rps, period, burst_len } => {
+                assert!(
+                    base_rps > 0.0 && burst_rps > 0.0,
+                    "burst rates must be positive"
+                );
+                let period_ns = period.as_ns_f64().max(1.0);
+                let burst_ns = burst_len.as_ns_f64();
+                let mut t = 0.0f64;
+                for _ in 0..requests {
+                    let in_burst = (t % period_ns) < burst_ns;
+                    let rate = if in_burst { burst_rps } else { base_rps };
+                    t += exp_gap_ns(rate, rng);
+                    out.push(Span::from_ns_f64(t));
+                }
+            }
             ArrivalProcess::ClosedLoop { .. } => {
                 panic!("closed-loop arrivals have no open-loop trace")
             }
@@ -128,6 +296,21 @@ impl fmt::Display for ArrivalProcess {
             }
             ArrivalProcess::Ramp { start_rps, end_rps, over } => {
                 write!(f, "ramp({start_rps:.0}->{end_rps:.0}rps,over={over})")
+            }
+            ArrivalProcess::Diurnal { base_rps, amplitude, period } => {
+                write!(f, "diurnal({base_rps:.0}rps,amp={amplitude},period={period})")
+            }
+            ArrivalProcess::FlashCrowd { base_rps, spike_rps, at, rise, hold, fall } => {
+                write!(
+                    f,
+                    "flashcrowd({base_rps:.0}->{spike_rps:.0}rps,at={at},rise={rise},hold={hold},fall={fall})"
+                )
+            }
+            ArrivalProcess::Bursts { base_rps, burst_rps, period, burst_len } => {
+                write!(
+                    f,
+                    "bursts({base_rps:.0}/{burst_rps:.0}rps,period={period},len={burst_len})"
+                )
             }
             ArrivalProcess::ClosedLoop { users, think } => {
                 write!(f, "closed({users}users,think={think})")
@@ -201,6 +384,122 @@ mod tests {
             .sum();
         let mean = sum / n as f64;
         assert!((mean - 50.0).abs() < 2.0, "mean think {mean} us");
+    }
+
+    #[test]
+    fn degenerate_shapes_are_bitwise_poisson() {
+        // amplitude 0, spike == base, burst == base: each must reproduce
+        // the plain Poisson trace bit-for-bit from the same seed.
+        let n = 5_000;
+        let rate = 1_500_000.0;
+        let poisson = ArrivalProcess::Poisson { rate_rps: rate }
+            .offsets(n, &mut SimRng::from_seed(11));
+        let diurnal = ArrivalProcess::Diurnal {
+            base_rps: rate,
+            amplitude: 0.0,
+            period: Span::from_us(500),
+        }
+        .offsets(n, &mut SimRng::from_seed(11));
+        let flash = ArrivalProcess::FlashCrowd {
+            base_rps: rate,
+            spike_rps: rate,
+            at: Span::from_us(100),
+            rise: Span::from_us(50),
+            hold: Span::from_us(200),
+            fall: Span::from_us(50),
+        }
+        .offsets(n, &mut SimRng::from_seed(11));
+        let bursts = ArrivalProcess::Bursts {
+            base_rps: rate,
+            burst_rps: rate,
+            period: Span::from_us(100),
+            burst_len: Span::from_us(10),
+        }
+        .offsets(n, &mut SimRng::from_seed(11));
+        assert_eq!(poisson, diurnal, "amplitude-0 diurnal must be inert");
+        assert_eq!(poisson, flash, "flat flash crowd must be inert");
+        assert_eq!(poisson, bursts, "flat bursts must be inert");
+    }
+
+    #[test]
+    fn diurnal_swells_and_keeps_the_mean() {
+        let p = ArrivalProcess::Diurnal {
+            base_rps: 1_000_000.0,
+            amplitude: 0.8,
+            period: Span::from_us(1000),
+        };
+        let a = p.offsets(20_000, &mut SimRng::from_seed(5));
+        assert_eq!(a, p.offsets(20_000, &mut SimRng::from_seed(5)), "seed-deterministic");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        // 20k arrivals at a 1M rps *mean* ≈ 20 ms of trace; the sinusoid is
+        // mean-preserving over whole cycles.
+        let total_ms = a.last().unwrap().as_us_f64() / 1000.0;
+        assert!((total_ms - 20.0).abs() < 3.0, "trace spans {total_ms} ms");
+    }
+
+    #[test]
+    fn flash_crowd_compresses_gaps_during_the_spike() {
+        let p = ArrivalProcess::FlashCrowd {
+            base_rps: 200_000.0,
+            spike_rps: 5_000_000.0,
+            at: Span::from_us(500),
+            rise: Span::from_us(50),
+            hold: Span::from_us(400),
+            fall: Span::from_us(50),
+        };
+        let a = p.offsets(4_000, &mut SimRng::from_seed(9));
+        // Count arrivals inside the plateau vs an equally-long baseline
+        // window before the crowd.
+        let in_window = |lo: f64, hi: f64| {
+            a.iter().filter(|s| s.as_ns_f64() >= lo && s.as_ns_f64() < hi).count()
+        };
+        let before = in_window(100_000.0, 500_000.0);
+        let during = in_window(550_000.0, 950_000.0);
+        assert!(
+            during > 5 * before.max(1),
+            "spike must compress gaps: before={before} during={during}"
+        );
+    }
+
+    #[test]
+    fn bursts_cluster_arrivals() {
+        let p = ArrivalProcess::Bursts {
+            base_rps: 100_000.0,
+            burst_rps: 10_000_000.0,
+            period: Span::from_us(100),
+            burst_len: Span::from_us(10),
+        };
+        let a = p.offsets(5_000, &mut SimRng::from_seed(3));
+        // Arrivals landing inside the burst windows should dominate even
+        // though the windows are only 10% of the timeline.
+        let in_burst = a
+            .iter()
+            .filter(|s| (s.as_ns_f64() % 100_000.0) < 10_000.0)
+            .count();
+        assert!(
+            in_burst as f64 > 0.8 * a.len() as f64,
+            "bursts must cluster arrivals: {in_burst}/{}",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let bad = ArrivalProcess::Diurnal {
+            base_rps: 1000.0,
+            amplitude: 1.5,
+            period: Span::from_us(10),
+        };
+        assert!(bad.validate().unwrap_err().contains("amplitude"));
+        let bad = ArrivalProcess::Bursts {
+            base_rps: 1000.0,
+            burst_rps: 2000.0,
+            period: Span::from_us(1),
+            burst_len: Span::from_us(2),
+        };
+        assert!(bad.validate().unwrap_err().contains("burst_len_ns"));
+        assert!(ArrivalProcess::Poisson { rate_rps: 0.0 }.validate().is_err());
+        assert!(ArrivalProcess::Poisson { rate_rps: 1.0 }.validate().is_ok());
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! - [`arrival`] — deterministic open-loop (Poisson, on-off bursts, ramp)
 //!   and closed-loop (N users with think time) arrival processes driven by
 //!   [`kus_sim::rng::SimRng`] streams: same seed ⇒ same arrival trace.
+//! - [`keys`] — stateless seeded key-popularity distributions
+//!   ([`KeyPopularity`]): sequential, Zipfian, and hot-set skew, mapping
+//!   request ids onto key indices without consuming any RNG stream.
 //! - [`service`] — the [`Service`] trait: one request's worth of work
 //!   expressed against a fiber's `MemCtx` (per-request adapters for the
 //!   existing workload kernels live in `kus-workloads::service`).
@@ -35,6 +38,7 @@
 
 pub mod admission;
 pub mod arrival;
+pub mod keys;
 pub mod report;
 pub mod retry;
 pub mod service;
@@ -42,6 +46,7 @@ pub mod serving;
 
 pub use admission::{AdmissionControl, AdmissionDecision, AdmissionPolicy, ShedCause};
 pub use arrival::ArrivalProcess;
+pub use keys::KeyPopularity;
 pub use report::{
     DegradationVerdict, DeviceDistress, LoadReport, Percentiles, RecoveryReport, SloSpec,
     SloVerdict, TimelineBucket, WindowRecovery, BROWNOUT_DEPTH, TIMELINE_BUCKETS,

@@ -15,6 +15,8 @@ use std::sync::Arc;
 
 use kus_core::prelude::{Addr, Dataset, MemCtx};
 
+use crate::keys::KeyPopularity;
+
 /// A boxed single-request future; resolves to a service-defined result
 /// word (checksum, hit flag, …) so callers can sanity-check responses.
 pub type ServeFuture<'a> = Pin<Box<dyn Future<Output = u64> + 'a>>;
@@ -47,6 +49,7 @@ pub type ServiceFactory = Arc<dyn Fn() -> Box<dyn Service> + Send + Sync>;
 #[derive(Debug, Default)]
 pub struct EchoService {
     lines: u64,
+    popularity: KeyPopularity,
     base: Option<Addr>,
 }
 
@@ -54,7 +57,14 @@ impl EchoService {
     /// An echo service over `lines` cache lines.
     pub fn new(lines: u64) -> EchoService {
         assert!(lines > 0, "echo service needs at least one line");
-        EchoService { lines, base: None }
+        EchoService { lines, popularity: KeyPopularity::Sequential, base: None }
+    }
+
+    /// Sets how request ids map onto the line ring
+    /// ([`KeyPopularity::Sequential`] = the historical `req % lines`).
+    pub fn popularity(mut self, p: KeyPopularity) -> EchoService {
+        self.popularity = p;
+        self
     }
 }
 
@@ -74,8 +84,9 @@ impl Service for EchoService {
     fn serve<'a>(&'a self, req: u64, ctx: &'a MemCtx) -> ServeFuture<'a> {
         let base = self.base.expect("serve before build");
         let lines = self.lines;
+        let popularity = self.popularity;
         Box::pin(async move {
-            let addr = Addr::new(base.raw() + (req % lines) * 64);
+            let addr = Addr::new(base.raw() + popularity.index(req, lines) * 64);
             let v = ctx.dev_read_u64(addr).await;
             ctx.work(20);
             v

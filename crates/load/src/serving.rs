@@ -149,8 +149,9 @@ impl LoadSpec {
         self
     }
 
-    /// Validates the whole spec (queue, policy, retry, fault plan).
+    /// Validates the whole spec (arrival, queue, policy, retry, fault plan).
     pub fn validate(&self) -> Result<(), String> {
+        self.arrival.validate()?;
         if self.queue_capacity == 0 {
             return Err("queue capacity must be at least 1".into());
         }

@@ -1,0 +1,333 @@
+//! A small hand-written TOML reader for scenario files.
+//!
+//! The workspace builds offline, so the full `toml` crate is not
+//! available; this module implements the subset the scenario schema
+//! needs — tables (`[a.b]`), arrays of tables (`[[a.b]]`), bare keys,
+//! strings, integers (with `_` separators), floats, booleans, inline
+//! arrays, and `#` comments — with a source line recorded on every value
+//! so schema errors can point at the offending line.
+
+use std::fmt;
+
+/// A parsed value with the line it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sp<T> {
+    /// The value.
+    pub value: T,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A primitive TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A double-quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An inline array `[v, v, ...]`.
+    Array(Vec<Sp<Value>>),
+}
+
+impl Value {
+    /// A short name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// A table entry: a plain value, a sub-table, or an array of tables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `key = value`.
+    Value(Sp<Value>),
+    /// `[key]` (or implicitly created by a deeper header).
+    Table(Table),
+    /// `[[key]]` repetitions.
+    ArrayOfTables(Vec<Table>),
+}
+
+/// An ordered table: entries keep file order so serialization and error
+/// reporting are stable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    /// `(key, header-or-assignment line, item)` in file order.
+    pub entries: Vec<(String, usize, Item)>,
+}
+
+impl Table {
+    /// Looks up a direct entry.
+    pub fn get(&self, key: &str) -> Option<&Item> {
+        self.entries.iter().find(|(k, _, _)| k == key).map(|(_, _, i)| i)
+    }
+
+    /// The line a direct entry was introduced on.
+    pub fn line_of(&self, key: &str) -> Option<usize> {
+        self.entries.iter().find(|(k, _, _)| k == key).map(|(_, l, _)| *l)
+    }
+
+    fn get_mut(&mut self, key: &str) -> Option<&mut Item> {
+        self.entries.iter_mut().find(|(k, _, _)| k == key).map(|(_, _, i)| i)
+    }
+
+    fn ensure_table(&mut self, key: &str, line: usize) -> Result<&mut Table, TomlError> {
+        if self.get(key).is_none() {
+            self.entries.push((key.to_string(), line, Item::Table(Table::default())));
+        }
+        match self.get_mut(key).unwrap() {
+            Item::Table(t) => Ok(t),
+            Item::ArrayOfTables(v) => Ok(v.last_mut().expect("array-of-tables never empty")),
+            Item::Value(_) => {
+                Err(TomlError::new(line, format!("`{key}` is already a value, not a table")))
+            }
+        }
+    }
+}
+
+/// A parse error with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl TomlError {
+    fn new(line: usize, message: impl Into<String>) -> TomlError {
+        TomlError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn valid_key(k: &str) -> bool {
+    !k.is_empty() && k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Parses a dotted header path like `matrix.plans` into segments.
+fn parse_path(path: &str, line: usize) -> Result<Vec<String>, TomlError> {
+    let segs: Vec<String> = path.split('.').map(|s| s.trim().to_string()).collect();
+    for s in &segs {
+        if !valid_key(s) {
+            return Err(TomlError::new(line, format!("bad table name `{path}`")));
+        }
+    }
+    Ok(segs)
+}
+
+/// Parses one scalar or inline-array token.
+fn parse_value(raw: &str, line: usize) -> Result<Value, TomlError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(TomlError::new(line, "missing value"));
+    }
+    if let Some(rest) = raw.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return Err(TomlError::new(line, "unterminated string"));
+        };
+        if inner.contains('"') {
+            return Err(TomlError::new(line, "embedded quotes are not supported"));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = raw.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err(TomlError::new(line, "unterminated array (arrays must be single-line)"));
+        };
+        let mut items = Vec::new();
+        // Split on commas outside strings; nested arrays are not needed by
+        // the schema and are rejected by the element parser.
+        let mut depth = 0usize;
+        let mut in_str = false;
+        let mut start = 0usize;
+        for (i, c) in inner.char_indices() {
+            match c {
+                '"' => in_str = !in_str,
+                '[' if !in_str => depth += 1,
+                ']' if !in_str => depth = depth.saturating_sub(1),
+                ',' if !in_str && depth == 0 => {
+                    let piece = inner[start..i].trim();
+                    if !piece.is_empty() {
+                        items.push(Sp { value: parse_value(piece, line)?, line });
+                    }
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        let piece = inner[start..].trim();
+        if !piece.is_empty() {
+            items.push(Sp { value: parse_value(piece, line)?, line });
+        }
+        return Ok(Value::Array(items));
+    }
+    // A number: underscores allowed; a '.', exponent, or inf marks a float.
+    let cleaned: String = raw.chars().filter(|&c| c != '_').collect();
+    let is_float = cleaned.contains('.') || cleaned.contains('e') || cleaned.contains('E');
+    if is_float {
+        if let Ok(f) = cleaned.parse::<f64>() {
+            return Ok(Value::Float(f));
+        }
+    } else if let Ok(i) = cleaned.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    Err(TomlError::new(line, format!("cannot parse `{raw}` as a value")))
+}
+
+/// Parses a TOML document into a [`Table`].
+pub fn parse(text: &str) -> Result<Table, TomlError> {
+    let mut root = Table::default();
+    // Path of the table currently receiving `key = value` lines.
+    let mut current: Vec<String> = Vec::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(path) = rest.strip_suffix("]]") else {
+                return Err(TomlError::new(lineno, "unterminated `[[` header"));
+            };
+            let segs = parse_path(path, lineno)?;
+            let (last, parents) = segs.split_last().expect("parse_path rejects empty");
+            let mut t = &mut root;
+            for seg in parents {
+                t = t.ensure_table(seg, lineno)?;
+            }
+            match t.get_mut(last) {
+                None => {
+                    t.entries.push((
+                        last.clone(),
+                        lineno,
+                        Item::ArrayOfTables(vec![Table::default()]),
+                    ));
+                }
+                Some(Item::ArrayOfTables(v)) => v.push(Table::default()),
+                Some(_) => {
+                    return Err(TomlError::new(
+                        lineno,
+                        format!("`{path}` is already defined and is not an array of tables"),
+                    ));
+                }
+            }
+            current = segs;
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let Some(path) = rest.strip_suffix(']') else {
+                return Err(TomlError::new(lineno, "unterminated `[` header"));
+            };
+            let segs = parse_path(path, lineno)?;
+            let mut t = &mut root;
+            for seg in &segs {
+                t = t.ensure_table(seg, lineno)?;
+            }
+            current = segs;
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim();
+            if !valid_key(key) {
+                return Err(TomlError::new(lineno, format!("bad key `{key}`")));
+            }
+            let value = parse_value(&line[eq + 1..], lineno)?;
+            let mut t = &mut root;
+            for seg in current.clone() {
+                t = t.ensure_table(&seg, lineno)?;
+            }
+            if t.get(key).is_some() {
+                return Err(TomlError::new(lineno, format!("duplicate key `{key}`")));
+            }
+            t.entries.push((key.to_string(), lineno, Item::Value(Sp { value, line: lineno })));
+        } else {
+            return Err(TomlError::new(lineno, format!("cannot parse line `{line}`")));
+        }
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_values_and_arrays() {
+        let t = parse(
+            "name = \"calm\" # a comment\n\
+             count = 1_000\n\
+             rate = 1.5e6\n\
+             on = true\n\
+             [traffic]\n\
+             rates = [1, 2, 3]\n\
+             [traffic.deep]\n\
+             x = 2\n",
+        )
+        .expect("parses");
+        assert_eq!(t.get("name"), Some(&Item::Value(Sp { value: Value::Str("calm".into()), line: 1 })));
+        assert_eq!(t.get("count"), Some(&Item::Value(Sp { value: Value::Int(1000), line: 2 })));
+        let Some(Item::Table(traffic)) = t.get("traffic") else { panic!("traffic table") };
+        let Some(Item::Value(rates)) = traffic.get("rates") else { panic!("rates") };
+        let Value::Array(items) = &rates.value else { panic!("array") };
+        assert_eq!(items.len(), 3);
+        let Some(Item::Table(deep)) = traffic.get("deep") else { panic!("deep table") };
+        assert_eq!(deep.get("x"), Some(&Item::Value(Sp { value: Value::Int(2), line: 8 })));
+    }
+
+    #[test]
+    fn array_of_tables_accumulates() {
+        let t = parse(
+            "[[plans]]\nname = \"calm\"\n[[plans]]\nname = \"freeze\"\nfreeze_period_ns = 150_000\n",
+        )
+        .expect("parses");
+        let Some(Item::ArrayOfTables(v)) = t.get("plans") else { panic!("plans array") };
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1].get("name"), Some(&Item::Value(Sp { value: Value::Str("freeze".into()), line: 4 })));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = 1\nbad line\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("x = 1\nx = 2\n").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{}", e.message);
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let t = parse("s = \"a # b\"\n").expect("parses");
+        assert_eq!(t.get("s"), Some(&Item::Value(Sp { value: Value::Str("a # b".into()), line: 1 })));
+    }
+}

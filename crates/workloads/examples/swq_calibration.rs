@@ -16,7 +16,7 @@ fn peak(costs: SwqCosts, mlp: usize) -> f64 {
         work_count: 100, mlp, iters_per_fiber: 400 / mlp as u64, writes_per_iter: 0,
     });
     let mut base_w = mk();
-    let base = Platform::new(PlatformConfig::paper_default().without_replay_device())
+    let base = Platform::try_new(PlatformConfig::paper_default().without_replay_device()).expect("valid config")
         .run_baseline(&mut base_w);
     let mut best: f64 = 0.0;
     for t in [8usize, 16, 24] {
@@ -25,7 +25,7 @@ fn peak(costs: SwqCosts, mlp: usize) -> f64 {
             .mechanism(Mechanism::SoftwareQueue)
             .fibers_per_core(t);
         cfg.swq = costs;
-        let r = Platform::new(cfg).run(&mut mk());
+        let r = Platform::try_new(cfg).expect("valid config").run(&mut mk());
         best = best.max(r.normalized_to(&base));
     }
     best

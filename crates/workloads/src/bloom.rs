@@ -13,6 +13,7 @@
 //! analytic optimum for the configured bits-per-key.
 
 use kus_core::prelude::*;
+use kus_load::KeyPopularity;
 use kus_mem::layout::BitArray;
 use kus_mem::Addr;
 
@@ -47,11 +48,22 @@ pub struct BloomConfig {
     pub lookups_per_fiber: u64,
     /// Work instructions after each lookup.
     pub work_count: u32,
+    /// How request ids map onto probed present keys in serving mode
+    /// ([`KeyPopularity::Sequential`] = the historical `req % n_keys`;
+    /// ignored by the batch workload).
+    pub popularity: KeyPopularity,
 }
 
 impl Default for BloomConfig {
     fn default() -> BloomConfig {
-        BloomConfig { n_keys: 100_000, bits_per_key: 10, k: 4, lookups_per_fiber: 500, work_count: 100 }
+        BloomConfig {
+            n_keys: 100_000,
+            bits_per_key: 10,
+            k: 4,
+            lookups_per_fiber: 500,
+            work_count: 100,
+            popularity: KeyPopularity::Sequential,
+        }
     }
 }
 
@@ -188,6 +200,7 @@ mod tests {
             k: 4,
             lookups_per_fiber: 200,
             work_count: 100,
+            ..BloomConfig::default()
         })
     }
 

@@ -13,6 +13,7 @@
 //! is verified word-by-word against recomputation.
 
 use kus_core::prelude::*;
+use kus_load::KeyPopularity;
 use kus_mem::layout::ArrayLayout;
 use kus_mem::{Addr, LINE_BYTES};
 
@@ -37,11 +38,21 @@ pub struct MemcachedConfig {
     pub lookups_per_fiber: u64,
     /// Work instructions after each lookup.
     pub work_count: u32,
+    /// How request ids map onto looked-up keys in serving mode
+    /// ([`KeyPopularity::Sequential`] = the historical `req % n_items`;
+    /// ignored by the batch workload).
+    pub popularity: KeyPopularity,
 }
 
 impl Default for MemcachedConfig {
     fn default() -> MemcachedConfig {
-        MemcachedConfig { n_items: 50_000, value_lines: 4, lookups_per_fiber: 400, work_count: 100 }
+        MemcachedConfig {
+            n_items: 50_000,
+            value_lines: 4,
+            lookups_per_fiber: 400,
+            work_count: 100,
+            popularity: KeyPopularity::Sequential,
+        }
     }
 }
 
@@ -213,6 +224,7 @@ mod tests {
             value_lines: 4,
             lookups_per_fiber: 100,
             work_count: 100,
+            ..MemcachedConfig::default()
         })
     }
 

@@ -46,7 +46,7 @@ impl Service for MemcachedService {
         let cfg = self.inner.config();
         let (kv, seed_hint) = self.inner.lookup_kernel();
         Box::pin(async move {
-            let key = MemcachedWorkload::item_key(seed_hint, req % cfg.n_items);
+            let key = MemcachedWorkload::item_key(seed_hint, cfg.popularity.index(req, cfg.n_items));
             let sum = kv_lookup(kv, key, cfg.value_lines, ctx).await;
             ctx.work(cfg.work_count);
             sum
@@ -88,7 +88,7 @@ impl Service for BloomService {
         let (bits, m, seed_hint) = self.inner.filter_kernel();
         Box::pin(async move {
             let (key, expect_present) = if req.is_multiple_of(2) {
-                (BloomWorkload::present_key(seed_hint, req % cfg.n_keys), true)
+                (BloomWorkload::present_key(seed_hint, cfg.popularity.index(req, cfg.n_keys)), true)
             } else {
                 (BloomWorkload::absent_key(req), false)
             };

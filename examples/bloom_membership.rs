@@ -16,12 +16,13 @@ fn bloom() -> BloomWorkload {
         k: 4,
         lookups_per_fiber: 250,
         work_count: 100,
+        ..BloomConfig::default()
     })
 }
 
 fn main() {
     let base_cfg = PlatformConfig::paper_default().without_replay_device();
-    let baseline = Platform::new(base_cfg.clone()).run_baseline(&mut bloom());
+    let baseline = Platform::try_new(base_cfg.clone()).expect("valid config").run_baseline(&mut bloom());
     println!("DRAM baseline: {:.2} M probes/s", baseline.access_rate() / 1e6);
     println!();
     println!(
@@ -35,7 +36,7 @@ fn main() {
         for &threads in sweep {
             let cfg = base_cfg.clone().mechanism(mech).fibers_per_core(threads);
             let mut w = bloom();
-            let r = Platform::new(cfg).run(&mut w);
+            let r = Platform::try_new(cfg).expect("valid config").run(&mut w);
             println!(
                 "{:<12} {:>8} {:>10.2}M {:>12.3} {:>10}",
                 mech.to_string(),

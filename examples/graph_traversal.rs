@@ -15,7 +15,7 @@ fn bfs() -> BfsWorkload {
 
 fn main() {
     let base_cfg = PlatformConfig::paper_default().without_replay_device();
-    let baseline = Platform::new(base_cfg.clone()).run_baseline(&mut bfs());
+    let baseline = Platform::try_new(base_cfg.clone()).expect("valid config").run_baseline(&mut bfs());
     println!(
         "DRAM baseline: {} accesses in {} ({:.2} M accesses/s)",
         baseline.accesses,
@@ -31,7 +31,7 @@ fn main() {
         for threads in [1usize, 2, 4, 8, 16] {
             let cfg = base_cfg.clone().mechanism(mech).fibers_per_core(threads);
             let mut w = bfs();
-            let r = Platform::new(cfg).run(&mut w);
+            let r = Platform::try_new(cfg).expect("valid config").run(&mut w);
             println!(
                 "{:<10} {:>8} {:>12} {:>12.3} {:>14}",
                 mech.to_string(),

@@ -18,12 +18,13 @@ fn kv() -> MemcachedWorkload {
         value_lines: 4,
         lookups_per_fiber: 250,
         work_count: 100,
+        ..MemcachedConfig::default()
     })
 }
 
 fn main() {
     let base_cfg = PlatformConfig::paper_default().without_replay_device();
-    let baseline = Platform::new(base_cfg.clone()).run_baseline(&mut kv());
+    let baseline = Platform::try_new(base_cfg.clone()).expect("valid config").run_baseline(&mut kv());
     println!(
         "DRAM baseline: {:.2} M lookups/s",
         baseline.access_rate() / 5e6 // ~5 reads per lookup
@@ -43,7 +44,7 @@ fn main() {
                 .device_latency(Span::from_us(lat_us))
                 .fibers_per_core(threads);
             let mut w = kv();
-            let r = Platform::new(cfg).run(&mut w);
+            let r = Platform::try_new(cfg).expect("valid config").run(&mut w);
             println!(
                 "{:<10} {:>8} {:>9.2}M {:>12.3} {:>12}",
                 format!("{lat_us}us"),

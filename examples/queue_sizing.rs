@@ -25,7 +25,7 @@ fn main() {
     let base_cfg = PlatformConfig::paper_default()
         .without_replay_device()
         .device_latency(Span::from_us(lat_us));
-    let baseline = Platform::new(base_cfg.clone()).run_baseline(&mut microbench());
+    let baseline = Platform::try_new(base_cfg.clone()).expect("valid config").run_baseline(&mut microbench());
 
     println!("device latency: {lat_us}us — provisioning rule: ~{rule} entries/core");
     println!();
@@ -39,7 +39,7 @@ fn main() {
             .device_path_credits(512)
             .fibers_per_core(threads);
         let mut w = microbench();
-        let r = Platform::new(cfg).run(&mut w);
+        let r = Platform::try_new(cfg).expect("valid config").run(&mut w);
         println!("{:>8} {:>12.3} {:>12}", lfbs, r.normalized_to(&baseline), r.lfb_max);
     }
 
@@ -54,7 +54,7 @@ fn main() {
             .cores(8)
             .fibers_per_core(96);
         let mut w = microbench();
-        let r = Platform::new(cfg).run(&mut w);
+        let r = Platform::try_new(cfg).expect("valid config").run(&mut w);
         println!(
             "{:>10} {:>12.3} {:>12}",
             credits,

@@ -25,7 +25,7 @@ fn within(measured: f64, predicted: f64, tol: f64) -> bool {
 fn baseline_rate_matches_prediction() {
     let cfg = PlatformConfig::paper_default().without_replay_device();
     let model = UbenchModel::from_config(&cfg, 100, 1);
-    let r = Platform::new(cfg).run_baseline(&mut ubench(800, 1));
+    let r = Platform::try_new(cfg).expect("valid config").run_baseline(&mut ubench(800, 1));
     let predicted = model.baseline_access_rate();
     assert!(
         within(r.access_rate(), predicted, 0.15),
@@ -43,8 +43,8 @@ fn prefetch_normalized_tracks_model_below_the_wall() {
             .without_replay_device()
             .fibers_per_core(fibers);
         let model = UbenchModel::from_config(&cfg, 100, 1);
-        let base = Platform::new(cfg.clone()).run_baseline(&mut ubench(800, 1));
-        let dev = Platform::new(cfg).run(&mut ubench(300, 1));
+        let base = Platform::try_new(cfg.clone()).expect("valid config").run_baseline(&mut ubench(800, 1));
+        let dev = Platform::try_new(cfg).expect("valid config").run(&mut ubench(300, 1));
         let measured = dev.normalized_to(&base);
         let predicted = model.prefetch_normalized();
         assert!(
@@ -64,7 +64,7 @@ fn prefetch_plateau_is_the_lfb_bound() {
         .fibers_per_core(16);
     let model = UbenchModel::from_config(&cfg, 100, 1);
     assert_eq!(model.prefetch_in_flight(), 10);
-    let dev = Platform::new(cfg).run(&mut ubench(200, 1));
+    let dev = Platform::try_new(cfg).expect("valid config").run(&mut ubench(200, 1));
     let predicted_rate = 10.0 / 4e-6;
     assert!(
         within(dev.access_rate(), predicted_rate, 0.30),
@@ -80,8 +80,8 @@ fn swq_peak_tracks_cost_model() {
         .mechanism(Mechanism::SoftwareQueue)
         .fibers_per_core(24);
     let model = UbenchModel::from_config(&cfg, 100, 1);
-    let base = Platform::new(cfg.clone()).run_baseline(&mut ubench(800, 1));
-    let dev = Platform::new(cfg).run(&mut ubench(250, 1));
+    let base = Platform::try_new(cfg.clone()).expect("valid config").run_baseline(&mut ubench(800, 1));
+    let dev = Platform::try_new(cfg).expect("valid config").run(&mut ubench(250, 1));
     let measured = dev.normalized_to(&base);
     let predicted = model.swq_peak_normalized();
     assert!(
@@ -108,9 +108,9 @@ fn provisioning_rule_matches_figure_scale() {
         .lfbs(per_core)
         .device_path_credits(chip.max(per_core))
         .fibers_per_core(per_core + per_core / 5);
-    let base = Platform::new(stock_cfg.clone()).run_baseline(&mut ubench(800, 1));
-    let stock = Platform::new(stock_cfg).run(&mut ubench(150, 1)).normalized_to(&base);
-    let ruled = Platform::new(ruled_cfg).run(&mut ubench(150, 1)).normalized_to(&base);
+    let base = Platform::try_new(stock_cfg.clone()).expect("valid config").run_baseline(&mut ubench(800, 1));
+    let stock = Platform::try_new(stock_cfg).expect("valid config").run(&mut ubench(150, 1)).normalized_to(&base);
+    let ruled = Platform::try_new(ruled_cfg).expect("valid config").run(&mut ubench(150, 1)).normalized_to(&base);
     assert!(ruled > stock * 3.0, "rule-sized queues: {stock:.3} -> {ruled:.3}");
     assert!(ruled > 0.75, "4us device near DRAM with rule-sized queues: {ruled:.3}");
 }
@@ -120,7 +120,7 @@ fn fill_latency_histogram_reflects_configuration() {
     // Uncongested: the measured fill-latency distribution sits tight on the
     // configured device latency.
     let cfg = PlatformConfig::paper_default().without_replay_device().fibers_per_core(8);
-    let r = Platform::new(cfg).run(&mut ubench(300, 1));
+    let r = Platform::try_new(cfg).expect("valid config").run(&mut ubench(300, 1));
     let h = r.fill_latency.expect("device run records fill latencies");
     assert_eq!(h.count(), r.accesses);
     let mean = h.mean().as_ns_f64();
@@ -141,7 +141,7 @@ fn fill_latency_tail_grows_under_congestion() {
         .device_path_credits(512)
         .cores(8)
         .fibers_per_core(64);
-    let r = Platform::new(cfg).run(&mut ubench(100, 1));
+    let r = Platform::try_new(cfg).expect("valid config").run(&mut ubench(100, 1));
     let h = r.fill_latency.expect("histogram");
     assert!(
         h.quantile(0.99) > kus_sim::Span::from_ns(1500),

@@ -31,7 +31,7 @@ fn run_traced(mechanism: Mechanism, workload: &str, seed: u64) -> RunReport {
                 iters_per_fiber: 10,
                 writes_per_iter: 0,
             });
-            Platform::new(cfg).run(&mut w)
+            Platform::try_new(cfg).expect("valid config").run(&mut w)
         }
         "bloom" => {
             let mut w = BloomWorkload::new(BloomConfig {
@@ -39,7 +39,7 @@ fn run_traced(mechanism: Mechanism, workload: &str, seed: u64) -> RunReport {
                 lookups_per_fiber: 10,
                 ..BloomConfig::default()
             });
-            Platform::new(cfg).run(&mut w)
+            Platform::try_new(cfg).expect("valid config").run(&mut w)
         }
         _ => unreachable!("unknown workload {workload}"),
     }
@@ -172,7 +172,7 @@ fn run_profiled(mechanism: Mechanism, workload: &str, seed: u64) -> RunReport {
                 iters_per_fiber: 10,
                 writes_per_iter: 0,
             });
-            Platform::new(cfg).run(&mut w)
+            Platform::try_new(cfg).expect("valid config").run(&mut w)
         }
         "bloom" => {
             let mut w = BloomWorkload::new(BloomConfig {
@@ -180,7 +180,7 @@ fn run_profiled(mechanism: Mechanism, workload: &str, seed: u64) -> RunReport {
                 lookups_per_fiber: 10,
                 ..BloomConfig::default()
             });
-            Platform::new(cfg).run(&mut w)
+            Platform::try_new(cfg).expect("valid config").run(&mut w)
         }
         _ => unreachable!("unknown workload {workload}"),
     }

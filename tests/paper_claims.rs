@@ -83,11 +83,11 @@ fn mlp_consumes_lfbs() {
 #[test]
 fn swq_peaks_at_half_of_dram() {
     let base_cfg = PlatformConfig::paper_default().without_replay_device();
-    let base = Platform::new(base_cfg.clone()).run_baseline(&mut ubench(800));
+    let base = Platform::try_new(base_cfg.clone()).expect("valid config").run_baseline(&mut ubench(800));
     let mut peak: f64 = 0.0;
     for t in [8usize, 16, 24, 32] {
         let cfg = base_cfg.clone().mechanism(Mechanism::SoftwareQueue).fibers_per_core(t);
-        let r = Platform::new(cfg).run(&mut ubench(200));
+        let r = Platform::try_new(cfg).expect("valid config").run(&mut ubench(200));
         peak = peak.max(r.normalized_to(&base));
     }
     assert!((0.40..0.62).contains(&peak), "swq single-core peak {peak}");
@@ -98,10 +98,10 @@ fn swq_peaks_at_half_of_dram() {
 #[test]
 fn multicore_prefetch_hits_the_14_entry_wall() {
     let base_cfg = PlatformConfig::paper_default().without_replay_device();
-    let base = Platform::new(base_cfg.clone()).run_baseline(&mut ubench(800));
+    let base = Platform::try_new(base_cfg.clone()).expect("valid config").run_baseline(&mut ubench(800));
     let run = |cores: usize| {
         let cfg = base_cfg.clone().cores(cores).fibers_per_core(8);
-        let r = Platform::new(cfg).run(&mut ubench(200));
+        let r = Platform::try_new(cfg).expect("valid config").run(&mut ubench(200));
         (r.normalized_to(&base), r.device_path_max)
     };
     let (n2, _) = run(2);
@@ -110,7 +110,7 @@ fn multicore_prefetch_hits_the_14_entry_wall() {
     assert!(n8 < n2 * 1.8, "8 cores should gain little over 2: {n2} -> {n8}");
     // And the wall is the queue, not the workload: lifting it scales.
     let cfg = base_cfg.clone().cores(8).fibers_per_core(8).device_path_credits(256);
-    let lifted = Platform::new(cfg).run(&mut ubench(200)).normalized_to(&base);
+    let lifted = Platform::try_new(cfg).expect("valid config").run(&mut ubench(200)).normalized_to(&base);
     assert!(lifted > n8 * 2.5, "lifting the queue should scale: {n8} -> {lifted}");
 }
 
@@ -134,7 +134,7 @@ fn swq_multicore_saturates_pcie_at_half_useful() {
         .mechanism(Mechanism::SoftwareQueue)
         .cores(8)
         .fibers_per_core(24);
-    let r = Platform::new(cfg).run(&mut ubench(150));
+    let r = Platform::try_new(cfg).expect("valid config").run(&mut ubench(150));
     let link = r.link.expect("device run has a link");
     let useful = link.up_payload_bw(r.elapsed);
     let wire = link.up_wire_bw(r.elapsed);
@@ -195,16 +195,16 @@ fn queue_sizing_rule_fixes_the_4us_device() {
     let base_cfg = PlatformConfig::paper_default()
         .without_replay_device()
         .device_latency(Span::from_us(4));
-    let base = Platform::new(base_cfg.clone()).run_baseline(&mut ubench(800));
+    let base = Platform::try_new(base_cfg.clone()).expect("valid config").run_baseline(&mut ubench(800));
     // Stock hardware: stuck far below DRAM.
-    let stock = Platform::new(base_cfg.clone().fibers_per_core(10))
+    let stock = Platform::try_new(base_cfg.clone().fibers_per_core(10)).expect("valid config")
         .run(&mut ubench(150))
         .normalized_to(&base);
     assert!(stock < 0.45, "stock 4us should be far from DRAM: {stock}");
     // Provisioned per the rule: 20 * 4 = 80 entries/core.
-    let fixed = Platform::new(
+    let fixed = Platform::try_new(
         base_cfg.clone().lfbs(80).device_path_credits(512).fibers_per_core(96),
-    )
+    ).expect("valid config")
     .run(&mut ubench(150))
     .normalized_to(&base);
     assert!(fixed > 0.75, "provisioned 4us should approach DRAM: {fixed}");

@@ -11,7 +11,7 @@ use kus_workloads::{
 };
 
 fn run(cfg: PlatformConfig, w: &mut dyn kus_core::Workload) -> RunReport {
-    Platform::new(cfg).run(w)
+    Platform::try_new(cfg).expect("valid config").run(w)
 }
 
 fn shapes() -> Vec<(usize, usize)> {
@@ -78,6 +78,7 @@ fn bloom_matrix() {
                 k: 4,
                 lookups_per_fiber: 60,
                 work_count: 50,
+                ..BloomConfig::default()
             });
             let r = run(cfg, &mut w);
             assert_eq!(r.accesses, 4 * 60 * (shape.0 * shape.1) as u64);
@@ -95,6 +96,7 @@ fn memcached_matrix() {
                 value_lines: 4,
                 lookups_per_fiber: 50,
                 work_count: 50,
+                ..MemcachedConfig::default()
             });
             let r = run(cfg, &mut w);
             // >= bucket read + 4 value lines per lookup.
@@ -106,7 +108,7 @@ fn memcached_matrix() {
 #[test]
 fn dram_baselines_run_for_all_workloads() {
     let cfg = PlatformConfig::paper_default().without_replay_device();
-    let p = Platform::new(cfg);
+    let p = Platform::try_new(cfg).expect("valid config");
     let mut ub = Microbench::new(MicrobenchConfig { work_count: 60, mlp: 1, iters_per_fiber: 50, writes_per_iter: 0 });
     assert!(p.run_baseline(&mut ub).accesses == 50);
     let mut bfs = BfsWorkload::new(BfsConfig { scale: 9, max_visits: 60, ..BfsConfig::default() });
@@ -117,6 +119,7 @@ fn dram_baselines_run_for_all_workloads() {
         k: 4,
         lookups_per_fiber: 40,
         work_count: 50,
+        ..BloomConfig::default()
     });
     assert_eq!(p.run_baseline(&mut bl).accesses, 160);
     let mut mc = MemcachedWorkload::new(MemcachedConfig {
@@ -124,6 +127,7 @@ fn dram_baselines_run_for_all_workloads() {
         value_lines: 4,
         lookups_per_fiber: 30,
         work_count: 50,
+        ..MemcachedConfig::default()
     });
     assert!(p.run_baseline(&mut mc).accesses >= 150);
 }
@@ -135,8 +139,8 @@ fn context_switch_cost_matters() {
     let mk = || Microbench::new(MicrobenchConfig { work_count: 60, mlp: 1, iters_per_fiber: 80, writes_per_iter: 0 });
     let fast_cfg = PlatformConfig::paper_default().without_replay_device().fibers_per_core(10);
     let slow_cfg = fast_cfg.clone().ctx_switch(Span::from_us(2));
-    let fast = Platform::new(fast_cfg).run(&mut mk());
-    let slow = Platform::new(slow_cfg).run(&mut mk());
+    let fast = Platform::try_new(fast_cfg).expect("valid config").run(&mut mk());
+    let slow = Platform::try_new(slow_cfg).expect("valid config").run(&mut mk());
     assert!(
         slow.elapsed > fast.elapsed * 5,
         "2us switches should dominate: {} vs {}",
@@ -154,11 +158,11 @@ fn swq_ablations_are_strictly_inferior() {
         .without_replay_device()
         .mechanism(Mechanism::SoftwareQueue)
         .fibers_per_core(16);
-    let optimized = Platform::new(base_cfg.clone()).run(&mut mk());
+    let optimized = Platform::try_new(base_cfg.clone()).expect("valid config").run(&mut mk());
 
     let mut no_flag = base_cfg.clone();
     no_flag.swq_doorbell_every_enqueue = true;
-    let no_flag = Platform::new(no_flag).run(&mut mk());
+    let no_flag = Platform::try_new(no_flag).expect("valid config").run(&mut mk());
     assert!(
         no_flag.elapsed > optimized.elapsed,
         "doorbell-per-enqueue should be slower: {} vs {}",
@@ -169,7 +173,7 @@ fn swq_ablations_are_strictly_inferior() {
 
     let mut no_burst = base_cfg.clone();
     no_burst.swq_fetch_burst = 1;
-    let no_burst = Platform::new(no_burst).run(&mut mk());
+    let no_burst = Platform::try_new(no_burst).expect("valid config").run(&mut mk());
     assert!(
         no_burst.elapsed >= optimized.elapsed,
         "single-descriptor fetches should not beat bursts: {} vs {}",
@@ -190,8 +194,8 @@ fn posted_writes_are_nearly_free() {
         })
     };
     let cfg = PlatformConfig::paper_default().without_replay_device().fibers_per_core(10);
-    let r0 = Platform::new(cfg.clone()).run(&mut mk(0));
-    let r1 = Platform::new(cfg).run(&mut mk(1));
+    let r0 = Platform::try_new(cfg.clone()).expect("valid config").run(&mut mk(0));
+    let r1 = Platform::try_new(cfg).expect("valid config").run(&mut mk(1));
     assert_eq!(r1.writes, 150 * 10);
     assert_eq!(r0.writes, 0);
     let slowdown = r1.elapsed.as_ns_f64() / r0.elapsed.as_ns_f64();
@@ -210,7 +214,7 @@ fn swq_writes_are_rejected() {
         iters_per_fiber: 10,
         writes_per_iter: 1,
     });
-    let _ = Platform::new(cfg).run(&mut w);
+    let _ = Platform::try_new(cfg).expect("valid config").run(&mut w);
 }
 
 #[test]
@@ -225,8 +229,8 @@ fn smt_doubles_on_demand_throughput() {
     let cfg = PlatformConfig::paper_default()
         .without_replay_device()
         .mechanism(Mechanism::OnDemand);
-    let smt1 = Platform::new(cfg.clone()).run(&mut mk());
-    let smt2 = Platform::new(cfg.smt(2)).run(&mut mk());
+    let smt1 = Platform::try_new(cfg.clone()).expect("valid config").run(&mut mk());
+    let smt2 = Platform::try_new(cfg.smt(2)).expect("valid config").run(&mut mk());
     let speedup = smt2.work_ipc() / smt1.work_ipc();
     assert!((1.7..2.2).contains(&speedup), "SMT-2 speedup {speedup}");
 }

@@ -318,11 +318,11 @@ fn inert_fault_plan_changes_nothing() {
     let c = ChaosConfig { iters_per_fiber: 20, ..ChaosConfig::default() };
     let base = {
         let mut w = chaos_workload(c);
-        kus_core::Platform::new(chaos_platform(c)).run(&mut w)
+        kus_core::Platform::try_new(chaos_platform(c)).expect("valid config").run(&mut w)
     };
     let inert = {
         let mut w = chaos_workload(c);
-        kus_core::Platform::new(chaos_platform(c).faults(FaultPlan::none())).run(&mut w)
+        kus_core::Platform::try_new(chaos_platform(c).faults(FaultPlan::none())).expect("valid config").run(&mut w)
     };
     assert_eq!(base.elapsed, inert.elapsed);
     assert_eq!(base.accesses, inert.accesses);
@@ -356,7 +356,7 @@ fn tracing_never_perturbs_the_run() {
             if plan.is_active() {
                 cfg = cfg.faults(plan);
             }
-            kus_core::Platform::new(cfg).run(&mut w)
+            kus_core::Platform::try_new(cfg).expect("valid config").run(&mut w)
         };
         let plain = {
             let mut w = chaos_workload(c);
@@ -364,7 +364,7 @@ fn tracing_never_perturbs_the_run() {
             if plan.is_active() {
                 cfg = cfg.faults(plan);
             }
-            kus_core::Platform::new(cfg).run(&mut w)
+            kus_core::Platform::try_new(cfg).expect("valid config").run(&mut w)
         };
         assert!(plain.trace.is_none(), "case {case}: untraced run grew a trace");
         let t = traced.trace.as_ref().unwrap_or_else(|| panic!("case {case}: no trace"));
@@ -423,8 +423,8 @@ fn profile_accounting_sums_to_wall_and_is_inert() {
                 .fibers_per_core(fibers)
                 .seed(seed)
         };
-        let profiled = Platform::new(cfg().profiled()).run(&mut Microbench::new(mc));
-        let plain = Platform::new(cfg()).run(&mut Microbench::new(mc));
+        let profiled = Platform::try_new(cfg().profiled()).expect("valid config").run(&mut Microbench::new(mc));
+        let plain = Platform::try_new(cfg()).expect("valid config").run(&mut Microbench::new(mc));
 
         let p = profiled
             .profile
@@ -468,7 +468,7 @@ fn recovery_on_healthy_run_is_quiet() {
     let recovery = kus_core::SwqRecovery::for_device_latency(cfg.device_latency);
     let r = {
         let mut w = chaos_workload(c);
-        kus_core::Platform::new(cfg.swq_recovery(recovery)).run(&mut w)
+        kus_core::Platform::try_new(cfg.swq_recovery(recovery)).expect("valid config").run(&mut w)
     };
     let f = r.faults.expect("recovery enabled: report present");
     assert_eq!(f, kus_core::FaultReport::default(), "healthy run must not trip recovery");

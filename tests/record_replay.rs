@@ -22,10 +22,10 @@ fn replay_phase_timing_equals_ideal_phase() {
             .mechanism(mech)
             .fibers_per_core(fibers);
         let mut w = ubench(300, 1);
-        let ideal = Platform::new(ideal_cfg.clone()).run(&mut w);
+        let ideal = Platform::try_new(ideal_cfg.clone()).expect("valid config").run(&mut w);
         let mut replay_cfg = ideal_cfg;
         replay_cfg.use_replay_device = true;
-        let replay = Platform::new(replay_cfg).run(&mut w);
+        let replay = Platform::try_new(replay_cfg).expect("valid config").run(&mut w);
         assert_eq!(
             ideal.elapsed, replay.elapsed,
             "replay changed timing under {mech}: {} vs {}",
@@ -41,7 +41,7 @@ fn replay_phase_timing_equals_ideal_phase() {
 fn replay_serves_everything_within_deadline() {
     let cfg = PlatformConfig::paper_default().fibers_per_core(10);
     let mut w = ubench(400, 1);
-    let r = Platform::new(cfg).run(&mut w);
+    let r = Platform::try_new(cfg).expect("valid config").run(&mut w);
     let d = r.device.expect("device-backed run");
     assert_eq!(d.responses, r.accesses);
     assert_eq!(d.ondemand, 0, "no request should fall back to on-demand");
@@ -61,8 +61,9 @@ fn replay_handles_application_sequences() {
         k: 4,
         lookups_per_fiber: 150,
         work_count: 80,
+        ..BloomConfig::default()
     });
-    let r = Platform::new(cfg.clone()).run(&mut w);
+    let r = Platform::try_new(cfg.clone()).expect("valid config").run(&mut w);
     let d = r.device.unwrap();
     assert_eq!(d.deadline_misses, 0);
     let ondemand_frac = d.ondemand as f64 / d.responses as f64;
@@ -73,8 +74,9 @@ fn replay_handles_application_sequences() {
         value_lines: 4,
         lookups_per_fiber: 80,
         work_count: 80,
+        ..MemcachedConfig::default()
     });
-    let r = Platform::new(cfg).run(&mut w);
+    let r = Platform::try_new(cfg).expect("valid config").run(&mut w);
     let d = r.device.unwrap();
     assert_eq!(d.deadline_misses, 0);
     let ondemand_frac = d.ondemand as f64 / d.responses as f64;
@@ -87,7 +89,7 @@ fn runs_are_deterministic_in_the_seed() {
     let run = |seed: u64| {
         let cfg = PlatformConfig::paper_default().fibers_per_core(6).seed(seed);
         let mut w = ubench(200, 2);
-        let r = Platform::new(cfg).run(&mut w);
+        let r = Platform::try_new(cfg).expect("valid config").run(&mut w);
         (r.elapsed, r.work_insts, r.accesses, r.switches)
     };
     assert_eq!(run(1), run(1));
@@ -102,8 +104,9 @@ fn runs_are_deterministic_in_the_seed() {
             value_lines: 4,
             lookups_per_fiber: 120,
             work_count: 80,
+            ..MemcachedConfig::default()
         });
-        let r = Platform::new(cfg).run(&mut w);
+        let r = Platform::try_new(cfg).expect("valid config").run(&mut w);
         (r.elapsed, r.accesses)
     };
     assert_eq!(run_kv(3), run_kv(3));
@@ -122,7 +125,7 @@ fn request_conservation_across_mechanisms() {
             let fibers = if mech == Mechanism::OnDemand { 1 } else { 6 };
             let cfg = PlatformConfig::paper_default().mechanism(mech).fibers_per_core(fibers);
             let mut w = ubench(120, mlp);
-            let r = Platform::new(cfg).run(&mut w);
+            let r = Platform::try_new(cfg).expect("valid config").run(&mut w);
             let d = r.device.expect("device run");
             assert_eq!(
                 d.responses, r.accesses,
@@ -145,7 +148,7 @@ fn replay_holds_under_latency_jitter() {
         .device_jitter(Span::from_ns(800))
         .fibers_per_core(8);
     let mut w = ubench(250, 1);
-    let r = Platform::new(cfg).run(&mut w);
+    let r = Platform::try_new(cfg).expect("valid config").run(&mut w);
     let d = r.device.expect("device run");
     assert_eq!(d.ondemand, 0, "jitter reordering stays within the replay window");
     assert_eq!(d.deadline_misses, 0);

@@ -1,0 +1,191 @@
+//! Exhaustive scenario round-trip: every TOML field ↔ every spec field.
+//!
+//! The maximal spec below sets *every* `ScenarioSpec` field to a
+//! non-default value; `to_toml` destructures exhaustively (a new field
+//! that isn't serialized fails to compile), and `finish()` rejects
+//! unknown keys (a serialized key without a schema reader fails here). So
+//! this suite pins the invariant the corpus depends on:
+//! `parse(to_toml(spec)) == spec`, and the compiled fingerprints agree.
+
+use kus_scenario::prelude::*;
+use kus_sim::Span;
+
+/// A spec with every field moved off its default.
+fn maximal_spec() -> ScenarioSpec {
+    let platform = PlatformSpec {
+        mechanism: Some(Mechanism::SoftwareQueue),
+        cores: Some(4),
+        fibers_per_core: Some(8),
+        smt: Some(2),
+        device_latency: Some(Span::from_us(3)),
+        device_jitter: Some(Span::from_ns(250)),
+        jitter_model: Some(JitterModel::Bimodal {
+            tail_prob: 0.02,
+            tail: Span::from_us(5),
+        }),
+        ctx_switch: Some(Span::from_ns(120)),
+        use_replay_device: Some(false),
+        dataset_bytes: Some(1 << 22),
+        swq_ring_capacity: Some(96),
+    };
+    let hostile = FaultPlan::none()
+        .with_latency_spikes(0.01, Span::from_us(20))
+        .with_dispatcher_stalls(0.05, Span::from_us(6))
+        .with_freeze_windows(Span::from_us(200), Span::from_us(30), Span::from_us(4));
+    let matrix = MatrixSpec {
+        policies: vec![
+            AdmissionControl::Static,
+            AdmissionControl::AdaptiveConcurrency { initial: 4, max: 16, window: 16 },
+        ],
+        plans: vec![
+            ("calm".into(), FaultPlan::none()),
+            ("hostile".into(), hostile),
+        ],
+        rates: vec![500_000, 2_000_000],
+        retry_pair: false,
+    };
+    ScenarioSpec::new(
+        "maximal",
+        ArrivalProcess::FlashCrowd {
+            base_rps: 1_000_000.0,
+            spike_rps: 4_000_000.0,
+            at: Span::from_us(50),
+            rise: Span::from_us(10),
+            hold: Span::from_us(40),
+            fall: Span::from_us(20),
+        },
+    )
+    .description("every field off its default")
+    .seed(42)
+    .requests(200)
+    .keys(KeyPopularity::Zipfian { theta: 0.9 })
+    .service(ServiceSpec::Memcached { n_items: 4096, value_lines: 2, work_count: 50 })
+    .platform(platform)
+    .queue_capacity(48)
+    .dispatch_overhead(Span::from_ns(75))
+    .slo(SloSpec::none().p99(Span::from_us(40)).p999(Span::from_us(90)).max_shed_fraction(0.25))
+    .admission(AdmissionControl::DeadlineAware {
+        target: Span::from_us(3),
+        interval: Span::from_us(7),
+    })
+    .retry(RetryPolicy::budgeted(Span::from_us(50), 3, 0.5, Span::from_us(10)))
+    .faults(FaultPlan::none().with_fiber_crashes(0.002, Span::from_us(15)))
+    .matrix(matrix)
+}
+
+#[test]
+fn maximal_spec_round_trips_through_toml() {
+    let spec = maximal_spec();
+    let text = spec.to_toml();
+    let reparsed = ScenarioSpec::parse(&text)
+        .unwrap_or_else(|e| panic!("serialized spec must re-parse: {e}\n---\n{text}"));
+    assert_eq!(spec, reparsed, "parse(to_toml(spec)) must reproduce the spec\n---\n{text}");
+}
+
+#[test]
+fn round_trip_preserves_the_compiled_fingerprint() {
+    let spec = maximal_spec();
+    let direct = spec.clone().compile().expect("maximal spec compiles");
+    let via_toml = Scenario::from_toml(&spec.to_toml()).expect("round-trip compiles");
+    assert_eq!(direct.fingerprint(), via_toml.fingerprint());
+    // And serialization is a fixed point: one trip through TOML is
+    // canonical, so a second trip is byte-identical.
+    assert_eq!(spec.to_toml(), via_toml.spec().to_toml());
+}
+
+#[test]
+fn default_spec_round_trips_and_matches_load_spec_defaults() {
+    let spec = ScenarioSpec::new("calm", ArrivalProcess::Poisson { rate_rps: 1.0 });
+    let text = spec.to_toml();
+    let reparsed = ScenarioSpec::parse(&text).expect("defaults re-parse");
+    assert_eq!(spec, reparsed);
+    let sc = reparsed.compile().expect("defaults compile");
+    let reference = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 1.0 });
+    assert_eq!(format!("{:?}", sc.load()), format!("{reference:?}"));
+}
+
+#[test]
+fn every_arrival_shape_round_trips() {
+    let shapes = [
+        ArrivalProcess::Poisson { rate_rps: 2.5e6 },
+        ArrivalProcess::OnOff { rate_rps: 1.0e6, on: Span::from_us(30), off: Span::from_us(10) },
+        ArrivalProcess::Ramp { start_rps: 1.0e5, end_rps: 3.0e6, over: Span::from_us(400) },
+        ArrivalProcess::Diurnal { base_rps: 1.0e6, amplitude: 0.5, period: Span::from_us(200) },
+        ArrivalProcess::FlashCrowd {
+            base_rps: 1.0e6,
+            spike_rps: 5.0e6,
+            at: Span::from_us(80),
+            rise: Span::from_us(5),
+            hold: Span::from_us(25),
+            fall: Span::from_us(15),
+        },
+        ArrivalProcess::Bursts {
+            base_rps: 8.0e5,
+            burst_rps: 4.0e6,
+            period: Span::from_us(60),
+            burst_len: Span::from_us(12),
+        },
+        ArrivalProcess::ClosedLoop { users: 12, think: Span::from_us(2) },
+    ];
+    for arrival in shapes {
+        let spec = ScenarioSpec::new("shape", arrival).requests(64);
+        let reparsed = ScenarioSpec::parse(&spec.to_toml())
+            .unwrap_or_else(|e| panic!("{arrival:?} must re-parse: {e}"));
+        assert_eq!(spec, reparsed, "{arrival:?}");
+    }
+}
+
+#[test]
+fn every_key_popularity_and_service_round_trips() {
+    let keys = [
+        KeyPopularity::Sequential,
+        KeyPopularity::Zipfian { theta: 0.75 },
+        KeyPopularity::HotSet { hot_fraction: 0.05, hot_weight: 0.95 },
+    ];
+    let services = [
+        ServiceSpec::Echo { lines: 512 },
+        ServiceSpec::Memcached { n_items: 1024, value_lines: 8, work_count: 25 },
+        ServiceSpec::Bloom { n_keys: 2048, k: 6, work_count: 75 },
+    ];
+    for k in keys {
+        for s in services {
+            let spec = ScenarioSpec::new("combo", ArrivalProcess::Poisson { rate_rps: 1.0 })
+                .keys(k)
+                .service(s);
+            let reparsed = ScenarioSpec::parse(&spec.to_toml()).expect("re-parses");
+            assert_eq!(spec, reparsed, "{k:?} × {s:?}");
+        }
+    }
+}
+
+#[test]
+fn parse_errors_carry_section_field_and_line() {
+    let e = ScenarioSpec::parse("name = \"x\"\n[traffic]\narrival = \"warp\"\n").unwrap_err();
+    assert_eq!(e.section, "traffic");
+    assert_eq!(e.field.as_deref(), Some("arrival"));
+    assert_eq!(e.line, Some(3));
+
+    let e = ScenarioSpec::parse(
+        "name = \"x\"\n[keys]\npopularity = \"zipfian\"\ntheta = 0.9\nbogus = 1\n",
+    )
+    .unwrap_err();
+    assert_eq!(e.field.as_deref(), Some("bogus"));
+    assert_eq!(e.line, Some(5));
+
+    let e = ScenarioSpec::parse("nope = 1\n").unwrap_err();
+    assert!(e.message.contains("name"), "{e}");
+}
+
+#[test]
+fn unknown_keys_in_every_section_are_rejected() {
+    for section in
+        ["traffic", "keys", "service", "platform", "queue", "slo", "admission", "retry", "faults", "matrix"]
+    {
+        let text = format!("name = \"x\"\n[{section}]\nmystery_knob = 1\n");
+        let Err(e) = ScenarioSpec::parse(&text) else {
+            panic!("[{section}] must reject unknown keys");
+        };
+        assert_eq!(e.section, section, "{e}");
+        assert_eq!(e.field.as_deref(), Some("mystery_knob"), "{e}");
+    }
+}
