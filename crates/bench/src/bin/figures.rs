@@ -5,9 +5,8 @@
 //! threads, 0 = one per hardware thread; output is byte-identical for any
 //! N), `--seed S`, `--json PATH`, and `--csv PATH` are parsed in one
 //! place and accepted by every mode that runs cells. The pre-subcommand
-//! flag spellings (`--sweep`, `--load`, `--overload`, `--trace PATH`,
-//! `--trace-hash`, `--profile PATH`, `--simbench`) remain hidden aliases
-//! for one release.
+//! flag spellings (`--sweep`, `--load`, `--trace PATH`, ...) are gone —
+//! invoke the subcommand by name.
 //!
 //! Figure mode (the default, or explicitly `figures figures`):
 //!   figures                 # all figures, fast quality (idealized device)
@@ -53,6 +52,18 @@
 //!   columns) and the saturation knee per mechanism; --json/--csv emit the
 //!   full per-cell LoadReports, byte-identical across --jobs values.
 //!
+//! `figures net` (the front-end sweep: NIC model × tier topology ×
+//! offered rate, with the dispatcher-only baseline alongside):
+//!   figures net --service echo --nics dma,nanopu --topos rpc,fanout4 \
+//!           --rates 250k,500k,1m,2m,3m --requests 400 --queue-cap 64 \
+//!           --jobs 4 --json net.json --csv net.csv
+//!   --nics is any of dma | nanopu; --topos is rpc | fanoutN (e.g.
+//!   fanout4). Every run also sweeps `nic=off topo=direct` baseline cells
+//!   at the same rates. Prints per-front-end throughput curves with the
+//!   wire/NIC/steer/queue/service decomposition, the knee per front end,
+//!   and the knee shift vs the baseline; --json/--csv emit the full
+//!   per-cell LoadReports + NetReports, byte-identical across --jobs.
+//!
 //! `figures overload` (a degradation sweep: admission policy × fault plan
 //! × offered rate, plus the budgeted/unbudgeted retry pair):
 //!   figures overload --service echo --policies static,deadline,adaptive \
@@ -85,6 +96,9 @@
 //!   carrying a `[matrix]` section runs the full overload matrix (policy ×
 //!   plan × rate) and emits exactly the `figures overload` artifacts; a
 //!   plain scenario runs once and prints its LoadReport (--json emits it).
+//!   A scenario carrying an `[expect]` section is an executable claim:
+//!   the run exits non-zero when the observed degradation verdict, SLO
+//!   outcome, or demonstrated goodput regresses below the expectation.
 //!
 //! `figures scenario-matrix` (score every mechanism across the corpus):
 //!   figures scenario-matrix [--dir scenarios] [--mech ondemand,swq] \
@@ -94,7 +108,8 @@
 //!   every mechanism, and prints the scoreboard. Artifacts are
 //!   byte-identical across --jobs values.
 
-use kus_bench::load::{run_load_sweep, LoadSweepSpec};
+use kus_bench::load::{run_load_sweep, LoadSweepSpec, KNEE_GOODPUT_FRACTION};
+use kus_bench::net::{run_net_sweep, NetSweepSpec};
 use kus_bench::overload::{run_overload_sweep, OverloadSweepSpec};
 use kus_bench::profile::run_profile_suite;
 use kus_bench::scenario::{load_scenario_dir, run_scenario_matrix, ScenarioMatrixSpec};
@@ -102,7 +117,8 @@ use kus_bench::sweep::{run_figures, run_sweep, SweepOptions, SweepSpec};
 use kus_core::prelude::*;
 use kus_scenario::Scenario;
 use kus_load::{
-    service_factory, AdmissionControl, ArrivalProcess, EchoService, LoadSpec, SloSpec,
+    service_factory, AdmissionControl, ArrivalProcess, EchoService, LoadSpec, NetConfig,
+    NicModelKind, ServiceFactory, SloSpec, TierSpec,
 };
 use kus_workloads::figures::{self, Quality};
 use kus_workloads::trace_scenarios::{run_trace_scenario, trace_scenarios};
@@ -192,28 +208,14 @@ fn parse_mech(s: &str) -> Option<Mechanism> {
 
 const TRACE_SEED: u64 = 0xC0FFEE;
 
-/// Legacy spellings: `--trace PATH` / `--trace-hash` with no subcommand.
-fn trace_mode(args: &[String]) -> Option<i32> {
-    let out = flag_value(args, "--trace");
-    let hash_only = args.iter().any(|a| a == "--trace-hash");
-    if out.is_none() && !hash_only {
-        return None;
-    }
-    Some(trace_mode_run(args, out, hash_only))
-}
-
 /// `figures trace`: `--out PATH` writes a Chrome trace, `--hash` prints
 /// the canonical determinism hashes.
 fn trace_sub(args: &[String]) -> i32 {
-    let out = flag_value(args, "--out").or_else(|| flag_value(args, "--trace"));
-    let hash_only = args.iter().any(|a| a == "--hash" || a == "--trace-hash");
+    let out = flag_value(args, "--out");
+    let hash_only = args.iter().any(|a| a == "--hash");
     if out.is_none() && !hash_only {
         fail("trace: expected --out PATH or --hash".into());
     }
-    trace_mode_run(args, out, hash_only)
-}
-
-fn trace_mode_run(args: &[String], out: Option<String>, hash_only: bool) -> i32 {
     let seed = common(args).seed.unwrap_or(TRACE_SEED);
     if hash_only {
         // One line per canonical run: `name hash event-count`.
@@ -224,12 +226,9 @@ fn trace_mode_run(args: &[String], out: Option<String>, hash_only: bool) -> i32 
         }
         return 0;
     }
-    let path = out.expect("checked by both callers");
-    // `--scenario` was this flag's pre-subcommand spelling; the scenario
-    // subcommand owns that word now.
-    let canonical = flag_value(args, "--canonical")
-        .or_else(|| flag_value(args, "--scenario"))
-        .unwrap_or_else(|| "swq-optimized".into());
+    let path = out.expect("checked above");
+    let canonical =
+        flag_value(args, "--canonical").unwrap_or_else(|| "swq-optimized".into());
     let Some(r) = run_trace_scenario(&canonical, seed) else {
         eprintln!(
             "--canonical: unknown `{canonical}`; available: {}",
@@ -329,11 +328,9 @@ fn sweep_mode(args: &[String]) -> i32 {
 }
 
 /// `figures profile`: the §4 acceptance suite (see the module docs).
-/// `path_flag` is `--out` for the subcommand, `--profile` for the legacy
-/// spelling.
-fn profile_mode(args: &[String], path_flag: &str) -> i32 {
-    let path = flag_value(args, path_flag)
-        .unwrap_or_else(|| fail(format!("{path_flag}: expected an output path")));
+fn profile_mode(args: &[String]) -> i32 {
+    let path = flag_value(args, "--out")
+        .unwrap_or_else(|| fail("--out: expected an output path".into()));
     let com = common(args);
     let seed: u64 = com.seed.unwrap_or(7);
     let opts = com.opts();
@@ -342,7 +339,7 @@ fn profile_mode(args: &[String], path_flag: &str) -> i32 {
     eprintln!("# profile suite: done in {:.2}s", suite.wall_seconds);
     print!("{}", suite.render_dashboards());
     if let Err(e) = std::fs::write(&path, suite.to_json()) {
-        fail(format!("{path_flag}: cannot write {path}: {e}"));
+        fail(format!("--out: cannot write {path}: {e}"));
     }
     eprintln!("# wrote {path} ({} scenarios)", suite.outcomes.len());
     if let Some(stem) = flag_value(args, "--speedscope") {
@@ -357,6 +354,16 @@ fn profile_mode(args: &[String], path_flag: &str) -> i32 {
         }
     }
     i32::from(!suite.satisfied())
+}
+
+/// Resolves a `--service` value to its factory.
+fn service_by_name(name: &str) -> ServiceFactory {
+    match name {
+        "echo" => service_factory(|| EchoService::new(4096)),
+        "memcached" => MemcachedService::factory(MemcachedConfig::default()),
+        "bloom" => BloomService::factory(BloomConfig::default()),
+        other => fail(format!("--service: unknown `{other}` (echo | memcached | bloom)")),
+    }
 }
 
 /// Parses an offered rate like `250000`, `250k`, or `1.5m` (requests/s).
@@ -414,12 +421,7 @@ fn load_mode(args: &[String]) -> i32 {
         .slo(slo);
 
     let service = flag_value(args, "--service").unwrap_or_else(|| "memcached".into());
-    let factory = match service.as_str() {
-        "echo" => service_factory(|| EchoService::new(4096)),
-        "memcached" => MemcachedService::factory(MemcachedConfig::default()),
-        "bloom" => BloomService::factory(BloomConfig::default()),
-        other => fail(format!("--service: unknown `{other}` (echo | memcached | bloom)")),
-    };
+    let factory = service_by_name(&service);
 
     let mut sweep = LoadSweepSpec::new(service, factory, spec, cfg);
     let mechs = list(args, "--mech", parse_mech);
@@ -435,6 +437,110 @@ fn load_mode(args: &[String]) -> i32 {
     eprintln!("# load sweep: {} cells, jobs={}", sweep.cell_count(), opts.jobs);
     let results = run_load_sweep(&sweep, &opts);
     eprintln!("# load sweep: done in {:.2}s", results.wall_seconds);
+    print!("{}", results.render_table());
+    if let Some(path) = &com.json {
+        write_artifact("--json", path, &results.to_json(), results.cells.len());
+    }
+    if let Some(path) = &com.csv {
+        write_artifact("--csv", path, &results.to_csv(), results.cells.len());
+    }
+    i32::from(results.errors().count() > 0)
+}
+
+/// Parses a NIC model name: `dma` | `nanopu`.
+fn parse_nic(s: &str) -> Option<NicModelKind> {
+    match s {
+        "dma" => Some(NicModelKind::dma()),
+        "nanopu" | "nano" => Some(NicModelKind::nanopu()),
+        _ => None,
+    }
+}
+
+/// Parses a tier topology: `rpc` or `fanoutN` (e.g. `fanout4`).
+fn parse_topo(s: &str) -> Option<TierSpec> {
+    match s {
+        "rpc" => Some(TierSpec::rpc()),
+        _ => s.strip_prefix("fanout").and_then(|w| w.parse().ok()).map(TierSpec::fanout),
+    }
+}
+
+/// `figures net`: the front-end sweep (NIC model × tier topology × rate,
+/// with dispatcher-only baseline cells at the same rates).
+fn net_mode(args: &[String]) -> i32 {
+    let com = common(args);
+    let q = quality(args, &com);
+    let mut cfg = PlatformConfig::paper_default().cores(2).fibers_per_core(8);
+    if !q.replay_device {
+        cfg = cfg.without_replay_device();
+    }
+    if q.faults.is_active() {
+        cfg = cfg.faults(q.faults);
+    }
+    if let Some(seed) = q.seed {
+        cfg = cfg.seed(seed);
+    }
+    if let Some(v) = flag_value(args, "--cores") {
+        cfg = cfg.cores(v.parse().unwrap_or_else(|_| fail(format!("--cores: bad value `{v}`"))));
+    }
+    if let Some(v) = flag_value(args, "--fibers") {
+        cfg = cfg
+            .fibers_per_core(v.parse().unwrap_or_else(|_| fail(format!("--fibers: bad `{v}`"))));
+    }
+
+    let requests: usize = flag_value(args, "--requests")
+        .map(|s| s.parse().unwrap_or_else(|_| fail(format!("--requests: bad value `{s}`"))))
+        .unwrap_or(400);
+    let queue_cap: usize = flag_value(args, "--queue-cap")
+        .map(|s| s.parse().unwrap_or_else(|_| fail(format!("--queue-cap: bad value `{s}`"))))
+        .unwrap_or(64);
+    let mut slo = SloSpec::none();
+    if let Some(s) = flag_value(args, "--slo-p99") {
+        slo = slo.p99(parse_span(&s).unwrap_or_else(|| fail(format!("--slo-p99: bad `{s}`"))));
+    }
+    let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 1.0 })
+        .requests(requests)
+        .queue_capacity(queue_cap)
+        .slo(slo);
+
+    // The shared wire/steering knobs; the NIC model axis replaces `nic`.
+    let mut net = NetConfig::on();
+    if let Some(v) = flag_value(args, "--rx-queues") {
+        net = net
+            .rx_queues(v.parse().unwrap_or_else(|_| fail(format!("--rx-queues: bad `{v}`"))));
+    }
+    if let Some(v) = flag_value(args, "--flows") {
+        net = net.flows(v.parse().unwrap_or_else(|_| fail(format!("--flows: bad `{v}`"))));
+    }
+    if let Some(v) = flag_value(args, "--link-gbps") {
+        net = net
+            .link_gbps(v.parse().unwrap_or_else(|_| fail(format!("--link-gbps: bad `{v}`"))));
+    }
+    if let Some(s) = flag_value(args, "--net-jitter") {
+        net = net
+            .jitter(parse_span(&s).unwrap_or_else(|| fail(format!("--net-jitter: bad `{s}`"))));
+    }
+
+    let service = flag_value(args, "--service").unwrap_or_else(|| "echo".into());
+    let factory = service_by_name(&service);
+
+    let mut sweep = NetSweepSpec::new(service, factory, spec, cfg, net);
+    let nics = list(args, "--nics", parse_nic);
+    if !nics.is_empty() {
+        sweep = sweep.nics(&nics);
+    }
+    let topos = list(args, "--topos", parse_topo);
+    if !topos.is_empty() {
+        sweep = sweep.topologies(&topos);
+    }
+    let rates = list(args, "--rates", parse_rate);
+    if !rates.is_empty() {
+        sweep = sweep.rates(&rates);
+    }
+
+    let opts = com.opts();
+    eprintln!("# net sweep: {} cells, jobs={}", sweep.cell_count(), opts.jobs);
+    let results = run_net_sweep(&sweep, &opts);
+    eprintln!("# net sweep: done in {:.2}s", results.wall_seconds);
     print!("{}", results.render_table());
     if let Some(path) = &com.json {
         write_artifact("--json", path, &results.to_json(), results.cells.len());
@@ -494,12 +600,7 @@ fn overload_mode(args: &[String]) -> i32 {
         .slo(SloSpec::none().p99(slo_p99));
 
     let service = flag_value(args, "--service").unwrap_or_else(|| "echo".into());
-    let factory = match service.as_str() {
-        "echo" => service_factory(|| EchoService::new(4096)),
-        "memcached" => MemcachedService::factory(MemcachedConfig::default()),
-        "bloom" => BloomService::factory(BloomConfig::default()),
-        other => fail(format!("--service: unknown `{other}` (echo | memcached | bloom)")),
-    };
+    let factory = service_by_name(&service);
 
     let mut sweep = OverloadSweepSpec::new(service, factory, spec, cfg);
     let policies = list(args, "--policies", parse_policy);
@@ -591,21 +692,62 @@ fn scenario_mode(args: &[String]) -> i32 {
         fail(format!("scenario: {file}: run produced no serving trace events"));
     };
     println!("{}", report.to_table());
+    let net_report = kus_load::NetReport::from_run(&run);
+    if let Some(n) = &net_report {
+        println!("{}", n.to_table());
+    }
     let slo = sc.load().slo;
     if slo.p99.is_some() || slo.p999.is_some() || slo.max_shed_fraction.is_some() {
         let v = slo.verdict(&report);
         println!("slo: {}", if v.pass { "pass" } else { "FAIL" });
     }
+    // Executable claims: each stated `[expect]` entry is checked against
+    // the observed run; any miss fails the invocation.
+    let mut code = 0;
+    if let Some(want) = sc.expect() {
+        let status = |ok: bool| if ok { "ok" } else { "FAIL" };
+        if let Some(v) = &want.verdict {
+            let got = report.recovery(&slo).verdict.label();
+            let ok = got == v;
+            println!("expect verdict={v}: observed {got} [{}]", status(ok));
+            code |= i32::from(!ok);
+        }
+        if let Some(pass) = want.slo_pass {
+            let got = slo.verdict(&report).pass;
+            let ok = got == pass;
+            println!(
+                "expect slo={}: observed {} [{}]",
+                if pass { "pass" } else { "fail" },
+                if got { "pass" } else { "fail" },
+                status(ok),
+            );
+            code |= i32::from(!ok);
+        }
+        if let Some(rate) = want.knee_at_least {
+            let ok = report.goodput_rps >= KNEE_GOODPUT_FRACTION * rate;
+            println!(
+                "expect knee_at_least={rate:.0} rps: goodput {:.0} rps [{}]",
+                report.goodput_rps,
+                status(ok),
+            );
+            code |= i32::from(!ok);
+        }
+    }
     if let Some(path) = &com.json {
+        let net_field = match &net_report {
+            Some(n) => format!(",\n  \"net\": {}", n.to_json()),
+            None => String::new(),
+        };
         let json = format!(
-            "{{\n  \"scenario\": \"{}\",\n  \"fingerprint\": \"{:016x}\",\n  \"report\": {}\n}}\n",
+            "{{\n  \"scenario\": \"{}\",\n  \"fingerprint\": \"{:016x}\",\n  \"report\": {}{}\n}}\n",
             sc.name(),
             sc.fingerprint(),
             report.to_json(),
+            net_field,
         );
         write_artifact("--json", path, &json, 1);
     }
-    0
+    code
 }
 
 /// `figures scenario-matrix`: compile the corpus, score every mechanism.
@@ -704,8 +846,7 @@ fn figures_mode(args: &[String]) -> i32 {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Subcommand-first dispatch: the first non-flag argument names the
-    // mode. The pre-subcommand flag spellings below remain hidden aliases
-    // for one release.
+    // mode; a bare flag list runs figure mode.
     let sub = args
         .first()
         .filter(|a| !a.starts_with('-'))
@@ -716,37 +857,21 @@ fn main() {
             match name {
                 "sweep" => sweep_mode(&args),
                 "load" => load_mode(&args),
+                "net" => net_mode(&args),
                 "overload" => overload_mode(&args),
                 "trace" => trace_sub(&args),
-                "profile" => profile_mode(&args, "--out"),
+                "profile" => profile_mode(&args),
                 "simbench" => simbench_mode(&args),
                 "scenario" => scenario_mode(&args),
                 "scenario-matrix" => scenario_matrix_mode(&args),
                 "figures" => figures_mode(&args),
                 other => fail(format!(
-                    "unknown subcommand `{other}` (sweep | load | overload | trace | profile | \
-                     simbench | scenario | scenario-matrix | figures)"
+                    "unknown subcommand `{other}` (sweep | load | net | overload | trace | \
+                     profile | simbench | scenario | scenario-matrix | figures)"
                 )),
             }
         }
-        None => {
-            // Legacy flag spellings (hidden aliases).
-            if let Some(code) = trace_mode(&args) {
-                code
-            } else if args.iter().any(|a| a == "--simbench") {
-                simbench_mode(&args)
-            } else if args.iter().any(|a| a == "--sweep") {
-                sweep_mode(&args)
-            } else if args.iter().any(|a| a == "--profile") {
-                profile_mode(&args, "--profile")
-            } else if args.iter().any(|a| a == "--load") {
-                load_mode(&args)
-            } else if args.iter().any(|a| a == "--overload") {
-                overload_mode(&args)
-            } else {
-                figures_mode(&args)
-            }
-        }
+        None => figures_mode(&args),
     };
     std::process::exit(code);
 }

@@ -1,7 +1,6 @@
 //! # kus-bench — benchmark harness and the parallel sweep engine
 //!
-//! The `figures` binary is subcommand-first (the pre-subcommand flag
-//! spellings remain as hidden aliases for one release); shared
+//! The `figures` binary is subcommand-only; shared
 //! `--jobs/--seed/--json/--csv` flags parse uniformly across modes:
 //!
 //! - `cargo run --release -p kus-bench --bin figures [-- figures]
@@ -14,6 +13,9 @@
 //! - `figures load` runs a serving [`load`] sweep — mechanism × offered
 //!   rate — and prints the throughput–latency curve with the saturation
 //!   knee per mechanism.
+//! - `figures net` runs a [`net`] front-end sweep — NIC model × tier
+//!   topology × offered rate against the wire-less baseline — and prints
+//!   the per-front-end knee and its shift vs the dispatcher-only knee.
 //! - `figures overload` runs an [`overload`] sweep — admission policy ×
 //!   fault plan × offered rate — and prints the degradation matrix with a
 //!   graceful/brownout/collapse verdict per cell, plus the budgeted-vs-
@@ -40,6 +42,7 @@
 
 pub mod harness;
 pub mod load;
+pub mod net;
 pub mod overload;
 pub mod profile;
 pub mod scenario;
@@ -48,6 +51,7 @@ pub mod sweep;
 
 pub use kus_workloads::figures;
 pub use load::{run_load_sweep, LoadCell, LoadSweepResults, LoadSweepSpec};
+pub use net::{run_net_sweep, NetCell, NetKnee, NetOutcome, NetSweepResults, NetSweepSpec};
 pub use overload::{
     run_overload_sweep, OverloadCell, OverloadResults, OverloadSweepSpec, RetryCell,
 };

@@ -1,0 +1,558 @@
+//! The net sweep: NIC model × tier topology × offered rate, with the
+//! dispatcher-only baseline alongside.
+//!
+//! Where the [`load`](crate::load) sweep asks how each *access mechanism*
+//! holds up under offered load, this sweep keeps the mechanism fixed and
+//! varies the **front end**: which modelled NIC delivers the packets
+//! ([`NicModelKind`] — the DMA descriptor-ring design point vs the
+//! nanoPU-style pipelined fast path) and which tier chain serves them
+//! (single-tier RPC vs fan-out). Every matrix also carries `nic=off
+//! topo=direct` baseline cells — the exact dispatcher-only serving path
+//! the earlier sweeps measured — so the headline product is the **knee
+//! shift**: how far the saturation knee moves once requests arrive
+//! through a wire, an RX queue, RSS steering, and a chain of µs-scale
+//! hops instead of materializing at the admission queue.
+//!
+//! Cells run on the shared [`sweep`](crate::sweep) engine; every emitter
+//! is byte-identical between `--jobs 1` and `--jobs N` (locked down by
+//! `tests/net_determinism.rs`).
+
+use std::fmt::Write as _;
+
+use kus_core::prelude::PlatformConfig;
+use kus_load::{
+    load_experiment, ArrivalProcess, LoadReport, LoadSpec, NetConfig, NetReport, NicModelKind,
+    Percentiles, ServiceFactory, TierSpec,
+};
+
+use crate::load::KNEE_GOODPUT_FRACTION;
+use crate::sweep::{csv_field, json_escape, run_cells, SweepCell, SweepOptions};
+
+/// One point on the front-end axis: `None` is the dispatcher-only
+/// baseline (no NIC, direct topology); `Some` pairs a NIC model with a
+/// tier chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FrontEnd {
+    nic: Option<NicModelKind>,
+    tiers: TierSpec,
+}
+
+impl FrontEnd {
+    fn nic_name(&self) -> &'static str {
+        self.nic.map(|n| n.name()).unwrap_or("off")
+    }
+
+    fn topo_name(&self) -> &'static str {
+        self.tiers.topology.name()
+    }
+}
+
+/// A declarative net sweep: one service, one base serving spec, and the
+/// NIC-model × tier-topology × offered-rate matrix to explore.
+#[derive(Clone)]
+pub struct NetSweepSpec {
+    service_name: String,
+    service: ServiceFactory,
+    spec: LoadSpec,
+    cfg: PlatformConfig,
+    net: NetConfig,
+    nics: Vec<NicModelKind>,
+    topologies: Vec<TierSpec>,
+    rates: Vec<u64>,
+}
+
+impl NetSweepSpec {
+    /// A sweep of `service` under `spec`'s queueing/SLO parameters on the
+    /// `cfg` platform. `net` carries the shared wire/queue/steering knobs;
+    /// its `nic` and `enabled` fields are replaced per cell by the swept
+    /// axes. The default matrix covers both NIC design points over a
+    /// single-tier RPC chain and a fan-out-of-4 chain, plus the baseline.
+    pub fn new(
+        service_name: impl Into<String>,
+        service: ServiceFactory,
+        spec: LoadSpec,
+        cfg: PlatformConfig,
+        net: NetConfig,
+    ) -> NetSweepSpec {
+        NetSweepSpec {
+            service_name: service_name.into(),
+            service,
+            spec,
+            cfg,
+            net,
+            nics: vec![NicModelKind::dma(), NicModelKind::nanopu()],
+            topologies: vec![TierSpec::rpc(), TierSpec::fanout(4)],
+            rates: vec![250_000, 500_000, 1_000_000, 2_000_000, 3_000_000],
+        }
+    }
+
+    /// Replaces the NIC-model axis.
+    pub fn nics(mut self, v: &[NicModelKind]) -> Self {
+        self.nics = v.to_vec();
+        self
+    }
+
+    /// Replaces the tier-topology axis.
+    pub fn topologies(mut self, v: &[TierSpec]) -> Self {
+        self.topologies = v.to_vec();
+        self
+    }
+
+    /// Replaces the offered-rate axis (requests/second).
+    pub fn rates(mut self, v: &[u64]) -> Self {
+        self.rates = v.to_vec();
+        self
+    }
+
+    /// The number of cells this spec expands into (baseline included).
+    pub fn cell_count(&self) -> usize {
+        (1 + self.nics.len() * self.topologies.len()) * self.rates.len()
+    }
+
+    fn front_ends(&self) -> Vec<FrontEnd> {
+        let mut fronts = vec![FrontEnd { nic: None, tiers: TierSpec::direct() }];
+        for &nic in &self.nics {
+            for &tiers in &self.topologies {
+                fronts.push(FrontEnd { nic: Some(nic), tiers });
+            }
+        }
+        fronts
+    }
+
+    /// Expands the matrix in order: the baseline front end first, then
+    /// NIC-major × topology × rate (rate innermost throughout).
+    fn expand(&self) -> (Vec<(FrontEnd, u64)>, Vec<SweepCell>) {
+        let mut keys = Vec::with_capacity(self.cell_count());
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for front in self.front_ends() {
+            for &rate in &self.rates {
+                let label = format!(
+                    "{} nic={} topo={} rate={rate}rps",
+                    self.service_name,
+                    front.nic_name(),
+                    front.topo_name(),
+                );
+                let net = match front.nic {
+                    Some(nic) => NetConfig { enabled: true, nic, ..self.net },
+                    None => NetConfig::default(),
+                };
+                let spec = LoadSpec {
+                    arrival: ArrivalProcess::Poisson { rate_rps: rate as f64 },
+                    net,
+                    tiers: front.tiers,
+                    ..self.spec
+                };
+                let exp = load_experiment(&label, spec, self.cfg.clone(), self.service.clone())
+                    .map_err(|e| e.to_string());
+                keys.push((front, rate));
+                cells.push(SweepCell { label, exp });
+            }
+        }
+        (keys, cells)
+    }
+}
+
+/// The analytics one net cell yields: the serving-side [`LoadReport`] and,
+/// for NIC-enabled cells, the wire-to-reply [`NetReport`] decomposition.
+#[derive(Debug, Clone)]
+pub struct NetOutcome {
+    /// Admission-to-completion serving analytics.
+    pub load: LoadReport,
+    /// The per-stage wire decomposition (`None` for baseline cells).
+    pub net: Option<NetReport>,
+}
+
+/// One executed net cell, in matrix order.
+#[derive(Debug, Clone)]
+pub struct NetCell {
+    /// Cell index in matrix order.
+    pub index: usize,
+    /// Cell label.
+    pub label: String,
+    /// NIC model name (`off` for the baseline front end).
+    pub nic: &'static str,
+    /// Tier topology name (`direct` for the baseline front end).
+    pub topology: &'static str,
+    /// The offered Poisson rate, requests/second.
+    pub rate_rps: u64,
+    /// The analytics, or the validation/panic message.
+    pub outcome: Result<NetOutcome, String>,
+}
+
+/// The saturation knee of one front end (see
+/// [`NetSweepResults::knees`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetKnee {
+    /// NIC model name (`off` for the baseline).
+    pub nic: &'static str,
+    /// Tier topology name.
+    pub topology: &'static str,
+    /// Highest swept rate that kept up, if any did.
+    pub knee_rps: Option<u64>,
+}
+
+/// All results of one net sweep, in matrix order.
+#[derive(Debug, Clone)]
+pub struct NetSweepResults {
+    /// Service name the sweep ran.
+    pub service: String,
+    /// The serving spec the cells shared (modulo arrival/net/tiers).
+    pub spec: LoadSpec,
+    /// Per-cell results: baseline cells first, then NIC-major.
+    pub cells: Vec<NetCell>,
+    /// Wall-clock seconds (never part of emitter output).
+    pub wall_seconds: f64,
+}
+
+/// Expands and executes a net sweep on the shared pool.
+pub fn run_net_sweep(spec: &NetSweepSpec, opts: &SweepOptions) -> NetSweepResults {
+    let (keys, cells) = spec.expand();
+    let results = run_cells(cells, opts);
+    let cells = results
+        .cells
+        .into_iter()
+        .zip(keys)
+        .map(|(c, (front, rate))| NetCell {
+            index: c.index,
+            label: c.label,
+            nic: front.nic_name(),
+            topology: front.topo_name(),
+            rate_rps: rate,
+            outcome: c.outcome.and_then(|r| {
+                let load = LoadReport::from_run(&r)
+                    .ok_or_else(|| "run produced no serving trace events".to_string())?;
+                let net = NetReport::from_run(&r);
+                if front.nic.is_some() && net.is_none() {
+                    return Err("NIC-enabled run produced no net trace events".to_string());
+                }
+                Ok(NetOutcome { load, net })
+            }),
+        })
+        .collect();
+    NetSweepResults {
+        service: spec.service_name.clone(),
+        spec: spec.spec,
+        cells,
+        wall_seconds: results.wall_seconds,
+    }
+}
+
+impl NetSweepResults {
+    /// Error rows, in matrix order.
+    pub fn errors(&self) -> impl Iterator<Item = (&NetCell, &str)> {
+        self.cells.iter().filter_map(|c| c.outcome.as_ref().err().map(|e| (c, e.as_str())))
+    }
+
+    /// The saturation knee per front end, in axis order (baseline first):
+    /// the highest swept rate whose goodput reached
+    /// [`KNEE_GOODPUT_FRACTION`] of the nominal offered rate — the same
+    /// yardstick as [`LoadSweepResults::knees`](crate::load::LoadSweepResults::knees).
+    pub fn knees(&self) -> Vec<NetKnee> {
+        let mut out: Vec<NetKnee> = Vec::new();
+        for c in &self.cells {
+            if out.last().map(|k| (k.nic, k.topology)) != Some((c.nic, c.topology)) {
+                out.push(NetKnee { nic: c.nic, topology: c.topology, knee_rps: None });
+            }
+            if let Ok(o) = &c.outcome {
+                if o.load.goodput_rps >= KNEE_GOODPUT_FRACTION * c.rate_rps as f64 {
+                    out.last_mut().expect("pushed above").knee_rps = Some(c.rate_rps);
+                }
+            }
+        }
+        out
+    }
+
+    /// The baseline (`nic=off topo=direct`) knee, when baseline cells ran.
+    pub fn baseline_knee(&self) -> Option<u64> {
+        self.knees()
+            .iter()
+            .find(|k| k.nic == "off")
+            .and_then(|k| k.knee_rps)
+    }
+
+    /// Knee shift per NIC-enabled front end vs the baseline knee,
+    /// requests/second (negative: the front end moved the knee down).
+    /// Front ends where either knee is unmeasured are omitted.
+    pub fn knee_shifts(&self) -> Vec<(NetKnee, i64)> {
+        let Some(base) = self.baseline_knee() else { return Vec::new() };
+        self.knees()
+            .into_iter()
+            .filter(|k| k.nic != "off")
+            .filter_map(|k| k.knee_rps.map(|r| (k, r as i64 - base as i64)))
+            .collect()
+    }
+
+    /// Machine-readable JSON: one object per cell (matrix order) with the
+    /// embedded [`LoadReport`] and (for NIC cells) [`NetReport`], plus the
+    /// per-front-end knees and the knee shifts vs the baseline.
+    /// Byte-identical for a given cell set regardless of `--jobs`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\n  \"service\": \"{}\",\n  \"cells\": [\n", json_escape(&self.service));
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"index\":{},\"label\":\"{}\",\"nic\":\"{}\",\"topology\":\"{}\",\"rate_rps\":{}",
+                c.index,
+                json_escape(&c.label),
+                c.nic,
+                c.topology,
+                c.rate_rps,
+            );
+            match &c.outcome {
+                Ok(o) => {
+                    let _ = write!(out, ",\"ok\":true,\"report\":{}", o.load.to_json());
+                    match &o.net {
+                        Some(n) => {
+                            let _ = write!(out, ",\"net\":{}", n.to_json());
+                        }
+                        None => out.push_str(",\"net\":null"),
+                    }
+                }
+                Err(e) => {
+                    let _ = write!(out, ",\"ok\":false,\"error\":\"{}\"", json_escape(e));
+                }
+            }
+            out.push('}');
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"knees\": [\n");
+        let knees = self.knees();
+        for (i, k) in knees.iter().enumerate() {
+            let _ = write!(out, "    {{\"nic\":\"{}\",\"topology\":\"{}\",\"knee_rps\":", k.nic, k.topology);
+            match k.knee_rps {
+                Some(r) => {
+                    let _ = write!(out, "{r}}}");
+                }
+                None => out.push_str("null}"),
+            }
+            if i + 1 < knees.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"baseline_knee_rps\": ");
+        match self.baseline_knee() {
+            Some(r) => {
+                let _ = write!(out, "{r}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n  \"knee_shifts\": [\n");
+        let shifts = self.knee_shifts();
+        for (i, (k, shift)) in shifts.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"nic\":\"{}\",\"topology\":\"{}\",\"shift_rps\":{shift}}}",
+                k.nic, k.topology,
+            );
+            if i + 1 < shifts.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Machine-readable CSV (header + one row per cell, matrix order).
+    /// Net-decomposition columns are empty for baseline cells.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,label,nic,topology,rate_rps,ok,offered,completed,shed,goodput_rps,p50_ns,p99_ns,p999_ns,wire_p99_ns,rx_wait_p99_ns,nic_p99_ns,steer_p99_ns,net_queue_p99_ns,service_p99_ns,tx_p99_ns,e2e_p50_ns,e2e_p99_ns,e2e_p999_ns,error\n",
+        );
+        let stage = |out: &mut String, p: &Percentiles| {
+            let _ = write!(out, "{},", p.p99.as_ns());
+        };
+        for c in &self.cells {
+            match &c.outcome {
+                Ok(o) => {
+                    let r = &o.load;
+                    let _ = write!(
+                        out,
+                        "{},{},{},{},{},true,{},{},{},{:.6},{},{},{},",
+                        c.index,
+                        csv_field(&c.label),
+                        c.nic,
+                        c.topology,
+                        c.rate_rps,
+                        r.offered,
+                        r.completed,
+                        r.shed,
+                        r.goodput_rps,
+                        r.latency.p50.as_ns(),
+                        r.latency.p99.as_ns(),
+                        r.latency.p999.as_ns(),
+                    );
+                    match &o.net {
+                        Some(n) => {
+                            for p in [&n.wire, &n.rx_wait, &n.nic, &n.steer, &n.queue_wait, &n.service, &n.tx] {
+                                stage(&mut out, p);
+                            }
+                            let _ = writeln!(
+                                out,
+                                "{},{},{},",
+                                n.e2e.p50.as_ns(),
+                                n.e2e.p99.as_ns(),
+                                n.e2e.p999.as_ns(),
+                            );
+                        }
+                        None => out.push_str(",,,,,,,,,,\n"),
+                    }
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{},{},false,,,,,,,,,,,,,,,,,,{}",
+                        c.index,
+                        csv_field(&c.label),
+                        c.nic,
+                        c.topology,
+                        c.rate_rps,
+                        csv_field(e),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// The sweep as a text table grouped per front end, with knee and
+    /// knee-shift lines.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# net sweep: service={} requests={} queue={} (knee = goodput >= {:.0}% of nominal rate)",
+            self.service,
+            self.spec.requests,
+            self.spec.queue_capacity,
+            100.0 * KNEE_GOODPUT_FRACTION,
+        );
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12} {:>12} {:>7} {:>10} {:>10} {:>10} {:>10}",
+            "front end", "rate_rps", "goodput", "shed%", "p50", "p99", "e2e_p99", "wire_p99"
+        );
+        let mut last: Option<(&str, &str)> = None;
+        for c in &self.cells {
+            if last != Some((c.nic, c.topology)) {
+                if last.is_some() {
+                    out.push('\n');
+                }
+                last = Some((c.nic, c.topology));
+            }
+            let front = format!("{}/{}", c.nic, c.topology);
+            match &c.outcome {
+                Ok(o) => {
+                    let r = &o.load;
+                    let (e2e, wire) = match &o.net {
+                        Some(n) => (n.e2e.p99.to_string(), n.wire.p99.to_string()),
+                        None => ("-".into(), "-".into()),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{:<22} {:>12} {:>12.0} {:>6.2}% {:>10} {:>10} {:>10} {:>10}",
+                        front,
+                        c.rate_rps,
+                        r.goodput_rps,
+                        100.0 * r.shed_fraction(),
+                        r.latency.p50.to_string(),
+                        r.latency.p99.to_string(),
+                        e2e,
+                        wire,
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "{:<22} {:>12} ERROR {e}", front, c.rate_rps);
+                }
+            }
+        }
+        out.push('\n');
+        for k in self.knees() {
+            match k.knee_rps {
+                Some(r) => {
+                    let _ = writeln!(out, "knee {}/{}: {r} rps", k.nic, k.topology);
+                }
+                None => {
+                    let _ = writeln!(out, "knee {}/{}: below the swept range", k.nic, k.topology);
+                }
+            }
+        }
+        for (k, shift) in self.knee_shifts() {
+            let _ = writeln!(
+                out,
+                "knee shift {}/{} vs baseline: {shift:+} rps",
+                k.nic, k.topology,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kus_load::{service_factory, EchoService};
+
+    fn tiny_sweep() -> NetSweepSpec {
+        let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 1.0 })
+            .requests(60)
+            .queue_capacity(16);
+        let cfg = PlatformConfig::paper_default()
+            .without_replay_device()
+            .fibers_per_core(4)
+            .dataset_bytes(1 << 20);
+        NetSweepSpec::new("echo", service_factory(|| EchoService::new(64)), spec, cfg, NetConfig::on())
+            .nics(&[NicModelKind::dma(), NicModelKind::nanopu()])
+            .topologies(&[TierSpec::rpc()])
+            .rates(&[200_000, 5_000_000])
+    }
+
+    #[test]
+    fn sweep_is_baseline_first_and_deterministic_across_jobs() {
+        let spec = tiny_sweep();
+        assert_eq!(spec.cell_count(), 6);
+        let serial = run_net_sweep(&spec, &SweepOptions::jobs(1));
+        let pooled = run_net_sweep(&spec, &SweepOptions::jobs(4));
+        assert_eq!(serial.to_json(), pooled.to_json());
+        assert_eq!(serial.to_csv(), pooled.to_csv());
+        assert_eq!(serial.render_table(), pooled.render_table());
+        assert_eq!((serial.cells[0].nic, serial.cells[0].topology), ("off", "direct"));
+        assert_eq!((serial.cells[2].nic, serial.cells[2].topology), ("dma", "rpc"));
+        assert_eq!((serial.cells[4].nic, serial.cells[4].topology), ("nanopu", "rpc"));
+        assert_eq!(serial.errors().count(), 0);
+    }
+
+    #[test]
+    fn baseline_cells_carry_no_net_report_and_nic_cells_do() {
+        let results = run_net_sweep(&tiny_sweep(), &SweepOptions::jobs(2));
+        let base = results.cells[0].outcome.as_ref().expect("baseline ran");
+        assert!(base.net.is_none(), "baseline must not see net events");
+        let nic = results.cells[2].outcome.as_ref().expect("dma cell ran");
+        let net = nic.net.as_ref().expect("NIC cell decomposes");
+        assert!(net.packets > 0);
+        assert!(net.e2e.p99 >= nic.load.latency.p99, "e2e includes the wire");
+    }
+
+    #[test]
+    fn knees_and_shifts_reference_the_baseline() {
+        let results = run_net_sweep(&tiny_sweep(), &SweepOptions::jobs(2));
+        let knees = results.knees();
+        assert_eq!(knees.len(), 3, "baseline + two NIC front ends");
+        assert_eq!((knees[0].nic, knees[0].topology), ("off", "direct"));
+        assert!(results.baseline_knee().is_some(), "200k rps must keep up");
+        for (k, shift) in results.knee_shifts() {
+            assert_ne!(k.nic, "off");
+            // Both swept rates resolve the same knee here; the shift is
+            // bounded by the swept range either way.
+            assert!(shift.abs() <= 5_000_000);
+        }
+        let json = results.to_json();
+        assert!(json.contains("\"knee_shifts\""));
+        assert!(json.contains("\"baseline_knee_rps\""));
+    }
+}

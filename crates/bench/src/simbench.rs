@@ -1,4 +1,4 @@
-//! The `figures --simbench` pipeline: event-core throughput scenarios that
+//! The `figures simbench` pipeline: event-core throughput scenarios that
 //! track the simulator's events/sec trajectory across commits.
 //!
 //! Every other suite in this crate measures the *modelled system*; this one

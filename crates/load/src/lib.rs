@@ -39,10 +39,12 @@
 pub mod admission;
 pub mod arrival;
 pub mod keys;
+pub mod net_report;
 pub mod report;
 pub mod retry;
 pub mod service;
 pub mod serving;
+pub mod tier;
 
 pub use admission::{AdmissionControl, AdmissionDecision, AdmissionPolicy, ShedCause};
 pub use arrival::ArrivalProcess;
@@ -51,6 +53,11 @@ pub use report::{
     DegradationVerdict, DeviceDistress, LoadReport, Percentiles, RecoveryReport, SloSpec,
     SloVerdict, TimelineBucket, WindowRecovery, BROWNOUT_DEPTH, TIMELINE_BUCKETS,
 };
+pub use kus_net::{
+    DmaNic, NanoNic, NetConfig, NetTimeline, NicModel, NicModelKind, PacketCosts, PacketTiming,
+};
+pub use net_report::{NetReport, HOP_NAMES};
 pub use retry::{HedgeWindow, RetryPolicy, HEDGE_HISTORY};
 pub use service::{service_factory, EchoService, ServeFuture, Service, ServiceFactory};
 pub use serving::{load_experiment, LoadSpec, ServingWorkload};
+pub use tier::{TierSpec, TierTopology, MAX_FANOUT};

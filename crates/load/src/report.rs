@@ -62,7 +62,7 @@ impl Percentiles {
         }
     }
 
-    fn json_into(&self, out: &mut String) {
+    pub(crate) fn json_into(&self, out: &mut String) {
         use fmt::Write;
         let _ = write!(
             out,

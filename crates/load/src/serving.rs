@@ -51,6 +51,7 @@ use std::rc::Rc;
 use kus_core::prelude::{
     ConfigError, Dataset, Experiment, FiberFuture, MemCtx, PlatformConfig, Workload,
 };
+use kus_net::{NetConfig, NetTimeline};
 use kus_sim::fault::{FaultInjector, FaultPlan};
 use kus_sim::rng::SimRng;
 use kus_sim::{Span, Time};
@@ -60,6 +61,7 @@ use crate::arrival::ArrivalProcess;
 use crate::report::SloSpec;
 use crate::retry::{HedgeWindow, RetryPolicy};
 use crate::service::{Service, ServiceFactory, SharedService};
+use crate::tier::{TierSpec, TieredService};
 
 /// A complete serving scenario: how requests arrive, how many, how much
 /// queueing the system tolerates, what the SLO demands, and how the
@@ -88,6 +90,11 @@ pub struct LoadSpec {
     /// windows — the device-level classes in this plan are ignored here;
     /// route those through `PlatformConfig::faults`).
     pub faults: FaultPlan,
+    /// Modelled NIC front end (default **off**: requests materialize at
+    /// the dispatcher exactly as before).
+    pub net: NetConfig,
+    /// Tier-chain topology over the service (default single-tier direct).
+    pub tiers: TierSpec,
 }
 
 impl LoadSpec {
@@ -104,6 +111,8 @@ impl LoadSpec {
             admission: AdmissionControl::Static,
             retry: RetryPolicy::none(),
             faults: FaultPlan::none(),
+            net: NetConfig::default(),
+            tiers: TierSpec::default(),
         }
     }
 
@@ -149,7 +158,20 @@ impl LoadSpec {
         self
     }
 
-    /// Validates the whole spec (arrival, queue, policy, retry, fault plan).
+    /// Sets the modelled NIC front-end configuration.
+    pub fn net(mut self, net: NetConfig) -> LoadSpec {
+        self.net = net;
+        self
+    }
+
+    /// Sets the tier-chain topology.
+    pub fn tiers(mut self, tiers: TierSpec) -> LoadSpec {
+        self.tiers = tiers;
+        self
+    }
+
+    /// Validates the whole spec (arrival, queue, policy, retry, fault
+    /// plan, NIC front end, tier chain).
     pub fn validate(&self) -> Result<(), String> {
         self.arrival.validate()?;
         if self.queue_capacity == 0 {
@@ -157,7 +179,15 @@ impl LoadSpec {
         }
         self.admission.validate()?;
         self.retry.validate()?;
-        self.faults.validate()
+        self.faults.validate()?;
+        self.net.validate()?;
+        self.tiers.validate()?;
+        if self.net.enabled && !self.arrival.is_open_loop() {
+            return Err("the NIC front end models open-loop wire arrivals; \
+                 it cannot be combined with a closed-loop arrival process"
+                .into());
+        }
+        Ok(())
     }
 }
 
@@ -264,8 +294,12 @@ impl LoadRuntime {
     }
 
     /// Admits (or sheds) every arrival with `t ≤ now`, in arrival order,
-    /// consulting the admission policy per arrival.
-    fn catch_up(&self, arrivals: &[Span], spec: &LoadSpec, now: Time, ctx: &MemCtx) {
+    /// consulting the admission policy per arrival. With the NIC front end
+    /// enabled, `arrivals` are the *delivered* offsets from the precomputed
+    /// [`NetTimeline`] (same index), and each observed packet leaves its
+    /// wire/NIC/steer decomposition on the trace before the admission
+    /// decision.
+    fn catch_up(&self, arrivals: &[Span], net: &NetTimeline, spec: &LoadSpec, now: Time, ctx: &MemCtx) {
         let t0 = match self.t0.get() {
             Some(t) => t,
             None => {
@@ -281,6 +315,14 @@ impl LoadRuntime {
                 break;
             }
             let id = next as u64;
+            if let Some(p) = net.packets.get(next) {
+                ctx.trace_instant("net.arrival", id, (t0 + p.arrival).as_ps());
+                ctx.trace_instant("net.wire", id, p.wire.as_ps());
+                ctx.trace_instant("net.rxwait", id, p.rx_wait.as_ps());
+                ctx.trace_instant("net.nic", id, p.nic.as_ps());
+                ctx.trace_instant("net.steer", id, p.steer.as_ps());
+                ctx.trace_instant("net.route", id, (u64::from(p.queue) << 32) | u64::from(p.core));
+            }
             let decision = {
                 let mut q = self.queue.borrow_mut();
                 let d = self.policy.borrow_mut().on_arrival(
@@ -313,8 +355,14 @@ pub struct ServingWorkload {
     service: Option<Box<dyn Service>>,
     /// Built service shared by all fiber bodies.
     built: Option<SharedService>,
-    /// Open-loop arrival offsets (empty for closed loop).
+    /// Open-loop arrival offsets (empty for closed loop). With the NIC
+    /// front end enabled these are the NIC-*delivered* offsets.
     arrivals: Rc<Vec<Span>>,
+    /// Per-packet NIC timings, index-aligned with `arrivals` (empty when
+    /// the front end is disabled).
+    net_timeline: Rc<NetTimeline>,
+    /// Logical cores RSS steers onto, captured in `prepare`.
+    cores: u32,
     /// Seed for per-user think-time streams (closed loop).
     think_seed: u64,
     /// Seed for the serving-layer fault injector's streams.
@@ -336,11 +384,18 @@ impl ServingWorkload {
         if let Err(e) = spec.validate() {
             panic!("invalid load spec: {e}");
         }
+        let service = if spec.tiers.topology.is_direct() {
+            service
+        } else {
+            Box::new(TieredService::new(service, spec.tiers))
+        };
         ServingWorkload {
             spec,
             service: Some(service),
             built: None,
             arrivals: Rc::new(Vec::new()),
+            net_timeline: Rc::new(NetTimeline::default()),
+            cores: 1,
             think_seed: 0,
             fault_seed: 0,
             total_fibers: 0,
@@ -366,13 +421,25 @@ impl Workload for ServingWorkload {
         self.built = Some(Rc::from(service));
         if self.spec.arrival.is_open_loop() {
             let mut rng = data.rng("load-arrivals");
-            self.arrivals = Rc::new(self.spec.arrival.offsets(self.spec.requests, &mut rng));
+            let wire_arrivals = self.spec.arrival.offsets(self.spec.requests, &mut rng);
+            if self.spec.net.enabled {
+                // Route every wire arrival through the modelled NIC and
+                // admit on delivered times. The jitter stream exists only
+                // on this path, so a disabled front end draws nothing.
+                let mut jitter = data.rng("net-jitter");
+                let tl = self.spec.net.timeline(&wire_arrivals, self.cores, &mut jitter);
+                self.arrivals = Rc::new(tl.delivered_offsets());
+                self.net_timeline = Rc::new(tl);
+            } else {
+                self.arrivals = Rc::new(wire_arrivals);
+            }
         }
         self.think_seed = data.rng("load-think").seed();
         self.fault_seed = data.rng("serving-faults").seed();
     }
 
     fn prepare(&mut self, cores: usize, fibers_per_core: usize) {
+        self.cores = cores.max(1) as u32;
         self.total_fibers = cores * fibers_per_core;
         self.spawn_seen.set(0);
     }
@@ -456,10 +523,17 @@ impl Workload for ServingWorkload {
             _ => {
                 let rt = self.rt.clone();
                 let arrivals = self.arrivals.clone();
+                let net_timeline = self.net_timeline.clone();
+                // Response serialization, reported per completion when the
+                // front end is on.
+                let tx_cost = spec
+                    .net
+                    .enabled
+                    .then(|| spec.net.wire_cost(spec.net.response_bytes));
                 Box::pin(async move {
                     loop {
                         let now = ctx.now();
-                        rt.catch_up(&arrivals, &spec, now, &ctx);
+                        rt.catch_up(&arrivals, &net_timeline, &spec, now, &ctx);
                         // Concurrency gate: a closed gate leaves the queue
                         // alone — the in-flight workers' completions will
                         // re-open it and drain.
@@ -522,6 +596,9 @@ impl Workload for ServingWorkload {
                             rt.in_flight.set(rt.in_flight.get() - 1);
                             let end = ctx.now();
                             ctx.trace_instant("load.complete", id, arrival.as_ps());
+                            if let Some(tx) = tx_cost {
+                                ctx.trace_instant("net.tx", id, tx.as_ps());
+                            }
                             rt.policy
                                 .borrow_mut()
                                 .on_complete(end, end.saturating_since(arrival));
@@ -691,6 +768,82 @@ mod tests {
         let ra = LoadReport::from_run(&a).expect("report");
         let rb = LoadReport::from_run(&b).expect("report");
         assert_eq!(ra.to_json(), rb.to_json());
+    }
+
+    #[test]
+    fn nic_and_tier_defaults_are_bitwise_inert() {
+        // Spelling out a disabled NIC and a direct tier chain must not
+        // perturb a single bit of the trace relative to a spec that never
+        // mentions them — the front end may not even draw its RNG stream.
+        let spec = poisson(800_000.0, 250).queue_capacity(8);
+        let explicit = spec.net(NetConfig::default()).tiers(TierSpec::direct());
+        let a = run(spec, base_cfg().seed(21));
+        let b = run(explicit, base_cfg().seed(21));
+        assert_eq!(
+            a.trace.as_ref().map(|t| t.hash),
+            b.trace.as_ref().map(|t| t.hash),
+            "default net/tier knobs must be bit-invisible"
+        );
+        assert!(
+            crate::net_report::NetReport::from_run(&a).is_none(),
+            "disabled front end must leave no net events"
+        );
+    }
+
+    #[test]
+    fn nic_front_end_reports_the_wire_decomposition() {
+        let spec = poisson(500_000.0, 200).net(NetConfig::on());
+        let r = run(spec, base_cfg().seed(9));
+        let report = LoadReport::from_run(&r).expect("report");
+        assert_eq!(report.offered, 200);
+        let net = crate::net_report::NetReport::from_run(&r).expect("net events present");
+        assert_eq!(net.packets, 200, "every packet crosses the NIC");
+        assert_eq!(net.completed, report.completed);
+        assert!(net.nic.count > 0 && net.wire.count > 0);
+        assert!(
+            net.e2e.p50 > report.latency.p50,
+            "client-observed e2e must include the wire/NIC path"
+        );
+        let steered: u64 = net.queue_load.iter().map(|&(_, n)| n).sum();
+        assert_eq!(steered, 200, "RSS must route every packet");
+    }
+
+    #[test]
+    fn nic_jitter_is_seeded_and_reproducible() {
+        let spec = poisson(500_000.0, 150).net(NetConfig::on().jitter(Span::from_ns(400)));
+        let hash = |seed| {
+            run(spec, base_cfg().seed(seed)).trace.as_ref().expect("traced").hash
+        };
+        assert_eq!(hash(5), hash(5), "same seed, same jittered schedule");
+        assert_ne!(hash(5), hash(6), "jitter must follow the platform seed");
+    }
+
+    #[test]
+    fn rpc_fanout_chain_leaves_per_hop_spans() {
+        let spec = poisson(300_000.0, 120).net(NetConfig::on()).tiers(TierSpec::fanout(4));
+        // On-demand: each hop pays the full device RTT, so the fan-out
+        // stage must be visibly µs-scale (prefetch would hide it).
+        let r = run(spec, base_cfg().mechanism(Mechanism::OnDemand).seed(3));
+        let net = crate::net_report::NetReport::from_run(&r).expect("net events");
+        let names: Vec<&str> = net.hops.iter().map(|&(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec!["rpc.front", "rpc.fanout", "rpc.service", "rpc.reply"],
+            "every hop of the chain must leave spans"
+        );
+        let fanout = net.hops.iter().find(|&&(n, _)| n == "rpc.fanout").expect("fanout hop").1;
+        assert!(
+            fanout.p50 >= Span::from_ns(900),
+            "each fan-out stage is at least one µs-scale device access, got {:?}",
+            fanout.p50
+        );
+    }
+
+    #[test]
+    fn net_requires_open_loop_arrivals() {
+        let spec = LoadSpec::new(ArrivalProcess::ClosedLoop { users: 2, think: Span::from_us(1) })
+            .net(NetConfig::on());
+        assert!(spec.validate().is_err());
     }
 
     #[test]

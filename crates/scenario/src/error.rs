@@ -171,6 +171,37 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Optional rate field in requests/second: a plain number, or a string
+    /// with a `k` (×10³) or `m` (×10⁶) suffix — `"250k"`, `"2.5M"`.
+    pub fn rate_opt(&mut self, key: &'a str) -> Result<Option<f64>, ScenarioError> {
+        let (raw, line) = match self.value(key)? {
+            None => return Ok(None),
+            Some(Sp { value: Value::Float(x), .. }) => return Ok(Some(*x)),
+            Some(Sp { value: Value::Int(i), .. }) => return Ok(Some(*i as f64)),
+            Some(Sp { value: Value::Str(s), line }) => (s.trim().to_string(), *line),
+            Some(sp) => {
+                return Err(self.err(
+                    Some(key),
+                    Some(sp.line),
+                    format!("expected a rate, found a {}", sp.value.type_name()),
+                ))
+            }
+        };
+        let (digits, scale) = match raw.chars().next_back() {
+            Some('k' | 'K') => (&raw[..raw.len() - 1], 1e3),
+            Some('m' | 'M') => (&raw[..raw.len() - 1], 1e6),
+            _ => (raw.as_str(), 1.0),
+        };
+        match digits.trim().parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Some(x * scale)),
+            _ => Err(self.err(
+                Some(key),
+                Some(line),
+                format!("'{raw}' is not a rate (use a number or e.g. \"250k\", \"2.5M\")"),
+            )),
+        }
+    }
+
     /// Optional array of non-negative integers.
     pub fn u64_array_opt(&mut self, key: &'a str) -> Result<Option<Vec<u64>>, ScenarioError> {
         match self.value(key)? {

@@ -52,7 +52,7 @@ pub mod toml;
 
 pub use error::ScenarioError;
 pub use scenario::Scenario;
-pub use spec::{MatrixSpec, PlatformSpec, ScenarioSpec, ServiceSpec};
+pub use spec::{ExpectSpec, MatrixSpec, PlatformSpec, ScenarioSpec, ServiceSpec};
 
 /// Everything needed to describe, compile, and run scenarios: the
 /// superset of `kus_core::prelude` (which cannot re-export these types —
@@ -60,10 +60,11 @@ pub use spec::{MatrixSpec, PlatformSpec, ScenarioSpec, ServiceSpec};
 pub mod prelude {
     pub use kus_core::prelude::*;
     pub use kus_load::{
-        AdmissionControl, ArrivalProcess, KeyPopularity, LoadSpec, RetryPolicy, SloSpec,
+        AdmissionControl, ArrivalProcess, KeyPopularity, LoadSpec, NetConfig, NicModelKind,
+        RetryPolicy, SloSpec, TierSpec, TierTopology,
     };
 
     pub use crate::error::ScenarioError;
     pub use crate::scenario::Scenario;
-    pub use crate::spec::{MatrixSpec, PlatformSpec, ScenarioSpec, ServiceSpec};
+    pub use crate::spec::{ExpectSpec, MatrixSpec, PlatformSpec, ScenarioSpec, ServiceSpec};
 }

@@ -72,6 +72,29 @@ impl Scenario {
         facet("admission", spec.admission.validate())?;
         facet("retry", spec.retry.validate())?;
         facet("faults", spec.faults.validate())?;
+        facet("net", spec.net.validate())?;
+        facet("tiers", spec.tiers.validate())?;
+        if spec.net.enabled && !spec.arrival.is_open_loop() {
+            return Err(ScenarioError {
+                section: "net".into(),
+                field: Some("model".into()),
+                line: None,
+                message: "the NIC front end needs open-loop wire arrivals".into(),
+            });
+        }
+        if let Some(e) = &spec.expect {
+            facet("expect", e.validate())?;
+            if spec.matrix.is_some() {
+                return Err(ScenarioError {
+                    section: "expect".into(),
+                    field: None,
+                    line: None,
+                    message: "[expect] judges the single-cell run; it cannot be combined \
+                         with a [matrix] section"
+                        .into(),
+                });
+            }
+        }
         if let Some(m) = &spec.matrix {
             for (i, p) in m.policies.iter().enumerate() {
                 facet("matrix", p.validate()).map_err(|mut e| {
@@ -157,6 +180,8 @@ impl Scenario {
             admission: spec.admission,
             retry: spec.retry,
             faults: spec.faults,
+            net: spec.net,
+            tiers: spec.tiers,
         };
 
         let fingerprint = fingerprint_of(&spec, &cfg, &load);
@@ -191,6 +216,11 @@ impl Scenario {
     /// The overload matrix, when the scenario carries one.
     pub fn matrix(&self) -> Option<&MatrixSpec> {
         self.spec.matrix.as_ref()
+    }
+
+    /// The outcome expectations, when the scenario carries any.
+    pub fn expect(&self) -> Option<&crate::spec::ExpectSpec> {
+        self.spec.expect.as_ref()
     }
 
     /// The deterministic identity fingerprint: FNV-1a over the name and

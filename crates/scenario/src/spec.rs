@@ -11,7 +11,10 @@
 //! schema drift fails loudly instead of silently.
 
 use kus_core::prelude::{JitterModel, Mechanism, Span};
-use kus_load::{AdmissionControl, ArrivalProcess, KeyPopularity, RetryPolicy, SloSpec};
+use kus_load::{
+    AdmissionControl, ArrivalProcess, DmaNic, KeyPopularity, NanoNic, NetConfig, NicModelKind,
+    RetryPolicy, SloSpec, TierSpec, TierTopology,
+};
 use kus_sim::fault::FaultPlan;
 
 use crate::error::{Reader, ScenarioError};
@@ -173,8 +176,51 @@ pub struct ScenarioSpec {
     pub retry: RetryPolicy,
     /// Fault plan for single-scenario runs (matrix cells override it).
     pub faults: FaultPlan,
+    /// Modelled NIC front end (default off: dispatcher-only world).
+    pub net: NetConfig,
+    /// Tier-chain topology over the service (default direct).
+    pub tiers: TierSpec,
+    /// Outcome expectations checked by `figures scenario` (`None` = none).
+    pub expect: Option<ExpectSpec>,
     /// Optional overload matrix.
     pub matrix: Option<MatrixSpec>,
+}
+
+/// Declarative outcome expectations: the executable-claim layer. A world
+/// carrying an `[expect]` section *fails* the `figures scenario` run when
+/// its observed outcome regresses below the claim.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExpectSpec {
+    /// Expected degradation verdict label
+    /// (`graceful` / `brownout` / `collapse` / `unstable`).
+    pub verdict: Option<String>,
+    /// Expected SLO outcome: `true` = pass, `false` = fail.
+    pub slo_pass: Option<bool>,
+    /// Minimum demonstrated goodput in requests/second: the run's goodput
+    /// must reach the knee fraction (95%) of this rate.
+    pub knee_at_least: Option<f64>,
+}
+
+impl ExpectSpec {
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(v) = &self.verdict {
+            if !matches!(v.as_str(), "graceful" | "brownout" | "collapse" | "unstable") {
+                return Err(format!(
+                    "unknown verdict '{v}' (graceful | brownout | collapse | unstable)"
+                ));
+            }
+        }
+        if let Some(k) = self.knee_at_least {
+            if !k.is_finite() || k <= 0.0 {
+                return Err(format!("knee_at_least must be a positive rate, got {k}"));
+            }
+        }
+        if self.verdict.is_none() && self.slo_pass.is_none() && self.knee_at_least.is_none() {
+            return Err("an [expect] section must state at least one expectation".into());
+        }
+        Ok(())
+    }
 }
 
 impl ScenarioSpec {
@@ -198,6 +244,9 @@ impl ScenarioSpec {
             admission: AdmissionControl::Static,
             retry: RetryPolicy::none(),
             faults: FaultPlan::none(),
+            net: NetConfig::default(),
+            tiers: TierSpec::default(),
+            expect: None,
             matrix: None,
         }
     }
@@ -274,6 +323,24 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the modelled NIC front end.
+    pub fn net(mut self, n: NetConfig) -> ScenarioSpec {
+        self.net = n;
+        self
+    }
+
+    /// Sets the tier-chain topology.
+    pub fn tiers(mut self, t: TierSpec) -> ScenarioSpec {
+        self.tiers = t;
+        self
+    }
+
+    /// Attaches outcome expectations.
+    pub fn expect(mut self, e: ExpectSpec) -> ScenarioSpec {
+        self.expect = Some(e);
+        self
+    }
+
     /// Attaches an overload matrix.
     pub fn matrix(mut self, m: MatrixSpec) -> ScenarioSpec {
         self.matrix = Some(m);
@@ -330,6 +397,15 @@ impl ScenarioSpec {
         if let Some(t) = r.table_opt("faults")? {
             spec.faults = parse_faults(t, "faults")?;
         }
+        if let Some(t) = r.table_opt("net")? {
+            spec.net = parse_net(t)?;
+        }
+        if let Some(t) = r.table_opt("tiers")? {
+            spec.tiers = parse_tiers(t)?;
+        }
+        if let Some(t) = r.table_opt("expect")? {
+            spec.expect = Some(parse_expect(t)?);
+        }
         if let Some(t) = r.table_opt("matrix")? {
             spec.matrix = Some(parse_matrix(t)?);
         }
@@ -358,6 +434,9 @@ impl ScenarioSpec {
             admission,
             retry,
             faults,
+            net,
+            tiers,
+            expect,
             matrix,
         } = self;
         let mut out = String::new();
@@ -543,6 +622,71 @@ impl ScenarioSpec {
 
         out.push_str("\n[faults]\n");
         write_faults(&mut out, faults);
+
+        if *net != NetConfig::default() {
+            out.push_str("\n[net]\n");
+            let NetConfig {
+                enabled,
+                nic,
+                rx_queues,
+                flows,
+                request_bytes,
+                response_bytes,
+                link_gbps,
+                proto,
+                steer,
+                jitter,
+            } = net;
+            let model = if *enabled { nic.name() } else { "off" };
+            out.push_str(&format!("model = \"{model}\"\n"));
+            out.push_str(&format!("rx_queues = {rx_queues}\n"));
+            out.push_str(&format!("flows = {flows}\n"));
+            out.push_str(&format!("request_bytes = {request_bytes}\n"));
+            out.push_str(&format!("response_bytes = {response_bytes}\n"));
+            out.push_str(&format!("link_gbps = {}\n", fmt_f64(*link_gbps)));
+            out.push_str(&format!("proto_ns = {}\n", fmt_span(*proto)));
+            out.push_str(&format!("steer_ns = {}\n", fmt_span(*steer)));
+            out.push_str(&format!("jitter_ns = {}\n", fmt_span(*jitter)));
+            // The design-point knobs carry their own key names, so a
+            // disabled (`model = "off"`) section still round-trips the
+            // chosen kind: `pipeline_ns`/`per_word_ns` imply nanoPU.
+            match nic {
+                NicModelKind::Dma(DmaNic { desc_fetch, dma_per_kb, doorbell, coupling }) => {
+                    out.push_str(&format!("desc_fetch_ns = {}\n", fmt_span(*desc_fetch)));
+                    out.push_str(&format!("dma_per_kb_ns = {}\n", fmt_span(*dma_per_kb)));
+                    out.push_str(&format!("doorbell_ns = {}\n", fmt_span(*doorbell)));
+                    out.push_str(&format!("coupling = {}\n", fmt_f64(*coupling)));
+                }
+                NicModelKind::Nano(NanoNic { pipeline, per_word }) => {
+                    out.push_str(&format!("pipeline_ns = {}\n", fmt_span(*pipeline)));
+                    out.push_str(&format!("per_word_ns = {}\n", fmt_span(*per_word)));
+                }
+            }
+        }
+
+        if *tiers != TierSpec::default() {
+            out.push_str("\n[tiers]\n");
+            let TierSpec { topology, front_overhead, reply_overhead } = tiers;
+            out.push_str(&format!("topology = \"{}\"\n", topology.name()));
+            if let TierTopology::FanOut { width } = topology {
+                out.push_str(&format!("fanout = {width}\n"));
+            }
+            out.push_str(&format!("front_overhead_ns = {}\n", fmt_span(*front_overhead)));
+            out.push_str(&format!("reply_overhead_ns = {}\n", fmt_span(*reply_overhead)));
+        }
+
+        if let Some(ExpectSpec { verdict, slo_pass, knee_at_least }) = expect {
+            out.push_str("\n[expect]\n");
+            if let Some(v) = verdict {
+                out.push_str(&format!("verdict = {}\n", toml_str(v)));
+            }
+            if let Some(pass) = slo_pass {
+                out.push_str(&format!("slo = \"{}\"\n", if *pass { "pass" } else { "fail" }));
+            }
+            if let Some(k) = knee_at_least {
+                out.push_str(&format!("knee_at_least = {}\n", fmt_f64(*k)));
+            }
+        }
 
         if let Some(MatrixSpec { policies, plans, rates, retry_pair }) = matrix {
             out.push_str("\n[matrix]\n");
@@ -966,6 +1110,125 @@ fn write_faults(out: &mut String, p: &FaultPlan) {
             out.push_str(&format!("{key} = {}\n", fmt_span(s)));
         }
     }
+}
+
+fn parse_net(t: &Table) -> Result<NetConfig, ScenarioError> {
+    let mut r = Reader::new(t, "net");
+    let mut net = NetConfig::default();
+    let model = r.str_opt("model")?.unwrap_or_else(|| "off".into());
+    if let Some(n) = r.u64_opt("rx_queues")? {
+        net.rx_queues = n as u32;
+    }
+    if let Some(n) = r.u64_opt("flows")? {
+        net.flows = n as u32;
+    }
+    if let Some(n) = r.u64_opt("request_bytes")? {
+        net.request_bytes = n;
+    }
+    if let Some(n) = r.u64_opt("response_bytes")? {
+        net.response_bytes = n;
+    }
+    if let Some(x) = r.f64_opt("link_gbps")? {
+        net.link_gbps = x;
+    }
+    if let Some(ns) = r.f64_opt("proto_ns")? {
+        net.proto = span_ns(&r, "proto_ns", ns)?;
+    }
+    if let Some(ns) = r.f64_opt("steer_ns")? {
+        net.steer = span_ns(&r, "steer_ns", ns)?;
+    }
+    if let Some(ns) = r.f64_opt("jitter_ns")? {
+        net.jitter = span_ns(&r, "jitter_ns", ns)?;
+    }
+    // Design-point knobs; which set appears also infers the kind for a
+    // `model = "off"` section, so disabled worlds still round-trip.
+    let mut dma = DmaNic::default();
+    if let Some(ns) = r.f64_opt("desc_fetch_ns")? {
+        dma.desc_fetch = span_ns(&r, "desc_fetch_ns", ns)?;
+    }
+    if let Some(ns) = r.f64_opt("dma_per_kb_ns")? {
+        dma.dma_per_kb = span_ns(&r, "dma_per_kb_ns", ns)?;
+    }
+    if let Some(ns) = r.f64_opt("doorbell_ns")? {
+        dma.doorbell = span_ns(&r, "doorbell_ns", ns)?;
+    }
+    if let Some(x) = r.f64_opt("coupling")? {
+        dma.coupling = x;
+    }
+    let mut nano = NanoNic::default();
+    let mut nano_knobs = false;
+    if let Some(ns) = r.f64_opt("pipeline_ns")? {
+        nano.pipeline = span_ns(&r, "pipeline_ns", ns)?;
+        nano_knobs = true;
+    }
+    if let Some(ns) = r.f64_opt("per_word_ns")? {
+        nano.per_word = span_ns(&r, "per_word_ns", ns)?;
+        nano_knobs = true;
+    }
+    match model.as_str() {
+        "off" => {
+            net.enabled = false;
+            net.nic = if nano_knobs { NicModelKind::Nano(nano) } else { NicModelKind::Dma(dma) };
+        }
+        "dma" => {
+            net.enabled = true;
+            net.nic = NicModelKind::Dma(dma);
+        }
+        "nanopu" => {
+            net.enabled = true;
+            net.nic = NicModelKind::Nano(nano);
+        }
+        other => {
+            return Err(r.field_err("model", format!("unknown model '{other}' (off | dma | nanopu)")))
+        }
+    }
+    r.finish()?;
+    Ok(net)
+}
+
+fn parse_tiers(t: &Table) -> Result<TierSpec, ScenarioError> {
+    let mut r = Reader::new(t, "tiers");
+    let mut tiers = TierSpec::default();
+    let topology = r.str_opt("topology")?.unwrap_or_else(|| "direct".into());
+    let fanout = r.u64_opt("fanout")?;
+    tiers.topology = match topology.as_str() {
+        "direct" => TierTopology::Direct,
+        "rpc" => TierTopology::Rpc,
+        "fanout" => TierTopology::FanOut { width: fanout.unwrap_or(4) as u32 },
+        other => {
+            return Err(
+                r.field_err("topology", format!("unknown topology '{other}' (direct | rpc | fanout)"))
+            )
+        }
+    };
+    if fanout.is_some() && !matches!(tiers.topology, TierTopology::FanOut { .. }) {
+        return Err(r.field_err("fanout", "fanout width only applies to topology = \"fanout\""));
+    }
+    if let Some(ns) = r.f64_opt("front_overhead_ns")? {
+        tiers.front_overhead = span_ns(&r, "front_overhead_ns", ns)?;
+    }
+    if let Some(ns) = r.f64_opt("reply_overhead_ns")? {
+        tiers.reply_overhead = span_ns(&r, "reply_overhead_ns", ns)?;
+    }
+    r.finish()?;
+    Ok(tiers)
+}
+
+fn parse_expect(t: &Table) -> Result<ExpectSpec, ScenarioError> {
+    let mut r = Reader::new(t, "expect");
+    let mut expect = ExpectSpec { verdict: r.str_opt("verdict")?, ..ExpectSpec::default() };
+    if let Some(s) = r.str_opt("slo")? {
+        expect.slo_pass = match s.as_str() {
+            "pass" => Some(true),
+            "fail" => Some(false),
+            other => {
+                return Err(r.field_err("slo", format!("unknown slo outcome '{other}' (pass | fail)")))
+            }
+        };
+    }
+    expect.knee_at_least = r.rate_opt("knee_at_least")?;
+    r.finish()?;
+    Ok(expect)
 }
 
 fn parse_matrix(t: &Table) -> Result<MatrixSpec, ScenarioError> {

@@ -4,7 +4,7 @@
 //! The tracer's binary-encoding hash is the fingerprint: two runs with the
 //! same seed and configuration must produce bit-identical event streams
 //! (same hash, same count), and different seeds must not collide. This is
-//! the contract CI enforces by diffing `figures --trace-hash` across two
+//! the contract CI enforces by diffing `figures trace --hash` across two
 //! invocations, and the foundation the golden-trace suite builds on.
 
 use kus_core::prelude::*;

@@ -70,6 +70,18 @@ fn maximal_spec() -> ScenarioSpec {
     })
     .retry(RetryPolicy::budgeted(Span::from_us(50), 3, 0.5, Span::from_us(10)))
     .faults(FaultPlan::none().with_fiber_crashes(0.002, Span::from_us(15)))
+    .net(
+        NetConfig::on()
+            .nic(NicModelKind::nanopu())
+            .rx_queues(8)
+            .flows(32)
+            .packet_bytes(512, 1024)
+            .link_gbps(40.0)
+            .proto(Span::from_ns(220))
+            .steer(Span::from_ns(55))
+            .jitter(Span::from_ns(200)),
+    )
+    .tiers(TierSpec::fanout(4).front_overhead(Span::from_ns(210)).reply_overhead(Span::from_ns(95)))
     .matrix(matrix)
 }
 
@@ -159,6 +171,62 @@ fn every_key_popularity_and_service_round_trips() {
 }
 
 #[test]
+fn expect_section_round_trips_without_a_matrix() {
+    // `[expect]` and `[matrix]` are mutually exclusive at compile time, so
+    // the expectation-bearing spec gets its own (matrix-free) round-trip.
+    let spec = ScenarioSpec::new("claimed", ArrivalProcess::Poisson { rate_rps: 2.0e6 })
+        .requests(64)
+        .expect(ExpectSpec {
+            verdict: Some("graceful".into()),
+            slo_pass: Some(true),
+            knee_at_least: Some(1.5e6),
+        });
+    let text = spec.to_toml();
+    let reparsed = ScenarioSpec::parse(&text)
+        .unwrap_or_else(|e| panic!("expect spec must re-parse: {e}\n---\n{text}"));
+    assert_eq!(spec, reparsed, "\n---\n{text}");
+    // Suffixed rate strings parse to the same spec as the float form.
+    let sugared = text.replace("knee_at_least = 1500000.0", "knee_at_least = \"1.5M\"");
+    assert_ne!(text, sugared, "replacement must have applied");
+    assert_eq!(spec, ScenarioSpec::parse(&sugared).expect("suffixed knee parses"));
+}
+
+#[test]
+fn disabled_net_round_trip_keeps_the_nic_kind() {
+    // `model = "off"` still serializes the NIC's cost knobs, so flipping a
+    // scenario back on recovers the same design point.
+    let spec = ScenarioSpec::new("latent", ArrivalProcess::Poisson { rate_rps: 1.0e6 })
+        .net(NetConfig::on().nic(NicModelKind::nanopu()));
+    let off = ScenarioSpec {
+        net: NetConfig { enabled: false, ..spec.net },
+        ..spec
+    };
+    let text = off.to_toml();
+    assert!(text.contains("model = \"off\""), "{text}");
+    let reparsed = ScenarioSpec::parse(&text).expect("disabled net re-parses");
+    assert_eq!(off, reparsed, "\n---\n{text}");
+}
+
+#[test]
+fn expect_with_matrix_is_rejected_at_compile() {
+    let spec = maximal_spec().expect(ExpectSpec {
+        verdict: Some("graceful".into()),
+        ..ExpectSpec::default()
+    });
+    let e = spec.compile().unwrap_err();
+    assert_eq!(e.section, "expect", "{e}");
+}
+
+#[test]
+fn net_with_closed_loop_arrivals_is_rejected_at_compile() {
+    let spec =
+        ScenarioSpec::new("closed", ArrivalProcess::ClosedLoop { users: 4, think: Span::from_us(2) })
+            .net(NetConfig::on());
+    let e = spec.compile().unwrap_err();
+    assert_eq!(e.section, "net", "{e}");
+}
+
+#[test]
 fn parse_errors_carry_section_field_and_line() {
     let e = ScenarioSpec::parse("name = \"x\"\n[traffic]\narrival = \"warp\"\n").unwrap_err();
     assert_eq!(e.section, "traffic");
@@ -179,7 +247,7 @@ fn parse_errors_carry_section_field_and_line() {
 #[test]
 fn unknown_keys_in_every_section_are_rejected() {
     for section in
-        ["traffic", "keys", "service", "platform", "queue", "slo", "admission", "retry", "faults", "matrix"]
+        ["traffic", "keys", "service", "platform", "queue", "slo", "admission", "retry", "faults", "net", "tiers", "expect", "matrix"]
     {
         let text = format!("name = \"x\"\n[{section}]\nmystery_knob = 1\n");
         let Err(e) = ScenarioSpec::parse(&text) else {
