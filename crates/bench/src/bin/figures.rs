@@ -64,6 +64,20 @@
 //!   and the knee shift vs the baseline; --json/--csv emit the full
 //!   per-cell LoadReports + NetReports, byte-identical across --jobs.
 //!
+//! `figures blame` (the causal critical-path sweep: mechanism × tier
+//! topology × offered rate, with the zero-fanout baseline alongside):
+//!   figures blame --service echo --mech ondemand,prefetch,swq \
+//!           --topos fanout4 --rates 250k,1m,2m --requests 400 \
+//!           --jobs 4 --json blame.json --csv blame.csv --trace blame.trace.json
+//!   Every cell runs with the causal event class on; each request's span
+//!   DAG is rebuilt from the trace and walked for its exact critical
+//!   path (fan-in joins resolve to the max child). Prints the critical
+//!   tier and its share per cell (overall and exact-p99 tail) and the
+//!   critical-tier flips vs the `direct` baseline; --json/--csv emit the
+//!   full per-cell BlameReports, byte-identical across --jobs values.
+//!   --trace writes a Chrome trace of one representative fan-out run
+//!   with causal flow arrows (open in Perfetto to see the waterfall).
+//!
 //! `figures overload` (a degradation sweep: admission policy × fault plan
 //! × offered rate, plus the budgeted/unbudgeted retry pair):
 //!   figures overload --service echo --policies static,deadline,adaptive \
@@ -108,6 +122,7 @@
 //!   every mechanism, and prints the scoreboard. Artifacts are
 //!   byte-identical across --jobs values.
 
+use kus_bench::blame::{run_blame_sweep, BlameSweepSpec};
 use kus_bench::load::{run_load_sweep, LoadSweepSpec, KNEE_GOODPUT_FRACTION};
 use kus_bench::net::{run_net_sweep, NetSweepSpec};
 use kus_bench::overload::{run_overload_sweep, OverloadSweepSpec};
@@ -551,6 +566,88 @@ fn net_mode(args: &[String]) -> i32 {
     i32::from(results.errors().count() > 0)
 }
 
+/// `figures blame`: the causal critical-path sweep (mechanism × tier
+/// topology × rate, with the zero-fanout baseline alongside).
+fn blame_mode(args: &[String]) -> i32 {
+    let com = common(args);
+    let q = quality(args, &com);
+    let mut cfg = PlatformConfig::paper_default().cores(2).fibers_per_core(8);
+    if !q.replay_device {
+        cfg = cfg.without_replay_device();
+    }
+    if q.faults.is_active() {
+        cfg = cfg.faults(q.faults);
+    }
+    if let Some(seed) = q.seed {
+        cfg = cfg.seed(seed);
+    }
+    if let Some(v) = flag_value(args, "--cores") {
+        cfg = cfg.cores(v.parse().unwrap_or_else(|_| fail(format!("--cores: bad value `{v}`"))));
+    }
+    if let Some(v) = flag_value(args, "--fibers") {
+        cfg = cfg
+            .fibers_per_core(v.parse().unwrap_or_else(|_| fail(format!("--fibers: bad `{v}`"))));
+    }
+
+    let requests: usize = flag_value(args, "--requests")
+        .map(|s| s.parse().unwrap_or_else(|_| fail(format!("--requests: bad value `{s}`"))))
+        .unwrap_or(400);
+    let queue_cap: usize = flag_value(args, "--queue-cap")
+        .map(|s| s.parse().unwrap_or_else(|_| fail(format!("--queue-cap: bad value `{s}`"))))
+        .unwrap_or(64);
+    let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 1.0 })
+        .requests(requests)
+        .queue_capacity(queue_cap);
+
+    let service = flag_value(args, "--service").unwrap_or_else(|| "echo".into());
+    let factory = service_by_name(&service);
+
+    let mut sweep = BlameSweepSpec::new(service, factory.clone(), spec, cfg.clone());
+    let mechs = list(args, "--mech", parse_mech);
+    if !mechs.is_empty() {
+        sweep = sweep.mechanisms(&mechs);
+    }
+    let topos = list(args, "--topos", parse_topo);
+    if !topos.is_empty() {
+        sweep = sweep.topologies(&topos);
+    }
+    let rates = list(args, "--rates", parse_rate);
+    if !rates.is_empty() {
+        sweep = sweep.rates(&rates);
+    }
+
+    let opts = com.opts();
+    eprintln!("# blame sweep: {} cells, jobs={}", sweep.cell_count(), opts.jobs);
+    let results = run_blame_sweep(&sweep, &opts);
+    eprintln!("# blame sweep: done in {:.2}s", results.wall_seconds);
+    print!("{}", results.render_table());
+    if let Some(path) = &com.json {
+        write_artifact("--json", path, &results.to_json(), results.cells.len());
+    }
+    if let Some(path) = &com.csv {
+        write_artifact("--csv", path, &results.to_csv(), results.cells.len());
+    }
+    if let Some(path) = flag_value(args, "--trace") {
+        // One representative causal fan-out run at the first swept rate:
+        // its Chrome trace carries the flow arrows that draw the fan-out
+        // and join edges of the span DAG in Perfetto.
+        let tiers = topos.first().copied().unwrap_or_else(|| TierSpec::fanout(4));
+        let rate = rates.first().copied().unwrap_or(250_000);
+        let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: rate as f64 })
+            .requests(requests)
+            .queue_capacity(queue_cap)
+            .tiers(tiers);
+        let exp = kus_load::load_experiment("blame trace", spec, cfg.causal(), factory)
+            .unwrap_or_else(|e| fail(format!("--trace: {e}")));
+        let run = exp.run();
+        let t = run.trace.as_ref().expect("traced run");
+        let arrows = kus_load::flow_arrows(&t.events);
+        let json = kus_sim::trace::chrome_json_with_flows(&t.events, &arrows);
+        write_artifact("--trace", &path, &json, arrows.len());
+    }
+    i32::from(results.errors().count() > 0)
+}
+
 fn parse_policy(s: &str) -> Option<AdmissionControl> {
     match s {
         "static" => Some(AdmissionControl::Static),
@@ -732,6 +829,35 @@ fn scenario_mode(args: &[String]) -> i32 {
             );
             code |= i32::from(!ok);
         }
+        if want.wants_blame() {
+            // Blame claims check the causal critical-path decomposition;
+            // compile enabled the causal event class for this run.
+            let blame = kus_load::BlameReport::from_run(&run)
+                .unwrap_or_else(|| fail(format!("scenario: {file}: run produced no blameable requests")));
+            println!();
+            print!("{}", blame.to_table());
+            let got = &blame.overall.critical_tier;
+            let share = blame
+                .overall
+                .hops
+                .iter()
+                .find(|h| &h.hop == got)
+                .map(|h| h.share)
+                .unwrap_or(0.0);
+            if let Some(tier) = &want.critical_tier {
+                let ok = got == tier;
+                println!("expect critical_tier={tier}: observed {got} [{}]", status(ok));
+                code |= i32::from(!ok);
+            }
+            if let Some(min) = want.critical_share_at_least {
+                let ok = share >= min;
+                println!(
+                    "expect critical_share_at_least={min:.2}: observed {share:.2} (tier {got}) [{}]",
+                    status(ok),
+                );
+                code |= i32::from(!ok);
+            }
+        }
     }
     if let Some(path) = &com.json {
         let net_field = match &net_report {
@@ -858,6 +984,7 @@ fn main() {
                 "sweep" => sweep_mode(&args),
                 "load" => load_mode(&args),
                 "net" => net_mode(&args),
+                "blame" => blame_mode(&args),
                 "overload" => overload_mode(&args),
                 "trace" => trace_sub(&args),
                 "profile" => profile_mode(&args),
@@ -866,8 +993,8 @@ fn main() {
                 "scenario-matrix" => scenario_matrix_mode(&args),
                 "figures" => figures_mode(&args),
                 other => fail(format!(
-                    "unknown subcommand `{other}` (sweep | load | net | overload | trace | \
-                     profile | simbench | scenario | scenario-matrix | figures)"
+                    "unknown subcommand `{other}` (sweep | load | net | blame | overload | \
+                     trace | profile | simbench | scenario | scenario-matrix | figures)"
                 )),
             }
         }

@@ -1,0 +1,466 @@
+//! The blame sweep: mechanism × tier topology × offered rate, asking
+//! one question per cell — **which tier owns the critical path?**
+//!
+//! Every cell runs with the causal event class enabled
+//! ([`PlatformConfig::causal`]), so fan-out joins resolve to their
+//! critical child and [`BlameReport`] can attribute each request's
+//! sojourn exactly. Alongside each swept topology the matrix carries the
+//! zero-fanout `direct` baseline at the same mechanism and rate; the
+//! headline product is the set of **critical-tier flips** — cells where
+//! the tier chain moved the blame somewhere the baseline never saw
+//! (e.g. from `service` to the slowest backend shard as rate rises).
+//!
+//! Cells run on the shared [`sweep`](crate::sweep) engine; every emitter
+//! is byte-identical between `--jobs 1` and `--jobs N` (locked down by
+//! `tests/blame_determinism.rs`).
+
+use std::fmt::Write as _;
+
+use kus_core::prelude::{Mechanism, PlatformConfig};
+use kus_load::{
+    load_experiment, ArrivalProcess, BlameReport, LoadReport, LoadSpec, ServiceFactory, TierSpec,
+};
+
+use crate::sweep::{csv_field, json_escape, run_cells, SweepCell, SweepOptions};
+
+/// A declarative blame sweep: one service, one base serving spec, and
+/// the mechanism × tier-topology × offered-rate matrix to explore. The
+/// `direct` baseline topology is always included per mechanism.
+#[derive(Clone)]
+pub struct BlameSweepSpec {
+    service_name: String,
+    service: ServiceFactory,
+    spec: LoadSpec,
+    cfg: PlatformConfig,
+    mechanisms: Vec<Mechanism>,
+    topologies: Vec<TierSpec>,
+    rates: Vec<u64>,
+}
+
+impl BlameSweepSpec {
+    /// A sweep of `service` under `spec`'s queueing/SLO parameters on the
+    /// `cfg` platform. The causal event class is forced on per cell. The
+    /// default matrix covers all three mechanisms over a fan-out-of-4
+    /// chain (plus the implicit `direct` baseline) at three rates
+    /// bracketing the knee.
+    pub fn new(
+        service_name: impl Into<String>,
+        service: ServiceFactory,
+        spec: LoadSpec,
+        cfg: PlatformConfig,
+    ) -> BlameSweepSpec {
+        BlameSweepSpec {
+            service_name: service_name.into(),
+            service,
+            spec,
+            cfg,
+            mechanisms: vec![Mechanism::OnDemand, Mechanism::Prefetch, Mechanism::SoftwareQueue],
+            topologies: vec![TierSpec::fanout(4)],
+            rates: vec![250_000, 1_000_000, 2_000_000],
+        }
+    }
+
+    /// Replaces the mechanism axis.
+    pub fn mechanisms(mut self, v: &[Mechanism]) -> Self {
+        self.mechanisms = v.to_vec();
+        self
+    }
+
+    /// Replaces the swept (non-baseline) topology axis.
+    pub fn topologies(mut self, v: &[TierSpec]) -> Self {
+        self.topologies = v.to_vec();
+        self
+    }
+
+    /// Replaces the offered-rate axis (requests/second).
+    pub fn rates(mut self, v: &[u64]) -> Self {
+        self.rates = v.to_vec();
+        self
+    }
+
+    /// The number of cells this spec expands into (baselines included).
+    pub fn cell_count(&self) -> usize {
+        self.mechanisms.len() * (1 + self.topologies.len()) * self.rates.len()
+    }
+
+    /// Expands the matrix in order: mechanism outermost, then the
+    /// `direct` baseline topology followed by each swept topology, rate
+    /// innermost.
+    fn expand(&self) -> (Vec<(Mechanism, TierSpec, u64)>, Vec<SweepCell>) {
+        let mut keys = Vec::with_capacity(self.cell_count());
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for &mech in &self.mechanisms {
+            let mut topos = vec![TierSpec::direct()];
+            topos.extend(self.topologies.iter().copied());
+            for tiers in topos {
+                for &rate in &self.rates {
+                    let label = format!(
+                        "{} mech={mech} topo={} rate={rate}rps",
+                        self.service_name,
+                        tiers.topology.name(),
+                    );
+                    let spec = LoadSpec {
+                        arrival: ArrivalProcess::Poisson { rate_rps: rate as f64 },
+                        tiers,
+                        ..self.spec
+                    };
+                    let cfg = self.cfg.clone().mechanism(mech).causal();
+                    let exp = load_experiment(&label, spec, cfg, self.service.clone())
+                        .map_err(|e| e.to_string());
+                    keys.push((mech, tiers, rate));
+                    cells.push(SweepCell { label, exp });
+                }
+            }
+        }
+        (keys, cells)
+    }
+}
+
+/// The analytics one blame cell yields.
+#[derive(Debug, Clone)]
+pub struct BlameOutcome {
+    /// Admission-to-completion serving analytics.
+    pub load: LoadReport,
+    /// The causal critical-path decomposition.
+    pub blame: BlameReport,
+}
+
+/// One executed blame cell, in matrix order.
+#[derive(Debug, Clone)]
+pub struct BlameCell {
+    /// Cell index in matrix order.
+    pub index: usize,
+    /// Cell label.
+    pub label: String,
+    /// The mechanism this cell ran.
+    pub mechanism: Mechanism,
+    /// Tier topology name (`direct` for baseline cells).
+    pub topology: &'static str,
+    /// The offered Poisson rate, requests/second.
+    pub rate_rps: u64,
+    /// The analytics, or the validation/panic message.
+    pub outcome: Result<BlameOutcome, String>,
+}
+
+/// A critical-tier flip: a tiered cell whose blame landed on a different
+/// tier than the `direct` baseline at the same mechanism and rate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierFlip {
+    /// The mechanism the pair ran.
+    pub mechanism: Mechanism,
+    /// The tiered cell's topology name.
+    pub topology: &'static str,
+    /// The offered rate, requests/second.
+    pub rate_rps: u64,
+    /// The baseline's critical tier.
+    pub baseline_tier: String,
+    /// The tiered cell's critical tier.
+    pub tier: String,
+}
+
+/// All results of one blame sweep, in matrix order.
+#[derive(Debug, Clone)]
+pub struct BlameSweepResults {
+    /// Service name the sweep ran.
+    pub service: String,
+    /// The serving spec the cells shared (modulo arrival/tiers).
+    pub spec: LoadSpec,
+    /// Per-cell results: per mechanism, baseline cells first.
+    pub cells: Vec<BlameCell>,
+    /// Wall-clock seconds (never part of emitter output).
+    pub wall_seconds: f64,
+}
+
+/// Expands and executes a blame sweep on the shared pool.
+pub fn run_blame_sweep(spec: &BlameSweepSpec, opts: &SweepOptions) -> BlameSweepResults {
+    let (keys, cells) = spec.expand();
+    let results = run_cells(cells, opts);
+    let cells = results
+        .cells
+        .into_iter()
+        .zip(keys)
+        .map(|(c, (mech, tiers, rate))| BlameCell {
+            index: c.index,
+            label: c.label,
+            mechanism: mech,
+            topology: tiers.topology.name(),
+            rate_rps: rate,
+            outcome: c.outcome.and_then(|r| {
+                let load = LoadReport::from_run(&r)
+                    .ok_or_else(|| "run produced no serving trace events".to_string())?;
+                let blame = BlameReport::from_run(&r)
+                    .ok_or_else(|| "run produced no blameable requests".to_string())?;
+                Ok(BlameOutcome { load, blame })
+            }),
+        })
+        .collect();
+    BlameSweepResults {
+        service: spec.service_name.clone(),
+        spec: spec.spec,
+        cells,
+        wall_seconds: results.wall_seconds,
+    }
+}
+
+impl BlameSweepResults {
+    /// Error rows, in matrix order.
+    pub fn errors(&self) -> impl Iterator<Item = (&BlameCell, &str)> {
+        self.cells.iter().filter_map(|c| c.outcome.as_ref().err().map(|e| (c, e.as_str())))
+    }
+
+    fn baseline_tier(&self, mech: Mechanism, rate: u64) -> Option<&str> {
+        self.cells
+            .iter()
+            .find(|c| c.mechanism == mech && c.topology == "direct" && c.rate_rps == rate)
+            .and_then(|c| c.outcome.as_ref().ok())
+            .map(|o| o.blame.overall.critical_tier.as_str())
+    }
+
+    /// Critical-tier flips vs the `direct` baseline, in matrix order:
+    /// every tiered cell whose overall critical tier differs from the
+    /// baseline's at the same mechanism and rate.
+    pub fn flips(&self) -> Vec<TierFlip> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if c.topology == "direct" {
+                continue;
+            }
+            let Ok(o) = &c.outcome else { continue };
+            let Some(base) = self.baseline_tier(c.mechanism, c.rate_rps) else { continue };
+            let tier = o.blame.overall.critical_tier.as_str();
+            if tier != base {
+                out.push(TierFlip {
+                    mechanism: c.mechanism,
+                    topology: c.topology,
+                    rate_rps: c.rate_rps,
+                    baseline_tier: base.to_string(),
+                    tier: tier.to_string(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON: one object per cell (matrix order) with
+    /// the embedded [`LoadReport`] and [`BlameReport`], plus the
+    /// critical-tier flips vs the baseline. Byte-identical for a given
+    /// cell set regardless of `--jobs`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\n  \"service\": \"{}\",\n  \"cells\": [\n", json_escape(&self.service));
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"index\":{},\"label\":\"{}\",\"mechanism\":\"{}\",\"topology\":\"{}\",\"rate_rps\":{}",
+                c.index,
+                json_escape(&c.label),
+                c.mechanism,
+                c.topology,
+                c.rate_rps,
+            );
+            match &c.outcome {
+                Ok(o) => {
+                    let _ = write!(
+                        out,
+                        ",\"ok\":true,\"report\":{},\"blame\":{}",
+                        o.load.to_json(),
+                        o.blame.to_json(),
+                    );
+                }
+                Err(e) => {
+                    let _ = write!(out, ",\"ok\":false,\"error\":\"{}\"", json_escape(e));
+                }
+            }
+            out.push('}');
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"flips\": [\n");
+        let flips = self.flips();
+        for (i, f) in flips.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"mechanism\":\"{}\",\"topology\":\"{}\",\"rate_rps\":{},\"baseline_tier\":\"{}\",\"tier\":\"{}\"}}",
+                f.mechanism, f.topology, f.rate_rps, f.baseline_tier, f.tier,
+            );
+            if i + 1 < flips.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Machine-readable CSV (header + one row per cell, matrix order).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,label,mechanism,topology,rate_rps,ok,requests,truncated,critical_tier,critical_share,tail_tier,tail_share,error\n",
+        );
+        let share_of = |t: &kus_load::BlameTable| {
+            t.hops
+                .iter()
+                .find(|h| h.hop == t.critical_tier)
+                .map(|h| h.share)
+                .unwrap_or(0.0)
+        };
+        for c in &self.cells {
+            match &c.outcome {
+                Ok(o) => {
+                    let b = &o.blame;
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{},{},true,{},{},{},{:.6},{},{:.6},",
+                        c.index,
+                        csv_field(&c.label),
+                        c.mechanism,
+                        c.topology,
+                        c.rate_rps,
+                        b.requests,
+                        b.truncated,
+                        b.overall.critical_tier,
+                        share_of(&b.overall),
+                        b.tail.critical_tier,
+                        share_of(&b.tail),
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{},{},false,,,,,,,{}",
+                        c.index,
+                        csv_field(&c.label),
+                        c.mechanism,
+                        c.topology,
+                        c.rate_rps,
+                        csv_field(e),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// The sweep as a text table grouped per mechanism/topology, with
+    /// the flip lines at the end.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# blame sweep: service={} requests={} (critical tier = largest critical-path share)",
+            self.service, self.spec.requests,
+        );
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>14} {:>7} {:>14} {:>7} {:>6}",
+            "mech/topo", "rate_rps", "tier", "share", "tail tier", "share", "trunc"
+        );
+        let mut last: Option<(Mechanism, &str)> = None;
+        for c in &self.cells {
+            if last != Some((c.mechanism, c.topology)) {
+                if last.is_some() {
+                    out.push('\n');
+                }
+                last = Some((c.mechanism, c.topology));
+            }
+            let group = format!("{}/{}", c.mechanism, c.topology);
+            match &c.outcome {
+                Ok(o) => {
+                    let b = &o.blame;
+                    let share = |t: &kus_load::BlameTable| {
+                        t.hops
+                            .iter()
+                            .find(|h| h.hop == t.critical_tier)
+                            .map(|h| h.share * 100.0)
+                            .unwrap_or(0.0)
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{:<24} {:>10} {:>14} {:>6.1}% {:>14} {:>6.1}% {:>6}",
+                        group,
+                        c.rate_rps,
+                        b.overall.critical_tier,
+                        share(&b.overall),
+                        b.tail.critical_tier,
+                        share(&b.tail),
+                        b.truncated,
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "{:<24} {:>10} ERROR {e}", group, c.rate_rps);
+                }
+            }
+        }
+        out.push('\n');
+        let flips = self.flips();
+        if flips.is_empty() {
+            let _ = writeln!(out, "no critical-tier flips vs the direct baseline");
+        }
+        for f in &flips {
+            let _ = writeln!(
+                out,
+                "flip {}/{} @ {} rps: {} -> {}",
+                f.mechanism, f.topology, f.rate_rps, f.baseline_tier, f.tier,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kus_load::{service_factory, EchoService};
+
+    fn tiny_sweep() -> BlameSweepSpec {
+        let spec = LoadSpec::new(ArrivalProcess::Poisson { rate_rps: 1.0 })
+            .requests(80)
+            .queue_capacity(16);
+        let cfg = PlatformConfig::paper_default()
+            .without_replay_device()
+            .fibers_per_core(4)
+            .dataset_bytes(1 << 20);
+        BlameSweepSpec::new("echo", service_factory(|| EchoService::new(64)), spec, cfg)
+            .mechanisms(&[Mechanism::OnDemand])
+            .topologies(&[TierSpec::fanout(4)])
+            .rates(&[200_000, 2_000_000])
+    }
+
+    #[test]
+    fn sweep_is_baseline_first_and_deterministic_across_jobs() {
+        let spec = tiny_sweep();
+        assert_eq!(spec.cell_count(), 4);
+        let serial = run_blame_sweep(&spec, &SweepOptions::jobs(1));
+        let pooled = run_blame_sweep(&spec, &SweepOptions::jobs(4));
+        assert_eq!(serial.to_json(), pooled.to_json());
+        assert_eq!(serial.to_csv(), pooled.to_csv());
+        assert_eq!(serial.render_table(), pooled.render_table());
+        assert_eq!(serial.cells[0].topology, "direct");
+        assert_eq!(serial.cells[2].topology, "fanout");
+        assert_eq!(serial.errors().count(), 0);
+    }
+
+    #[test]
+    fn fanout_cells_resolve_shard_blame_and_flip_vs_baseline() {
+        let results = run_blame_sweep(&tiny_sweep(), &SweepOptions::jobs(2));
+        let fan = results.cells[2].outcome.as_ref().expect("fanout cell ran");
+        // The causal event class must resolve the join: some shard hop
+        // appears in the fan-out cell's blame table.
+        assert!(
+            fan.blame.overall.hops.iter().any(|h| h.hop.starts_with("rpc.shard")),
+            "fan-out blame must name shard hops, got {:?}",
+            fan.blame.overall.hops.iter().map(|h| h.hop.as_str()).collect::<Vec<_>>(),
+        );
+        let base = results.cells[0].outcome.as_ref().expect("baseline ran");
+        assert!(base.blame.overall.hops.iter().all(|h| !h.hop.starts_with("rpc.")));
+        // Every request decomposes exactly; the report exists for all cells.
+        for c in &results.cells {
+            let o = c.outcome.as_ref().expect("cell ran");
+            assert_eq!(o.blame.requests, o.blame.completed + o.blame.truncated);
+        }
+        let json = results.to_json();
+        assert!(json.contains("\"flips\""));
+    }
+}

@@ -40,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod blame;
 pub mod harness;
 pub mod load;
 pub mod net;
@@ -49,6 +50,9 @@ pub mod scenario;
 pub mod simbench;
 pub mod sweep;
 
+pub use blame::{
+    run_blame_sweep, BlameCell, BlameOutcome, BlameSweepResults, BlameSweepSpec, TierFlip,
+};
 pub use kus_workloads::figures;
 pub use load::{run_load_sweep, LoadCell, LoadSweepResults, LoadSweepSpec};
 pub use net::{run_net_sweep, NetCell, NetKnee, NetOutcome, NetSweepResults, NetSweepSpec};

@@ -158,6 +158,13 @@ pub struct PlatformConfig {
     /// Like the tracer, the profiler observes and never schedules: the run
     /// outcome is bit-identical with it on or off.
     pub profile: bool,
+    /// Run the causal tracing layer over the measured phase: implies
+    /// tracing, additionally emits the causal event class (per-child
+    /// fan-out completion spans, `rpc.tx` egress spans) from which each
+    /// request's span DAG and exact critical path are reconstructed at
+    /// harvest. Like the tracer, the causal layer observes and never
+    /// schedules: the run outcome is bit-identical with it on or off.
+    pub causal: bool,
 }
 
 /// Timeout, retry, and degradation knobs for the SWQ access path.
@@ -245,6 +252,7 @@ impl PlatformConfig {
             trace: false,
             trace_deep: false,
             profile: false,
+            causal: false,
         }
     }
 
@@ -503,6 +511,13 @@ impl PlatformConfig {
         self
     }
 
+    /// Enables the causal tracing layer for the measured phase (span DAG +
+    /// critical-path blame raw material).
+    pub fn causal(mut self) -> Self {
+        self.causal = true;
+        self
+    }
+
     /// The DRAM-baseline twin of this configuration: same workload shape,
     /// dataset in DRAM, on-demand accesses, single fiber per core (the
     /// paper's baselines are single-threaded per core).
@@ -679,6 +694,7 @@ mod tests {
             trace: true,
             trace_deep: true,
             profile: true,
+            causal: true,
         };
         let got = PlatformConfig::paper_default()
             .mechanism(Mechanism::SoftwareQueue)
@@ -711,7 +727,8 @@ mod tests {
             .faults(faults)
             .swq_recovery(recovery)
             .trace_deep()
-            .profiled();
+            .profiled()
+            .causal();
         assert_eq!(format!("{want:?}"), format!("{got:?}"));
     }
 

@@ -75,10 +75,22 @@ struct FiberBook {
     sleeping: bool,
 }
 
+/// Causal tag carried by a tagged device read: the [`Category::Load`]
+/// `Complete` span emitted when the value becomes available. Emission-only —
+/// a tagged read schedules exactly what an untagged one does.
+#[derive(Debug, Clone, Copy)]
+struct CausalSpan {
+    name: &'static str,
+    a0: u64,
+    start: Time,
+}
+
 struct SwqPending {
     slot: OneShot<u64>,
     fiber: FiberId,
     addr: Addr,
+    /// Causal span to close when the value is delivered (or failed over).
+    causal: Option<CausalSpan>,
     /// Absolute expiry time of the current attempt ([`Time::MAX`] until the
     /// enqueue op lands, or when recovery is disabled).
     deadline: Time,
@@ -675,6 +687,9 @@ impl ExecInner {
             }
             let value = dataset.borrow().read_u64(p.addr);
             x.tracer.instant(Category::Swq, "swq.deliver", x.track, tag, p.fiber as u64);
+            if let Some(c) = p.causal {
+                x.tracer.complete_span(Category::Load, c.name, x.track, c.start, now, c.a0);
+            }
             (core, cost, p.slot, p.fiber, value)
         };
         // The user-level scheduler's completion handling runs on the core.
@@ -740,6 +755,9 @@ impl ExecInner {
                     let p = swq.pending.remove(&tag).expect("expired tag is pending");
                     swq.failed.incr();
                     tracer.instant(Category::Exec, "req.failover", track, tag, p.retries as u64);
+                    if let Some(c) = p.causal {
+                        tracer.complete_span(Category::Load, c.name, track, c.start, now, c.a0);
+                    }
                     // Fail over to the host's coherent copy of the line so
                     // the fiber completes instead of wedging the run.
                     let value = dataset.borrow().read_u64(p.addr);
@@ -918,6 +936,21 @@ impl MemCtx {
         x.tracer.complete_since(Category::Load, name, x.track, start, a0);
     }
 
+    /// Emits an application-level [`Category::Load`] complete-span event
+    /// over an explicit `[start, end]` interval (the end may lie in the
+    /// simulated future, e.g. an egress span covering wire time that is
+    /// still draining). No-op when tracing is off.
+    pub fn trace_complete_span(&self, name: &'static str, start: Time, end: Time, a0: u64) {
+        let x = self.exec.borrow();
+        x.tracer.complete_span(Category::Load, name, x.track, start, end, a0);
+    }
+
+    /// Whether the causal event class is enabled for this run (see
+    /// [`Tracer::is_causal`]).
+    pub fn is_causal(&self) -> bool {
+        self.exec.borrow().tracer.is_causal()
+    }
+
     /// Emits a fixed-duration stretch of host software (serialized).
     pub fn host_work(&self, span: Span) {
         if span.is_zero() {
@@ -1038,6 +1071,22 @@ impl MemCtx {
     /// paper's manual-MLP batching ("we modify the code to perform a single
     /// context switch after issuing multiple prefetches").
     pub async fn dev_read_batch(&self, addrs: &[Addr]) -> Vec<u64> {
+        self.dev_read_batch_inner(addrs, None).await
+    }
+
+    /// [`dev_read_batch`](Self::dev_read_batch) with causal child spans:
+    /// when the causal layer is enabled, element `i` additionally leaves a
+    /// `name` [`Phase::Complete`](kus_sim::Phase::Complete) span with
+    /// `a0 = a0_base + i` covering issue → value availability (the physical
+    /// completion callback for callback-completing paths; the observing
+    /// load for an already-filled prefetch line). Scheduling is identical
+    /// to the untagged batch in every mechanism — the tag only emits.
+    pub async fn dev_read_batch_spans(&self, addrs: &[Addr], name: &'static str, a0_base: u64) -> Vec<u64> {
+        let causal = self.exec.borrow().tracer.is_causal();
+        self.dev_read_batch_inner(addrs, causal.then_some((name, a0_base))).await
+    }
+
+    async fn dev_read_batch_inner(&self, addrs: &[Addr], causal: Option<(&'static str, u64)>) -> Vec<u64> {
         let mechanism = {
             let mut x = self.exec.borrow_mut();
             x.accesses.add(addrs.len() as u64);
@@ -1047,9 +1096,13 @@ impl MemCtx {
             }
             x.mechanism
         };
+        let tag = |i: usize| {
+            causal.map(|(name, a0_base)| CausalSpan { name, a0: a0_base + i as u64, start: self.now() })
+        };
         match mechanism {
             Mechanism::OnDemand => {
-                let futs: Vec<_> = addrs.iter().map(|&a| self.issue_load_value(a)).collect();
+                let futs: Vec<_> =
+                    addrs.iter().enumerate().map(|(i, &a)| self.issue_load_value(a, tag(i))).collect();
                 let mut out = Vec::with_capacity(futs.len());
                 for f in futs {
                     out.push(f.await);
@@ -1062,8 +1115,8 @@ impl MemCtx {
                 }
                 yield_now(&self.yield_flag).await;
                 let mut out = Vec::with_capacity(addrs.len());
-                for &a in addrs {
-                    out.push(self.prefetched_load(a).await);
+                for (i, &a) in addrs.iter().enumerate() {
+                    out.push(self.prefetched_load(a, tag(i)).await);
                 }
                 out
             }
@@ -1071,7 +1124,7 @@ impl MemCtx {
                 let futs: Vec<_> = addrs
                     .iter()
                     .enumerate()
-                    .map(|(i, &a)| self.swq_issue(a, i == 0))
+                    .map(|(i, &a)| self.swq_issue(a, i == 0, tag(i)))
                     .collect();
                 let mut out = Vec::with_capacity(futs.len());
                 for f in futs {
@@ -1083,8 +1136,9 @@ impl MemCtx {
     }
 
     /// On-demand load with value delivery (the access was already counted
-    /// by the `dev_read` entry point).
-    fn issue_load_value(&self, addr: Addr) -> kus_fiber::OneShotFuture<u64> {
+    /// by the `dev_read` entry point). A causal tag closes its span in the
+    /// completion callback — the true fill-arrival instant.
+    fn issue_load_value(&self, addr: Addr, causal: Option<CausalSpan>) -> kus_fiber::OneShotFuture<u64> {
         let (slot, fut) = OneShot::new();
         let exec = self.exec.clone();
         let fiber = self.fiber;
@@ -1094,6 +1148,9 @@ impl MemCtx {
             Some(Box::new(move |sim: &mut Sim| {
                 let value = {
                     let x = exec.borrow();
+                    if let Some(c) = causal {
+                        x.tracer.complete_span(Category::Load, c.name, x.track, c.start, sim.now(), c.a0);
+                    }
                     let v = x.dataset.borrow().read_u64(addr);
                     v
                 };
@@ -1108,8 +1165,11 @@ impl MemCtx {
     /// The load after a prefetch+yield. If the line already arrived in the
     /// L1, the value is available without suspending (a pipelined 4-cycle
     /// hit); otherwise the load merges into the pending fill and the fiber
-    /// waits like hardware would.
-    async fn prefetched_load(&self, addr: Addr) -> u64 {
+    /// waits like hardware would. A causal tag closes on the hit path at
+    /// the observing load (the fill beat the fiber back — availability is
+    /// bounded by the observation instant) and on the miss path in the
+    /// fill-completion callback.
+    async fn prefetched_load(&self, addr: Addr, causal: Option<CausalSpan>) -> u64 {
         let in_l1 = {
             let x = self.exec.borrow();
             let hit = x.core.borrow().l1().probe(addr.line());
@@ -1119,17 +1179,21 @@ impl MemCtx {
             let d = self.buffer(OpKind::Load { line: addr.line() }, Vec::new(), None);
             let mut x = self.exec.borrow_mut();
             x.fibers[self.fiber].last_reads.push(d);
+            if let Some(c) = causal {
+                let now = x.clock.get();
+                x.tracer.complete_span(Category::Load, c.name, x.track, c.start, now, c.a0);
+            }
             let value = x.dataset.borrow().read_u64(addr);
             value
         } else {
-            self.issue_load_value(addr).await
+            self.issue_load_value(addr, causal).await
         }
     }
 
     /// Software-queue read: pay the enqueue cost (cheaper for descriptors
     /// after the first of a batch — the ring is hot), let the device do the
     /// rest, and wait for the completion to be polled.
-    fn swq_issue(&self, addr: Addr, first_of_batch: bool) -> kus_fiber::OneShotFuture<u64> {
+    fn swq_issue(&self, addr: Addr, first_of_batch: bool, causal: Option<CausalSpan>) -> kus_fiber::OneShotFuture<u64> {
         let (slot, fut) = OneShot::new();
         let serial = self.exec.borrow().fibers[self.fiber].last_serial;
         let (tag, enqueue_cost) = {
@@ -1140,7 +1204,7 @@ impl MemCtx {
             swq.next_tag += 1;
             swq.pending.insert(
                 tag,
-                SwqPending { slot, fiber, addr, deadline: Time::MAX, retries: 0 },
+                SwqPending { slot, fiber, addr, causal, deadline: Time::MAX, retries: 0 },
             );
             let cost = if first_of_batch { swq.costs.enqueue_first } else { swq.costs.enqueue_next };
             x.tracer.instant(Category::Swq, "swq.issue", x.track, tag, fiber as u64);

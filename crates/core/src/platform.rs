@@ -78,7 +78,7 @@ impl Platform {
         // Only the measured (final) phase is traced: the record phase of a
         // two-phase run is methodology scaffolding, not a measurement. The
         // profiler needs the event stream, so profiling implies tracing.
-        let traced = self.cfg.trace || self.cfg.profile;
+        let traced = self.cfg.trace || self.cfg.profile || self.cfg.causal;
         match self.cfg.backing {
             Backing::Dram => self.run_phase(w, &dataset, Phase::Dram, traced),
             Backing::Device => {
@@ -127,6 +127,7 @@ impl Platform {
             let t = Tracer::new(sim.now_handle());
             t.set_verbose(cfg.trace_deep);
             t.set_profile(cfg.profile);
+            t.set_causal(cfg.causal);
             t
         } else {
             Tracer::off()

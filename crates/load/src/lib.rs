@@ -38,6 +38,7 @@
 
 pub mod admission;
 pub mod arrival;
+pub mod blame;
 pub mod keys;
 pub mod net_report;
 pub mod report;
@@ -48,6 +49,7 @@ pub mod tier;
 
 pub use admission::{AdmissionControl, AdmissionDecision, AdmissionPolicy, ShedCause};
 pub use arrival::ArrivalProcess;
+pub use blame::{flow_arrows, BlameReport, BlameTable, HopBlame};
 pub use keys::KeyPopularity;
 pub use report::{
     DegradationVerdict, DeviceDistress, LoadReport, Percentiles, RecoveryReport, SloSpec,

@@ -598,6 +598,12 @@ impl Workload for ServingWorkload {
                             ctx.trace_instant("load.complete", id, arrival.as_ps());
                             if let Some(tx) = tx_cost {
                                 ctx.trace_instant("net.tx", id, tx.as_ps());
+                                if ctx.is_causal() {
+                                    // Egress span: the TX path covers
+                                    // [completion, completion + tx) — no
+                                    // longer a flat, invisible tail.
+                                    ctx.trace_complete_span("rpc.tx", end, end + tx, id);
+                                }
                             }
                             rt.policy
                                 .borrow_mut()

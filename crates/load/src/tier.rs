@@ -185,7 +185,11 @@ impl Service for TieredService {
                 let addrs: Vec<Addr> = (0..u64::from(spec.fanout_width()))
                     .map(|hop| Addr::new(base.raw() + (hop * SHARD_LINES + line) * 64))
                     .collect();
-                let _ = ctx.dev_read_batch(&addrs).await;
+                // Causal child spans: hop `i` leaves an `rpc.hop` Complete
+                // span with a0 = req * MAX_FANOUT + i, closed at the instant
+                // its value became available — the raw material for exact
+                // fan-in join resolution (critical child = max end).
+                let _ = ctx.dev_read_batch_spans(&addrs, "rpc.hop", req * u64::from(MAX_FANOUT)).await;
                 ctx.trace_complete_since("rpc.fanout", t, req);
             }
             let t = ctx.now();

@@ -164,6 +164,12 @@ impl Scenario {
         if let Some(seed) = spec.seed {
             cfg = cfg.seed(seed);
         }
+        // Blame-bearing claims need the causal event class: the fan-out
+        // join can only resolve to a critical child when the per-child
+        // `rpc.hop` spans exist in the trace.
+        if spec.expect.as_ref().is_some_and(|e| e.wants_blame()) {
+            cfg = cfg.causal();
+        }
         cfg.validate().map_err(|e: ConfigError| ScenarioError {
             section: "platform".into(),
             field: None,

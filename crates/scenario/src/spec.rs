@@ -199,6 +199,14 @@ pub struct ExpectSpec {
     /// Minimum demonstrated goodput in requests/second: the run's goodput
     /// must reach the knee fraction (95%) of this rate.
     pub knee_at_least: Option<f64>,
+    /// Expected critical tier: the hop owning the largest critical-path
+    /// share in the run's `BlameReport` (e.g. `"service"`, `"queue"`, or
+    /// a shard hop like `"rpc.shard1"`). Stating it enables the causal
+    /// event class for the run.
+    pub critical_tier: Option<String>,
+    /// Minimum critical-path share in `(0, 1]` the observed critical tier
+    /// must own. Stating it enables the causal event class for the run.
+    pub critical_share_at_least: Option<f64>,
 }
 
 impl ExpectSpec {
@@ -216,10 +224,33 @@ impl ExpectSpec {
                 return Err(format!("knee_at_least must be a positive rate, got {k}"));
             }
         }
-        if self.verdict.is_none() && self.slo_pass.is_none() && self.knee_at_least.is_none() {
+        if let Some(t) = &self.critical_tier {
+            if t.is_empty() {
+                return Err("critical_tier must name a hop (e.g. \"service\")".into());
+            }
+        }
+        if let Some(s) = self.critical_share_at_least {
+            if !s.is_finite() || s <= 0.0 || s > 1.0 {
+                return Err(format!(
+                    "critical_share_at_least must be a share in (0, 1], got {s}"
+                ));
+            }
+        }
+        if self.verdict.is_none()
+            && self.slo_pass.is_none()
+            && self.knee_at_least.is_none()
+            && self.critical_tier.is_none()
+            && self.critical_share_at_least.is_none()
+        {
             return Err("an [expect] section must state at least one expectation".into());
         }
         Ok(())
+    }
+
+    /// True when any stated claim needs the causal critical-path blame
+    /// decomposition (and therefore the causal event class) to check.
+    pub fn wants_blame(&self) -> bool {
+        self.critical_tier.is_some() || self.critical_share_at_least.is_some()
     }
 }
 
@@ -675,7 +706,14 @@ impl ScenarioSpec {
             out.push_str(&format!("reply_overhead_ns = {}\n", fmt_span(*reply_overhead)));
         }
 
-        if let Some(ExpectSpec { verdict, slo_pass, knee_at_least }) = expect {
+        if let Some(ExpectSpec {
+            verdict,
+            slo_pass,
+            knee_at_least,
+            critical_tier,
+            critical_share_at_least,
+        }) = expect
+        {
             out.push_str("\n[expect]\n");
             if let Some(v) = verdict {
                 out.push_str(&format!("verdict = {}\n", toml_str(v)));
@@ -685,6 +723,12 @@ impl ScenarioSpec {
             }
             if let Some(k) = knee_at_least {
                 out.push_str(&format!("knee_at_least = {}\n", fmt_f64(*k)));
+            }
+            if let Some(t) = critical_tier {
+                out.push_str(&format!("critical_tier = {}\n", toml_str(t)));
+            }
+            if let Some(s) = critical_share_at_least {
+                out.push_str(&format!("critical_share_at_least = {}\n", fmt_f64(*s)));
             }
         }
 
@@ -1227,6 +1271,8 @@ fn parse_expect(t: &Table) -> Result<ExpectSpec, ScenarioError> {
         };
     }
     expect.knee_at_least = r.rate_opt("knee_at_least")?;
+    expect.critical_tier = r.str_opt("critical_tier")?;
+    expect.critical_share_at_least = r.f64_opt("critical_share_at_least")?;
     r.finish()?;
     Ok(expect)
 }

@@ -249,6 +249,12 @@ struct TracerInner {
     /// event stream (and so the hash), so it is opt-in per run and off for
     /// every golden-locked scenario.
     profile: Cell<bool>,
+    /// Causal event class: per-child fan-out spans, egress spans, and the
+    /// other anchors the span-DAG reconstruction needs. Like `profile`, a
+    /// *runtime* gate: causal events extend the stream (and so the hash)
+    /// deterministically, so it is opt-in per run and off for every
+    /// golden-locked scenario.
+    causal: Cell<bool>,
     #[cfg(feature = "trace")]
     verbose: Cell<bool>,
 }
@@ -287,6 +293,7 @@ impl Tracer {
                 clock,
                 state: RefCell::new(TraceState { hash: FNV_OFFSET, count: 0, events: Vec::new() }),
                 profile: Cell::new(false),
+                causal: Cell::new(false),
                 #[cfg(feature = "trace")]
                 verbose: Cell::new(false),
             })),
@@ -328,6 +335,24 @@ impl Tracer {
         self.inner.as_ref().is_some_and(|i| i.profile.get())
     }
 
+    /// Enables the causal event class: per-child fan-out completion spans,
+    /// egress (`rpc.tx`) spans, and the other anchors from which a request's
+    /// span DAG and critical path are reconstructed at harvest. A runtime
+    /// flag like [`set_profile`](Self::set_profile): causal events extend the
+    /// stream and its hash — deterministically — but never change simulated
+    /// behaviour.
+    pub fn set_causal(&self, on: bool) {
+        if let Some(i) = &self.inner {
+            i.causal.set(on);
+        }
+    }
+
+    /// Whether causal events should be emitted. Always false for a disabled
+    /// tracer.
+    pub fn is_causal(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.causal.get())
+    }
+
     /// Whether deep per-access events should be emitted.
     pub fn is_verbose(&self) -> bool {
         #[cfg(feature = "trace")]
@@ -366,6 +391,20 @@ impl Tracer {
         let Some(inner) = &self.inner else { return };
         let now = inner.clock.get();
         let dur = (now - start).as_ps();
+        let mut s = inner.state.borrow_mut();
+        s.hash = fnv1a(s.hash, &event_bytes(start, cat, name, Phase::Complete, track, a0, dur));
+        s.count += 1;
+        s.events.push(TraceEvent { at: start, cat, name, phase: Phase::Complete, track, a0, a1: dur });
+    }
+
+    /// Emits a [`Phase::Complete`] span over an explicit `[start, end]`
+    /// interval, independent of the current clock. Needed by spans whose end
+    /// is not "now" at emission time: a child completion recorded from a
+    /// device callback, or an egress span that extends past the emitting
+    /// instant. `end` earlier than `start` records a zero-length span.
+    pub fn complete_span(&self, cat: Category, name: &'static str, track: u32, start: Time, end: Time, a0: u64) {
+        let Some(inner) = &self.inner else { return };
+        let dur = if end > start { (end - start).as_ps() } else { 0 };
         let mut s = inner.state.borrow_mut();
         s.hash = fnv1a(s.hash, &event_bytes(start, cat, name, Phase::Complete, track, a0, dur));
         s.count += 1;
@@ -488,11 +527,37 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
+/// A causal arrow between two points on the timeline, rendered as a Chrome
+/// `trace_event` flow (`ph:"s"` → `ph:"f"`) so Perfetto draws the DAG edges
+/// over the spans. `id` must be unique per arrow within one export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowArrow {
+    /// Flow id binding the start and finish halves together.
+    pub id: u64,
+    /// Edge label (e.g. `"fanout"`, `"join"`).
+    pub name: &'static str,
+    /// Where the arrow leaves.
+    pub from: Time,
+    /// Track the arrow leaves from.
+    pub from_track: u32,
+    /// Where the arrow lands.
+    pub to: Time,
+    /// Track the arrow lands on.
+    pub to_track: u32,
+}
+
 /// Renders events as Chrome `trace_event` JSON (the "JSON array format"),
 /// loadable in `chrome://tracing` and Perfetto. Deterministic: the same
 /// event stream yields byte-identical output.
 pub fn chrome_json(events: &[TraceEvent]) -> String {
-    let mut out = String::with_capacity(64 + events.len() * 96);
+    chrome_json_with_flows(events, &[])
+}
+
+/// [`chrome_json`] plus causal [`FlowArrow`]s appended as flow-event pairs.
+/// With an empty `flows` slice the output is byte-identical to
+/// [`chrome_json`].
+pub fn chrome_json_with_flows(events: &[TraceEvent], flows: &[FlowArrow]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96 + flows.len() * 160);
     out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
     for (i, e) in events.iter().enumerate() {
         if i > 0 {
@@ -518,6 +583,24 @@ pub fn chrome_json(events: &[TraceEvent]) -> String {
             }
         }
         out.push('}');
+    }
+    for (i, f) in flows.iter().enumerate() {
+        if !events.is_empty() || i > 0 {
+            out.push_str(",\n");
+        }
+        let name = json_escape(f.name);
+        out.push_str(&format!(
+            "{{\"name\":\"{name}\",\"cat\":\"causal\",\"ph\":\"s\",\"id\":{},\"ts\":{},\"pid\":0,\"tid\":{}}},\n",
+            f.id,
+            chrome_ts(f.from),
+            f.from_track,
+        ));
+        out.push_str(&format!(
+            "{{\"name\":\"{name}\",\"cat\":\"causal\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"ts\":{},\"pid\":0,\"tid\":{}}}",
+            f.id,
+            chrome_ts(f.to),
+            f.to_track,
+        ));
     }
     out.push_str("\n]}\n");
     out
@@ -806,6 +889,59 @@ mod tests {
         let off = Tracer::off();
         off.set_profile(true);
         assert!(!off.is_profile(), "disabled tracer never profiles");
+    }
+
+    #[test]
+    fn causal_flag_is_runtime_gated() {
+        let sim = Sim::new();
+        let t = Tracer::new(sim.now_handle());
+        assert!(!t.is_causal());
+        t.set_causal(true);
+        assert!(t.is_causal(), "causal class is a runtime flag, not a cargo feature");
+        t.set_causal(false);
+        assert!(!t.is_causal());
+        let off = Tracer::off();
+        off.set_causal(true);
+        assert!(!off.is_causal(), "disabled tracer never emits causal events");
+    }
+
+    #[test]
+    fn complete_span_uses_explicit_interval() {
+        let sim = Sim::new();
+        let t = Tracer::new(sim.now_handle());
+        let start = Time::from_ps(1_000);
+        let end = Time::from_ps(4_500);
+        t.complete_span(Category::Load, "rpc.hop", 3, start, end, 42);
+        // Inverted interval: zero-length span, never a panic or underflow.
+        t.complete_span(Category::Load, "rpc.hop", 3, end, start, 43);
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!((evs[0].at, evs[0].a0, evs[0].a1), (start, 42, 3_500));
+        assert_eq!(evs[0].phase, Phase::Complete);
+        assert_eq!((evs[1].at, evs[1].a1), (end, 0));
+        assert_eq!(t.hash(), hash_events(&evs), "explicit spans hash like any other event");
+    }
+
+    #[test]
+    fn flow_export_extends_chrome_json_without_perturbing_it() {
+        let evs = vec![ev(1, "swq.enqueue", 3)];
+        assert_eq!(chrome_json(&evs), chrome_json_with_flows(&evs, &[]));
+        let flows = vec![FlowArrow {
+            id: 7,
+            name: "fanout",
+            from: Time::from_ps(1_000_000),
+            from_track: 1,
+            to: Time::from_ps(3_000_000),
+            to_track: 2,
+        }];
+        let json = chrome_json_with_flows(&evs, &flows);
+        assert!(json.contains("\"ph\":\"s\",\"id\":7,\"ts\":1.000000"));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":7,\"ts\":3.000000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Flows with no base events still form a valid array.
+        let lone = chrome_json_with_flows(&[], &flows);
+        assert_eq!(lone.matches('{').count(), lone.matches('}').count());
+        assert!(lone.contains("\"ph\":\"s\""));
     }
 
     #[test]

@@ -180,6 +180,8 @@ fn expect_section_round_trips_without_a_matrix() {
             verdict: Some("graceful".into()),
             slo_pass: Some(true),
             knee_at_least: Some(1.5e6),
+            critical_tier: Some("rpc.shard3".into()),
+            critical_share_at_least: Some(0.4),
         });
     let text = spec.to_toml();
     let reparsed = ScenarioSpec::parse(&text)
